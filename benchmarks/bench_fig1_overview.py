@@ -1,0 +1,43 @@
+"""Fig. 1: quicksort overview — Opt vs data-driven BayesWC vs Hybrid
+BayesWC posterior bound curves against the true n(n-1)/2 bound."""
+
+from repro.evalharness import posterior_curve, render_ascii_curve, render_curve
+
+SIZES = list(range(10, 201, 10))
+
+
+def test_fig1_panels(benchmark, runs):
+    run = runs.get("QuickSort")
+
+    def build():
+        return [
+            posterior_curve(run, "data-driven", "opt", SIZES),
+            posterior_curve(run, "data-driven", "bayeswc", SIZES),
+            posterior_curve(run, "hybrid", "bayeswc", SIZES),
+        ]
+
+    panels = benchmark.pedantic(build, rounds=1, iterations=1)
+    labels = ["(a) Opt DD", "(b) BayesWC DD", "(c) BayesWC Hybrid"]
+    print()
+    for label, series in zip(labels, panels):
+        print(f"=== Fig.1 {label} ===")
+        print(render_ascii_curve(series, log_y=True))
+        print()
+        print(render_curve(series))
+        print()
+
+    opt_dd, wc_dd, wc_hy = panels
+    spec = run.spec
+    sizes = range(1, 1001)
+    sound = {
+        "opt_dd": run.results[("data-driven", "opt")].soundness_fraction(spec.truth, sizes, spec.shape_fn),
+        "wc_dd": run.results[("data-driven", "bayeswc")].soundness_fraction(spec.truth, sizes, spec.shape_fn),
+        "wc_hy": run.results[("hybrid", "bayeswc")].soundness_fraction(spec.truth, sizes, spec.shape_fn),
+    }
+    benchmark.extra_info.update({k: round(v, 3) for k, v in sound.items()})
+    # the Fig. 1 ordering: Opt (0/1000) < data-driven BayesWC (28/1000)
+    # < Hybrid BayesWC (471/1000)
+    assert sound["opt_dd"] <= sound["wc_dd"] + 0.05
+    assert sound["wc_dd"] < sound["wc_hy"]
+    # the hybrid 10–90th band sits above the true bound at every size
+    assert all(lo >= t - 1e-6 for lo, t in zip(wc_hy.band_low, wc_hy.truth))

@@ -1,0 +1,76 @@
+"""Fig. 2: the three data-driven approaches on one synthetic dataset —
+(a) Opt's single LP fit, (b) BayesWC's survival posterior feeding LPs,
+(c) BayesPC's posterior over polynomial coefficients."""
+
+import numpy as np
+
+from repro import AnalysisConfig, collect_dataset, compile_program, run_analysis
+from repro.aara.bound import synthetic_list
+from repro.lang import from_python
+
+SRC = """
+let incur_cost hd =
+  if (hd mod 4) = 0 then Raml.tick 1.0 else Raml.tick 0.6
+
+let rec work xs =
+  match xs with
+  | [] -> 0
+  | hd :: tl -> let _ = incur_cost hd in 1 + work tl
+
+let work2 xs = Raml.stat (work xs)
+"""
+
+SIZES = list(range(2, 41, 2))
+
+
+def test_fig2_three_methods(benchmark, runs):
+    program = compile_program(SRC)
+    rng = np.random.default_rng(0)
+    inputs = [
+        [from_python([int(v) for v in rng.integers(0, 100, n)])]
+        for n in SIZES
+        for _ in range(3)
+    ]
+    dataset = collect_dataset(program, "work2", inputs)
+    config = AnalysisConfig(degree=1, num_posterior_samples=30, seed=0)
+
+    def build():
+        return {
+            method: run_analysis(program, "work2", dataset, config, method)
+            for method in ("opt", "bayeswc", "bayespc")
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print()
+    print("=== Fig.2: observed data (size, max cost) ===")
+    maxima = dataset["work2#1"].max_costs()
+    for key in sorted(maxima):
+        print(f"  n={key[0]:3d}  cmax={maxima[key]:6.1f}")
+    print()
+    header = f"{'n':>4s} " + " ".join(f"{m:>12s}" for m in results)
+    print("=== Fig.2: inferred bound curves (posterior medians) ===")
+    print(header)
+    for n in (5, 10, 20, 40, 80):
+        row = [f"{n:>4d}"]
+        for method, result in results.items():
+            values = [b.evaluate([synthetic_list(n)]) for b in result.bounds]
+            row.append(f"{float(np.median(values)):12.2f}")
+        print(" ".join(row))
+
+    # all three must dominate every observed maximum (soundness w.r.t. data,
+    # Theorem 6.1) ...
+    for method, result in results.items():
+        for key, cmax in maxima.items():
+            n = key[0]
+            for bound in result.bounds:
+                assert bound.evaluate([synthetic_list(n)]) >= cmax - 1e-6, method
+    # ... and the Bayesian methods account for unseen worst cases: their
+    # median bound at the largest size exceeds the Opt point estimate
+    opt_at_40 = results["opt"].bounds[0].evaluate([synthetic_list(40)])
+    for method in ("bayeswc", "bayespc"):
+        med = float(
+            np.median([b.evaluate([synthetic_list(40)]) for b in results[method].bounds])
+        )
+        benchmark.extra_info[f"{method}_over_opt"] = round(med / opt_at_40, 3)
+        assert med >= opt_at_40 - 1e-6

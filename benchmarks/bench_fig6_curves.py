@@ -1,0 +1,41 @@
+"""Fig. 6 (and the per-benchmark plots of Figs. 10–24): posterior bound
+curves — runtime data, true bound, median and 10–90th-percentile band —
+for the benchmarks the main paper plots."""
+
+import pytest
+
+from repro.evalharness import fig6_curves, render_curve
+
+#: benchmark -> plotted size range (matching the paper's x-axes)
+PANELS = {
+    "QuickSort": list(range(10, 201, 10)),
+    "QuickSelect": list(range(10, 131, 10)),
+    "MedianOfMedians": list(range(10, 131, 10)),
+    "Round": list(range(10, 201, 10)),
+    "EvenOddTail": list(range(10, 131, 10)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PANELS))
+def test_fig6_benchmark_curves(benchmark, runs, name):
+    run = runs.get(name)
+    sizes = PANELS[name]
+    series_list = benchmark.pedantic(
+        lambda: fig6_curves(run, sizes), rounds=1, iterations=1
+    )
+    assert series_list, "no analysis produced curves"
+    print()
+    for series in series_list:
+        print(render_curve(series))
+        print()
+        benchmark.extra_info[f"{series.mode}/{series.method}/median_at_max"] = round(
+            series.median[-1], 1
+        )
+    # hybrid medians dominate data-driven medians at the largest size for
+    # the Bayesian methods (the Fig. 6 visual takeaway), where both exist
+    by_key = {(s.mode, s.method): s for s in series_list}
+    for method in ("bayeswc", "bayespc"):
+        dd = by_key.get(("data-driven", method))
+        hy = by_key.get(("hybrid", method))
+        if dd and hy:
+            assert hy.median[-1] >= dd.median[-1] * 0.8

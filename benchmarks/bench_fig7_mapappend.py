@@ -1,0 +1,46 @@
+"""Figs. 7–9: multivariate bound surfaces for MapAppend — median inferred
+bound over the (|xs|, |ys|) grid for data-driven and hybrid analysis,
+against the ground-truth plane 1.0·|xs|."""
+
+import pytest
+
+from repro.evalharness import mapappend_surface
+
+GRID = list(range(0, 41, 8))
+
+
+@pytest.mark.parametrize("mode", ["data-driven", "hybrid"])
+def test_fig7_surfaces(benchmark, runs, mode):
+    run = runs.get("MapAppend")
+
+    def build():
+        return {
+            method: mapappend_surface(run, mode, method, GRID)
+            for method in ("opt", "bayeswc", "bayespc")
+        }
+
+    surfaces = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    for method, surface in surfaces.items():
+        if surface is None:
+            continue
+        print(f"=== Fig.7 {mode} / {method}: median bound over (n1, n2) ===")
+        header = "n1\\n2 " + " ".join(f"{n2:>8d}" for n2 in surface.grid2)
+        print(header)
+        for i, n1 in enumerate(surface.grid1):
+            row = " ".join(f"{surface.median[i][j]:8.2f}" for j in range(len(surface.grid2)))
+            print(f"{n1:>5d} {row}")
+        print()
+
+    # ground truth is the plane 1.0*n1; the hybrid Bayesian surfaces must
+    # lie above it (Fig. 7b), the data-driven Opt surface below (Fig. 7a)
+    if mode == "hybrid":
+        for method in ("bayeswc", "bayespc"):
+            surface = surfaces[method]
+            for i, n1 in enumerate(surface.grid1):
+                for j in range(len(surface.grid2)):
+                    assert surface.median[i][j] >= surface.truth[i][j] - 1e-6
+    else:
+        opt = surfaces["opt"]
+        n1 = opt.grid1[-1]
+        assert opt.median[-1][0] < n1  # below the 1.0*n1 plane at n2=0

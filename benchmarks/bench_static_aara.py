@@ -1,0 +1,69 @@
+"""Section 2 claims: conventional AARA on the analyzable quicksort.
+
+"Assuming each comparison has cost 1, RaML correctly infers the tight
+bound n(n-1)/2 for quicksort in less than 0.1 seconds."  We measure our
+implementation's static analysis on the same program (here the LP solve
+dominates; pytest-benchmark reports the wall time) and check tightness.
+Also covers the Table 1 "Conventional AARA" verdicts for all benchmarks.
+"""
+
+import pytest
+
+from repro.aara import analyze_program, run_conventional, synthetic_list
+from repro.evalharness.table1 import conventional_label
+from repro.lang import compile_program
+from repro.suite import all_benchmarks
+
+QUICKSORT = """
+let rec append xs ys =
+  match xs with [] -> ys | hd :: tl -> hd :: append tl ys
+
+let rec partition pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | hd :: tl ->
+    let lower, upper = partition pivot tl in
+    let _ = Raml.tick 1.0 in
+    if hd <= pivot then (hd :: lower, upper) else (lower, hd :: upper)
+
+let rec quicksort xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let lower, upper = partition hd tl in
+    let ls = quicksort lower in
+    let us = quicksort upper in
+    append ls (hd :: us)
+"""
+
+
+def test_static_quicksort_tight_bound(benchmark):
+    program = compile_program(QUICKSORT)
+    result = benchmark(
+        lambda: analyze_program(program, "quicksort", 2, stat_mode="transparent")
+    )
+    bound = result.bound
+    for n in (10, 50, 200):
+        assert bound.evaluate([synthetic_list(n)]) == pytest.approx(
+            n * (n - 1) / 2, rel=1e-6, abs=1e-3
+        )
+    print(f"\nstatic quicksort bound: {bound.describe()}")
+
+
+@pytest.mark.parametrize("spec", all_benchmarks(), ids=lambda s: s.name)
+def test_conventional_verdicts(benchmark, spec):
+    """Table 1 column 2: Cannot Analyze / Wrong Degree for every benchmark."""
+    program = compile_program(spec.data_driven_source)
+    verdict = benchmark.pedantic(
+        lambda: run_conventional(program, spec.data_driven_entry, max_degree=3),
+        rounds=1,
+        iterations=1,
+    )
+    label = conventional_label(spec, verdict)
+    print(f"\n{spec.name}: {label} ({verdict.status}, {verdict.runtime_seconds:.2f}s)")
+    benchmark.extra_info["verdict"] = label
+    expected = {
+        "cannot-analyze": "Cannot Analyze",
+        "wrong-degree": "Wrong Degree",
+    }[spec.expected_conventional]
+    assert label == expected

@@ -1,0 +1,55 @@
+"""Table 1: percentage of sound inferred bounds and analysis runtime for
+all 10 benchmark programs × {Opt, BayesWC, BayesPC} × {data-driven, hybrid}.
+
+Each bench runs one benchmark's full protocol once (pedantic mode) and
+prints the Table 1 rows; the module-level summary bench renders the whole
+table from the cached runs.
+"""
+
+import pytest
+
+from repro.evalharness import render_table1
+from repro.suite import benchmark_names
+
+ALL = sorted(benchmark_names())
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_table1_row(benchmark, runs, name):
+    run = benchmark.pedantic(lambda: runs.get(name), rounds=1, iterations=1)
+    for method in ("opt", "bayeswc", "bayespc"):
+        for mode in ("data-driven", "hybrid"):
+            sound = run.soundness(mode, method)
+            benchmark.extra_info[f"{mode}/{method}/sound"] = (
+                None if sound is None else round(100 * sound, 1)
+            )
+            rt = run.runtime(mode, method)
+            benchmark.extra_info[f"{mode}/{method}/runtime_s"] = (
+                None if rt is None else round(rt, 2)
+            )
+    benchmark.extra_info["conventional"] = run.conventional_label
+    print()
+    print(render_table1([run]))
+
+
+def test_table1_full(benchmark, runs):
+    """Render the complete Table 1 from the cached per-benchmark runs."""
+
+    def build():
+        return [runs.get(name) for name in ALL]
+
+    all_runs = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table1(all_runs)
+    print()
+    print(table)
+    # paper invariants that must reproduce:
+    by_name = {run.spec.name: run for run in all_runs}
+    # (1) Opt never returns a sound bound on the data-driven side
+    for run in all_runs:
+        assert (run.soundness("data-driven", "opt") or 0.0) <= 0.05, run.spec.name
+    # (2) QuickSort hybrid Bayesian analyses are (near-)fully sound
+    assert by_name["QuickSort"].soundness("hybrid", "bayeswc") >= 0.9
+    assert by_name["QuickSort"].soundness("hybrid", "bayespc") >= 0.9
+    # (3) BubbleSort/Round/EvenOddTail have no hybrid analysis (∅)
+    for name in ("BubbleSort", "Round", "EvenOddTail"):
+        assert not any(mode == "hybrid" for mode, _ in by_name[name].results)

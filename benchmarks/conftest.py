@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Analysis runs
+are expensive, so a session-scoped cache shares them between benches; the
+first bench touching a benchmark pays its cost (and reports it via
+pytest-benchmark), later benches reuse the result.
+
+The posterior sample count M defaults to a laptop-friendly value; set
+``REPRO_BENCH_SAMPLES`` (and optionally ``REPRO_BENCH_SEED``) to scale up
+towards the paper's M = 1000.
+"""
+
+import os
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.evalharness import run_benchmark
+from repro.suite import get_benchmark
+
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "15"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+class RunCache:
+    def __init__(self):
+        self._runs = {}
+
+    def get(self, name, methods=("opt", "bayeswc", "bayespc"), samples=None):
+        samples = samples or BENCH_SAMPLES
+        key = (name, tuple(sorted(methods)), samples)
+        if key not in self._runs:
+            spec = get_benchmark(name)
+            config = AnalysisConfig(num_posterior_samples=samples, seed=BENCH_SEED)
+            self._runs[key] = run_benchmark(
+                spec, config, seed=BENCH_SEED, methods=methods
+            )
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def runs():
+    return RunCache()

@@ -1,0 +1,80 @@
+"""Application: resource provisioning for cloud jobs (paper Section 1).
+
+The paper motivates Hybrid AARA with cloud scheduling: a provider wants a
+*reasonably accurate* estimate of a job's resource needs; occasionally
+under-provisioning is acceptable because the job can be rerun with more
+resources, but chronic over-provisioning wastes money.
+
+This example provisions CPU budgets for a stream of quicksort "jobs" of
+random sizes using three policies:
+
+* ``opt``       — the single optimization-based bound,
+* ``median``    — the median of the Bayesian posterior bounds (Hybrid BayesWC),
+* ``p90``       — the posterior 90th percentile (more conservative).
+
+For each policy we report the re-run rate (jobs whose true cost exceeded
+the provisioned budget) and the mean over-provisioning factor.
+
+Run:  python examples/cloud_scheduling.py
+"""
+
+import numpy as np
+
+from repro import AnalysisConfig, collect_dataset, compile_program, run_analysis
+from repro.lang import evaluate, from_python
+from repro.suite import get_benchmark
+
+
+def main() -> None:
+    spec = get_benchmark("QuickSort")
+    program = compile_program(spec.hybrid_source)
+    rng = np.random.default_rng(0)
+
+    # historical telemetry: runtime data from past jobs
+    inputs = [spec.generator(rng, n) for n in range(5, 81, 5) for _ in range(2)]
+    dataset = collect_dataset(program, spec.hybrid_entry, inputs)
+
+    config = AnalysisConfig(degree=2, num_posterior_samples=60, seed=0)
+    opt = run_analysis(program, spec.hybrid_entry, dataset, config, "opt")
+    wc = run_analysis(program, spec.hybrid_entry, dataset, config, "bayespc")
+
+    # incoming jobs: mostly random, but a sysadmin occasionally feeds the
+    # service already-sorted data — quicksort's worst case
+    from repro.suite.generators import sorted_ascending_expensive
+
+    jobs = []
+    for _ in range(300):
+        n = int(rng.integers(20, 150))
+        if rng.uniform() < 0.15:
+            jobs.append([sorted_ascending_expensive(n, 5)])
+        else:
+            jobs.append(spec.generator(rng, n))
+    true_costs = np.array(
+        [evaluate(program, spec.hybrid_entry, list(args)).cost for args in jobs]
+    )
+
+    def provision(policy: str) -> np.ndarray:
+        budgets = []
+        for args in jobs:
+            if policy == "opt":
+                budgets.append(opt.bounds[0].evaluate(args))
+            else:
+                values = [b.evaluate(args) for b in wc.bounds]
+                q = 50 if policy == "median" else 90
+                budgets.append(float(np.percentile(values, q)))
+        return np.array(budgets)
+
+    print(f"{'policy':8s} {'re-run rate':>12s} {'mean over-provision':>20s}")
+    for policy in ("opt", "median", "p90"):
+        budgets = provision(policy)
+        reruns = float((true_costs > budgets).mean())
+        over = float((budgets / np.maximum(true_costs, 1e-9)).mean())
+        print(f"{policy:8s} {100 * reruns:11.1f}% {over:19.2f}x")
+    print(
+        "\nThe Bayesian posterior lets the scheduler pick its own point on the\n"
+        "re-run-rate / over-provisioning trade-off — the single Opt bound does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

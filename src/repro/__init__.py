@@ -1,0 +1,52 @@
+"""Hybrid AARA — reproduction of "Robust Resource Bounds with Static
+Analysis and Bayesian Inference" (Pham, Saad, Hoffmann; PLDI 2024).
+
+Quickstart::
+
+    from repro import compile_program, collect_dataset, run_analysis, AnalysisConfig
+    from repro.lang import from_python
+
+    prog = compile_program(source_with_raml_annotations)
+    dataset = collect_dataset(prog, "quicksort", inputs)
+    result = run_analysis(prog, "quicksort", dataset,
+                          AnalysisConfig(degree=2), method="bayeswc")
+    for bound in result.bounds:
+        print(bound.describe())
+"""
+
+from .aara import ResourceBound, analyze_program, run_conventional
+from .config import AnalysisConfig, BayesPCConfig, BayesWCConfig, SamplerConfig
+from .errors import ReproError
+from .inference import (
+    PosteriorResult,
+    RuntimeDataset,
+    collect_dataset,
+    run_analysis,
+    run_bayespc,
+    run_bayeswc,
+    run_opt,
+)
+from .lang import compile_program, evaluate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ResourceBound",
+    "analyze_program",
+    "run_conventional",
+    "AnalysisConfig",
+    "BayesPCConfig",
+    "BayesWCConfig",
+    "SamplerConfig",
+    "ReproError",
+    "PosteriorResult",
+    "RuntimeDataset",
+    "collect_dataset",
+    "run_analysis",
+    "run_bayespc",
+    "run_bayeswc",
+    "run_opt",
+    "compile_program",
+    "evaluate",
+    "__version__",
+]

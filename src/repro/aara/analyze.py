@@ -1,0 +1,192 @@
+"""Top-level drivers for (conventional and hybrid-skeleton) AARA analysis.
+
+:func:`build_analysis` assembles the LP for a program's root function;
+:func:`solve_analysis` runs the staged objective of Section 6.1 (data-gap
+sums first, then root coefficients by descending degree) and extracts a
+:class:`~repro.aara.bound.ResourceBound`.  :func:`run_conventional`
+reproduces the paper's "Conventional AARA" column: it returns either a
+bound or a verdict explaining the failure ("Cannot Analyze" for programs
+with statically intractable fragments, infeasibility at the requested
+degree otherwise).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .annot import coeffs_by_degree, equate, instantiate, zero_annotation
+from .bound import ResourceBound
+from .signatures import FunSignature
+from .typecheck import ConstraintGenerator, GenStats, StatHandler
+from ..errors import InfeasibleError, StaticAnalysisError, UnanalyzableError
+from ..lang import ast as A
+from ..lp import LPProblem, LPSolution, LinExpr, solve_lexicographic
+
+
+@dataclass
+class Analysis:
+    """An assembled (unsolved) AARA linear program for a root function."""
+
+    program: A.Program
+    fname: str
+    degree: int
+    lp: LPProblem
+    signature: FunSignature
+    generator: ConstraintGenerator
+
+    def root_objectives(self, mode: str = "sum") -> List[LinExpr]:
+        """Objective stages minimizing root input coefficients + p0.
+
+        ``mode='sum'`` uses one stage (sum of all coefficients), ``'degree'``
+        minimizes higher degrees with higher priority (Section 6.1 gives the
+        user both choices).
+        """
+        by_degree: Dict[int, LinExpr] = {}
+        for ann in self.signature.params:
+            for deg, coeff in coeffs_by_degree(ann):
+                by_degree[deg] = by_degree.get(deg, LinExpr()) + coeff
+        if mode == "sum":
+            total = LinExpr.total(by_degree.values()) + self.signature.p0
+            return [total]
+        stages = [by_degree[d] for d in sorted(by_degree, reverse=True)]
+        stages.append(self.signature.p0)
+        return stages
+
+
+def _snap(value: float, tol: float = 1e-7) -> float:
+    """Remove numerical dust from LP solutions (values within tol of an int)."""
+    nearest = round(value)
+    if abs(value - nearest) < tol:
+        return float(nearest)
+    return value
+
+
+@dataclass
+class AARAResult:
+    bound: ResourceBound
+    solution: LPSolution
+    signature: FunSignature
+    lp: LPProblem
+    gen_stats: GenStats
+    runtime_seconds: float = 0.0
+
+
+def build_analysis(
+    program: A.Program,
+    fname: str,
+    degree: int,
+    stat_handler: Optional[StatHandler] = None,
+    stat_mode: str = "handler",
+    pin_root_output: bool = True,
+    lp: Optional[LPProblem] = None,
+) -> Analysis:
+    """Generate the full constraint system for ``fname`` at ``degree``."""
+    if fname not in program:
+        raise StaticAnalysisError(f"unknown function {fname!r}")
+    generator = ConstraintGenerator(
+        program, degree, lp=lp, stat_handler=stat_handler, stat_mode=stat_mode
+    )
+    signature = generator.instantiate(fname, costful=True)
+    if pin_root_output:
+        zero = zero_annotation(program[fname].fun_type.result, degree)
+        equate(signature.result, zero, generator.lp, note="root output pinned to 0")
+        generator.lp.add_eq(signature.q0, 0, note="root q0 pinned to 0")
+    return Analysis(program, fname, degree, generator.lp, signature, generator)
+
+
+def solve_analysis(
+    analysis: Analysis,
+    extra_objectives: Sequence[LinExpr] = (),
+    objective_mode: str = "sum",
+) -> AARAResult:
+    """Solve with staged objectives and extract the numeric bound."""
+    start = time.perf_counter()
+    objectives = list(extra_objectives) + analysis.root_objectives(objective_mode)
+    solution = solve_lexicographic(
+        analysis.lp, objectives, context=f"AARA {analysis.fname} degree {analysis.degree}"
+    )
+    sig = analysis.signature
+    assignment = {k: _snap(v) for k, v in solution.assignment.items()}
+    bound = ResourceBound(
+        fname=analysis.fname,
+        params=tuple(instantiate(p, assignment) for p in sig.params),
+        p0=_snap(solution.value(sig.p0)),
+    )
+    elapsed = time.perf_counter() - start
+    return AARAResult(bound, solution, sig, analysis.lp, analysis.generator.stats, elapsed)
+
+
+def analyze_program(
+    program: A.Program,
+    fname: str,
+    degree: int,
+    stat_handler: Optional[StatHandler] = None,
+    stat_mode: str = "handler",
+    extra_objectives: Sequence[LinExpr] = (),
+) -> AARAResult:
+    """Build and solve in one call."""
+    analysis = build_analysis(program, fname, degree, stat_handler, stat_mode)
+    return solve_analysis(analysis, extra_objectives)
+
+
+# ---------------------------------------------------------------------------
+# Conventional AARA verdicts (Table 1, "Conventional AARA" column)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConventionalVerdict:
+    """Outcome of running purely static AARA on a benchmark program."""
+
+    status: str  # 'bound' | 'cannot-analyze' | 'infeasible'
+    bound: Optional[ResourceBound] = None
+    degree: int = 0
+    detail: str = ""
+    runtime_seconds: float = 0.0
+    feasible_degrees: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "bound"
+
+
+def run_conventional(
+    program: A.Program, fname: str, max_degree: int = 3
+) -> ConventionalVerdict:
+    """Try conventional AARA at degrees 1..max_degree (stat is transparent).
+
+    Returns the lowest-degree feasible bound; ``cannot-analyze`` when the
+    program contains statically intractable code, ``infeasible`` when no
+    tried degree admits a bound.
+    """
+    start = time.perf_counter()
+    feasible: List[int] = []
+    first_result: Optional[AARAResult] = None
+    for degree in range(1, max_degree + 1):
+        try:
+            result = analyze_program(program, fname, degree, stat_mode="transparent")
+        except UnanalyzableError as exc:
+            return ConventionalVerdict(
+                "cannot-analyze", detail=str(exc), runtime_seconds=time.perf_counter() - start
+            )
+        except (InfeasibleError, StaticAnalysisError) as exc:
+            last_detail = str(exc)
+            continue
+        feasible.append(degree)
+        if first_result is None:
+            first_result = result
+    if first_result is None:
+        return ConventionalVerdict(
+            "infeasible",
+            detail=f"no bound at degrees 1..{max_degree}",
+            runtime_seconds=time.perf_counter() - start,
+        )
+    return ConventionalVerdict(
+        "bound",
+        bound=first_result.bound,
+        degree=feasible[0],
+        runtime_seconds=time.perf_counter() - start,
+        feasible_degrees=tuple(feasible),
+    )

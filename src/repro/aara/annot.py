@@ -1,0 +1,391 @@
+"""Resource-annotated types of univariate polynomial AARA (Section 4.2).
+
+An annotated type mirrors a simple type, attaching to every list
+constructor a vector of coefficients ``(q1, ..., qd)`` for the binomial
+potential basis ``C(n,1), ..., C(n,d)`` and to every sum constructor two
+constant potentials.  Coefficients are symbolic :class:`~repro.lp.LinExpr`
+values during inference and become numeric constants after substituting an
+LP solution.
+
+The module implements all operations the typing rules need:
+
+* ``potential_of_value`` — Φ(v : a)  (Eq. 4.2),
+* ``shift``            — the ⊳ operator on coefficient vectors,
+* ``sharing``          — the relation a ⅄ (a1, a2) of Listing 5,
+* ``waive``            — subtyping (pointwise ≥, throwing potential away),
+* ``superpose``        — pointwise sum for resource-polymorphic recursion,
+* template creation / instantiation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Mapping, Tuple
+
+from ..errors import StaticAnalysisError
+from ..lang import ast as A
+from ..lang.values import VInl, VInr, VList, VTuple, Value
+from ..lp import LPProblem, LinExpr, as_expr
+
+Coeff = LinExpr
+
+
+class AnnType:
+    """Base class of resource-annotated types."""
+
+    def coefficients(self) -> Iterator[Coeff]:
+        """All coefficient expressions in the annotation, pre-order."""
+        raise NotImplementedError
+
+    def map_coeffs(self, f: Callable[[Coeff], Coeff]) -> "AnnType":
+        raise NotImplementedError
+
+    def simple(self) -> A.Type:
+        """The underlying simple type."""
+        raise NotImplementedError
+
+
+@dataclass
+class ABase(AnnType):
+    """unit / int / bool — no potential."""
+
+    base: A.Type
+
+    def coefficients(self):
+        return iter(())
+
+    def map_coeffs(self, f):
+        return self
+
+    def simple(self):
+        return self.base
+
+    def __str__(self):
+        return str(self.base)
+
+
+@dataclass
+class AProd(AnnType):
+    items: Tuple[AnnType, ...]
+
+    def coefficients(self):
+        for item in self.items:
+            yield from item.coefficients()
+
+    def map_coeffs(self, f):
+        return AProd(tuple(item.map_coeffs(f) for item in self.items))
+
+    def simple(self):
+        return A.TProd(tuple(item.simple() for item in self.items))
+
+    def __str__(self):
+        return "(" + " * ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass
+class ASum(AnnType):
+    left: AnnType
+    left_const: Coeff
+    right: AnnType
+    right_const: Coeff
+
+    def coefficients(self):
+        yield self.left_const
+        yield from self.left.coefficients()
+        yield self.right_const
+        yield from self.right.coefficients()
+
+    def map_coeffs(self, f):
+        return ASum(
+            self.left.map_coeffs(f),
+            f(self.left_const),
+            self.right.map_coeffs(f),
+            f(self.right_const),
+        )
+
+    def simple(self):
+        return A.TSum(self.left.simple(), self.right.simple())
+
+    def __str__(self):
+        return f"(<{self.left},{self.left_const}> + <{self.right},{self.right_const}>)"
+
+
+@dataclass
+class AList(AnnType):
+    """``L^(q1..qd)(elem)`` — binomial potential coefficients for degrees 1..d."""
+
+    coeffs: Tuple[Coeff, ...]
+    elem: AnnType
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs)
+
+    def coefficients(self):
+        yield from self.coeffs
+        yield from self.elem.coefficients()
+
+    def map_coeffs(self, f):
+        return AList(tuple(f(c) for c in self.coeffs), self.elem.map_coeffs(f))
+
+    def simple(self):
+        return A.TList(self.elem.simple())
+
+    def __str__(self):
+        qs = ",".join(str(c) for c in self.coeffs)
+        return f"L^({qs})({self.elem})"
+
+
+# ---------------------------------------------------------------------------
+# Template construction
+# ---------------------------------------------------------------------------
+
+
+def make_template(ty: A.Type, degree: int, lp: LPProblem, hint: str = "q") -> AnnType:
+    """Fresh symbolic annotation of shape ``ty`` with list degree ``degree``."""
+    if isinstance(ty, (A.TUnit, A.TInt, A.TBool, A.TVar)):
+        base = A.INT if isinstance(ty, A.TVar) else ty
+        return ABase(base)
+    if isinstance(ty, A.TProd):
+        return AProd(tuple(make_template(t, degree, lp, hint) for t in ty.items))
+    if isinstance(ty, A.TSum):
+        return ASum(
+            make_template(ty.left, degree, lp, hint),
+            lp.fresh(hint),
+            make_template(ty.right, degree, lp, hint),
+            lp.fresh(hint),
+        )
+    if isinstance(ty, A.TList):
+        coeffs = tuple(lp.fresh(hint) for _ in range(degree))
+        return AList(coeffs, make_template(ty.elem, degree, lp, hint))
+    raise StaticAnalysisError(f"cannot annotate type {ty}")
+
+
+def zero_annotation(ty: A.Type, degree: int) -> AnnType:
+    """Annotation of shape ``ty`` with all coefficients 0."""
+    zero = LinExpr()
+    if isinstance(ty, (A.TUnit, A.TInt, A.TBool, A.TVar)):
+        base = A.INT if isinstance(ty, A.TVar) else ty
+        return ABase(base)
+    if isinstance(ty, A.TProd):
+        return AProd(tuple(zero_annotation(t, degree) for t in ty.items))
+    if isinstance(ty, A.TSum):
+        return ASum(
+            zero_annotation(ty.left, degree), zero, zero_annotation(ty.right, degree), zero
+        )
+    if isinstance(ty, A.TList):
+        return AList(tuple(zero for _ in range(degree)), zero_annotation(ty.elem, degree))
+    raise StaticAnalysisError(f"cannot annotate type {ty}")
+
+
+# ---------------------------------------------------------------------------
+# Structural operations
+# ---------------------------------------------------------------------------
+
+
+def shift(coeffs: Tuple[Coeff, ...]) -> Tuple[Coeff, ...]:
+    """⊳(q1,...,qd) = (q1+q2, q2+q3, ..., q_{d-1}+q_d, q_d)."""
+    if not coeffs:
+        return coeffs
+    shifted = [coeffs[i] + coeffs[i + 1] for i in range(len(coeffs) - 1)]
+    shifted.append(coeffs[-1])
+    return tuple(shifted)
+
+
+def _zip_check(a: AnnType, b: AnnType) -> None:
+    if type(a) is not type(b):
+        raise StaticAnalysisError(f"annotation shape mismatch: {a} vs {b}")
+
+
+def waive(frm: AnnType, to: AnnType, lp: LPProblem, note: str = "waive") -> None:
+    """Constrain Φ(· : frm) ≥ Φ(· : to) pointwise (subtyping).
+
+    Potential may always be discarded, so any value typed at ``frm`` may be
+    re-typed at ``to``; structural positions are covariant throughout.
+    """
+    _zip_check(frm, to)
+    if isinstance(frm, ABase):
+        return
+    if isinstance(frm, AProd):
+        for fa, ta in zip(frm.items, to.items):
+            waive(fa, ta, lp, note)
+        return
+    if isinstance(frm, ASum):
+        lp.add_ge(frm.left_const, to.left_const, note)
+        lp.add_ge(frm.right_const, to.right_const, note)
+        waive(frm.left, to.left, lp, note)
+        waive(frm.right, to.right, lp, note)
+        return
+    if isinstance(frm, AList):
+        if frm.degree != to.degree:
+            raise StaticAnalysisError("list annotation degree mismatch")
+        for fc, tc in zip(frm.coeffs, to.coeffs):
+            lp.add_ge(fc, tc, note)
+        waive(frm.elem, to.elem, lp, note)
+        return
+    raise StaticAnalysisError(f"cannot waive {frm}")
+
+
+def equate(a: AnnType, b: AnnType, lp: LPProblem, note: str = "eq") -> None:
+    """Constrain Φ(· : a) = Φ(· : b) pointwise."""
+    _zip_check(a, b)
+    if isinstance(a, ABase):
+        return
+    if isinstance(a, AProd):
+        for xa, xb in zip(a.items, b.items):
+            equate(xa, xb, lp, note)
+        return
+    if isinstance(a, ASum):
+        lp.add_eq(a.left_const, b.left_const, note)
+        lp.add_eq(a.right_const, b.right_const, note)
+        equate(a.left, b.left, lp, note)
+        equate(a.right, b.right, lp, note)
+        return
+    if isinstance(a, AList):
+        for ca, cb in zip(a.coeffs, b.coeffs):
+            lp.add_eq(ca, cb, note)
+        equate(a.elem, b.elem, lp, note)
+        return
+    raise StaticAnalysisError(f"cannot equate {a}")
+
+
+def superpose(a: AnnType, b: AnnType) -> AnnType:
+    """Pointwise sum of two annotations of the same shape."""
+    _zip_check(a, b)
+    if isinstance(a, ABase):
+        return a
+    if isinstance(a, AProd):
+        return AProd(tuple(superpose(xa, xb) for xa, xb in zip(a.items, b.items)))
+    if isinstance(a, ASum):
+        return ASum(
+            superpose(a.left, b.left),
+            a.left_const + b.left_const,
+            superpose(a.right, b.right),
+            a.right_const + b.right_const,
+        )
+    if isinstance(a, AList):
+        return AList(
+            tuple(ca + cb for ca, cb in zip(a.coeffs, b.coeffs)),
+            superpose(a.elem, b.elem),
+        )
+    raise StaticAnalysisError(f"cannot superpose {a}")
+
+
+def sharing(a: AnnType, lp: LPProblem, hint: str = "sh") -> Tuple[AnnType, AnnType]:
+    """The sharing relation a ⅄ (a1, a2): fresh split with a = a1 + a2."""
+    degree = _max_degree(a)
+    a1 = make_template(a.simple(), degree, lp, hint)
+    a2 = make_template(a.simple(), degree, lp, hint)
+    equate(a, superpose(a1, a2), lp, note="share")
+    return a1, a2
+
+
+def _max_degree(a: AnnType) -> int:
+    if isinstance(a, AList):
+        return a.degree
+    if isinstance(a, AProd):
+        return max((_max_degree(i) for i in a.items), default=0)
+    if isinstance(a, ASum):
+        return max(_max_degree(a.left), _max_degree(a.right))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Potential functions
+# ---------------------------------------------------------------------------
+
+
+def binomial(n: int, k: int) -> int:
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def potential_of_value(value: Value, ann: AnnType) -> LinExpr:
+    """Φ(v : a) as a linear expression in the annotation's coefficients."""
+    if isinstance(ann, ABase):
+        return LinExpr()
+    if isinstance(ann, AProd):
+        if not isinstance(value, VTuple) or len(value.items) != len(ann.items):
+            raise StaticAnalysisError(f"value {value} does not fit annotation {ann}")
+        return LinExpr.total(
+            potential_of_value(v, a) for v, a in zip(value.items, ann.items)
+        )
+    if isinstance(ann, ASum):
+        if isinstance(value, VInl):
+            return ann.left_const + potential_of_value(value.value, ann.left)
+        if isinstance(value, VInr):
+            return ann.right_const + potential_of_value(value.value, ann.right)
+        raise StaticAnalysisError(f"value {value} does not fit annotation {ann}")
+    if isinstance(ann, AList):
+        if not isinstance(value, VList):
+            raise StaticAnalysisError(f"value {value} does not fit annotation {ann}")
+        n = len(value.items)
+        total = LinExpr.total(
+            coeff * binomial(n, i + 1) for i, coeff in enumerate(ann.coeffs)
+        )
+        # fast path: potential-free elements (ints/bools) contribute nothing,
+        # so a length-n list costs O(d) instead of O(n) to evaluate
+        if _has_coefficients(ann.elem):
+            for item in value.items:
+                total = total + potential_of_value(item, ann.elem)
+        return total
+    raise StaticAnalysisError(f"unknown annotation {ann}")
+
+
+def _has_coefficients(ann: AnnType) -> bool:
+    for _coeff in ann.coefficients():
+        return True
+    return False
+
+
+def potential_of_env(
+    env: Mapping[str, Value], ctx: Mapping[str, AnnType]
+) -> LinExpr:
+    """Φ(V : Γ) — sum over the context entries."""
+    total = LinExpr()
+    for name, ann in ctx.items():
+        if name not in env:
+            raise StaticAnalysisError(f"environment missing variable {name!r}")
+        total = total + potential_of_value(env[name], ann)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Instantiation with LP solutions and structural size shapes
+# ---------------------------------------------------------------------------
+
+
+def instantiate(ann: AnnType, assignment: Mapping[str, float]) -> AnnType:
+    """Replace symbolic coefficients with solved constants."""
+    return ann.map_coeffs(lambda c: LinExpr.constant(c.evaluate(assignment)))
+
+
+def coeffs_by_degree(ann: AnnType, nesting: int = 0) -> List[Tuple[int, Coeff]]:
+    """Pairs ``(structural degree, coefficient)`` for objective weighting.
+
+    The i-th coefficient of a list nested under ``k`` list constructors has
+    structural degree ``i + k`` (e.g. the inner linear coefficient of an
+    ``int list list`` scales with the *total* inner length, a degree-2
+    quantity in the outer size).
+    """
+    out: List[Tuple[int, Coeff]] = []
+    if isinstance(ann, ABase):
+        return out
+    if isinstance(ann, AProd):
+        for item in ann.items:
+            out.extend(coeffs_by_degree(item, nesting))
+        return out
+    if isinstance(ann, ASum):
+        out.append((nesting, ann.left_const))
+        out.append((nesting, ann.right_const))
+        out.extend(coeffs_by_degree(ann.left, nesting))
+        out.extend(coeffs_by_degree(ann.right, nesting))
+        return out
+    if isinstance(ann, AList):
+        for i, coeff in enumerate(ann.coeffs):
+            out.append((nesting + i + 1, coeff))
+        out.extend(coeffs_by_degree(ann.elem, nesting + 1))
+        return out
+    raise StaticAnalysisError(f"unknown annotation {ann}")

@@ -1,0 +1,215 @@
+"""Automatic ``stat`` placement (paper Section 3.1).
+
+    "The annotation stat can be either manually inserted by the user or
+    automatically inserted by walking over the program's source code
+    bottom-up to identify functions (or more fine-grained code fragments)
+    that cannot be analyzed statically by conventional AARA.  Concretely,
+    we first look at the leaves of the program call graph, check if we can
+    analyze them using conventional AARA, and then recurse up the call
+    graph to identify other problematic functions.  We then insert the
+    annotations at all the required points."
+
+:func:`insert_stat_annotations` implements exactly that procedure: it
+visits SCCs of the call graph in dependency (callee-first) order, attempts
+a conventional AARA analysis of each function *treating already-marked
+callees as data-driven*, and wraps every call to a function that remains
+unanalyzable in a fresh ``stat`` node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .analyze import build_analysis, solve_analysis
+from .annot import make_template
+from .signatures import dependency_order, scc_of
+from .typecheck import StatSite
+from ..errors import InfeasibleError, StaticAnalysisError, UnanalyzableError
+from ..lang import ast as A
+from ..lang.types import typecheck_program
+
+
+@dataclass
+class AutoStatResult:
+    """Outcome of automatic stat placement."""
+
+    program: A.Program
+    #: functions conventional AARA could not analyze (bottom-up verdicts)
+    unanalyzable: Set[str] = field(default_factory=set)
+    #: degree at which each analyzable function first succeeded
+    degrees: Dict[str, int] = field(default_factory=dict)
+    #: number of stat annotations inserted
+    inserted: int = 0
+
+    def stat_labels(self) -> List[str]:
+        return self.program.stat_labels()
+
+
+def _permissive_handler(site: StatSite):
+    """A stat handler that grants any judgment — used only to *probe*
+    whether the statically-analyzed remainder of a function typechecks."""
+    result = make_template(site.result_type, site.degree, site.lp, hint="probe")
+    q0 = site.lp.fresh("probe.q0")
+    return result, q0
+
+
+def _function_analyzable(
+    program: A.Program, fname: str, degrees: Tuple[int, ...]
+) -> Optional[int]:
+    """Lowest degree at which conventional AARA types ``fname`` (stat sites
+    are granted permissively so only the *static* remainder is tested)."""
+    for degree in degrees:
+        try:
+            analysis = build_analysis(
+                program, fname, degree, stat_handler=_permissive_handler
+            )
+            solve_analysis(analysis)
+            return degree
+        except (UnanalyzableError, InfeasibleError, StaticAnalysisError):
+            continue
+    return None
+
+
+def _wrap_calls(expr: A.Expr, targets: Set[str], fresh: "_LabelSupply") -> Tuple[A.Expr, int]:
+    """Wrap every application of a target function in a stat node."""
+    count = 0
+
+    def walk(node: A.Expr) -> A.Expr:
+        nonlocal count
+        if isinstance(node, A.Stat):
+            # already data-driven: leave the body untouched
+            return node
+        if isinstance(node, A.App) and node.fname in targets:
+            count += 1
+            return A.Stat(fresh.next_label(), node, pos=node.pos)
+        return _rebuild(node, walk)
+
+    wrapped = walk(expr)
+    return wrapped, count
+
+
+def _rebuild(node: A.Expr, walk) -> A.Expr:
+    if isinstance(node, A.Let):
+        return A.Let(node.name, walk(node.bound), walk(node.body), pos=node.pos)
+    if isinstance(node, A.Share):
+        return A.Share(node.name, node.name1, node.name2, walk(node.body), pos=node.pos)
+    if isinstance(node, A.If):
+        return A.If(walk(node.cond), walk(node.then_branch), walk(node.else_branch), pos=node.pos)
+    if isinstance(node, A.MatchList):
+        return A.MatchList(
+            walk(node.scrutinee),
+            walk(node.nil_branch),
+            node.head_var,
+            node.tail_var,
+            walk(node.cons_branch),
+            pos=node.pos,
+        )
+    if isinstance(node, A.MatchSum):
+        return A.MatchSum(
+            walk(node.scrutinee),
+            node.left_var,
+            walk(node.left_branch),
+            node.right_var,
+            walk(node.right_branch),
+            pos=node.pos,
+        )
+    if isinstance(node, A.MatchTuple):
+        return A.MatchTuple(walk(node.scrutinee), node.names, walk(node.body), pos=node.pos)
+    if isinstance(node, A.Cons):
+        return A.Cons(walk(node.head), walk(node.tail), pos=node.pos)
+    if isinstance(node, A.TupleExpr):
+        return A.TupleExpr(tuple(walk(e) for e in node.items), pos=node.pos)
+    if isinstance(node, A.Inl):
+        return A.Inl(walk(node.operand), pos=node.pos)
+    if isinstance(node, A.Inr):
+        return A.Inr(walk(node.operand), pos=node.pos)
+    if isinstance(node, A.BinOp):
+        return A.BinOp(node.op, walk(node.left), walk(node.right), pos=node.pos)
+    if isinstance(node, A.Neg):
+        return A.Neg(node.op, walk(node.operand), pos=node.pos)
+    if isinstance(node, A.App):
+        return A.App(node.fname, tuple(walk(e) for e in node.args), pos=node.pos)
+    if isinstance(node, A.Stat):
+        return node
+    return node
+
+
+class _LabelSupply:
+    def __init__(self, existing: List[str]):
+        self.counter = 0
+        self.existing = set(existing)
+
+    def next_label(self) -> str:
+        while True:
+            self.counter += 1
+            label = f"auto#{self.counter}"
+            if label not in self.existing:
+                self.existing.add(label)
+                return label
+
+
+def insert_stat_annotations(
+    program: A.Program,
+    entry: str,
+    degrees: Tuple[int, ...] = (1, 2),
+) -> AutoStatResult:
+    """Bottom-up automatic stat placement for an unannotated program.
+
+    Returns a new program in which every *call* to a statically
+    unanalyzable function is wrapped in ``Raml.stat``.  Functions that are
+    only ever called from inside stat regions are left unwrapped (their
+    cost is measured as part of the region).
+    """
+    if entry not in program:
+        raise StaticAnalysisError(f"unknown function {entry!r}")
+    sccs = scc_of(program)
+    order = dependency_order(program)
+    result = AutoStatResult(program)
+    unanalyzable: Set[str] = set()
+    current = program
+
+    processed: Set[frozenset] = set()
+    for fname in order:
+        component = sccs[fname]
+        if component in processed:
+            continue
+        processed.add(component)
+
+        # calls (inside this SCC's bodies) to callees already classified as
+        # unanalyzable become stat sites *before* the SCC itself is probed,
+        # so the probe only tests the statically-analyzed remainder
+        if unanalyzable:
+            current = _wrap_component(current, component, unanalyzable, result)
+
+        for member in sorted(component):
+            degree = _function_analyzable(current, member, degrees)
+            if degree is None:
+                unanalyzable.add(member)
+                result.unanalyzable.add(member)
+            else:
+                result.degrees[member] = degree
+
+    result.program = typecheck_program(current)
+    return result
+
+
+def _wrap_component(
+    program: A.Program,
+    component: frozenset,
+    unanalyzable: Set[str],
+    result: AutoStatResult,
+) -> A.Program:
+    supply = _LabelSupply(program.stat_labels())
+    functions = []
+    for fdef in program:
+        if fdef.name in component:
+            body, count = _wrap_calls(fdef.body, unanalyzable, supply)
+            result.inserted += count
+            functions.append(
+                A.FunDef(fdef.name, fdef.params, body, recursive=fdef.recursive, pos=fdef.pos)
+            )
+        else:
+            functions.append(fdef)
+    # re-infer types: new Stat nodes and rebuilt functions need annotations
+    return typecheck_program(A.Program(functions))

@@ -1,0 +1,199 @@
+"""Command-line driver, mirroring the paper artifact's entry point.
+
+Each analysis run requires (Section 7, "Implementation"):
+(i) a program annotated with ``Raml.tick`` and ``Raml.stat``,
+(ii) inputs for runtime-cost data generation, and
+(iii) a configuration (degree, technique, sampler settings).
+
+Examples::
+
+    hybrid-aara analyze prog.ml --entry quicksort --method bayeswc \
+        --degree 2 --sizes 5:100:5 --samples 100
+    hybrid-aara static prog.ml --entry quicksort --degree 2
+    hybrid-aara bench QuickSort --method opt --samples 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .aara import run_conventional
+from .config import AnalysisConfig
+from .errors import ReproError
+from .inference import collect_dataset, run_analysis
+from .lang import compile_program, from_python
+from .suite import get_benchmark
+
+
+def _parse_sizes(spec: str):
+    parts = [int(p) for p in spec.split(":")]
+    if len(parts) == 1:
+        return [parts[0]]
+    if len(parts) == 2:
+        return list(range(parts[0], parts[1] + 1))
+    return list(range(parts[0], parts[1] + 1, parts[2]))
+
+
+def _random_inputs(program, entry, sizes, reps, seed):
+    rng = np.random.default_rng(seed)
+    params = program[entry].params
+    inputs = []
+    for _ in range(reps):
+        for n in sizes:
+            args = []
+            for _p in params:
+                args.append(from_python([int(v) for v in rng.integers(0, 1000, n)]))
+            inputs.append(args)
+    return inputs
+
+
+def cmd_collect(args) -> int:
+    from .inference.serialize import save_dataset
+
+    with open(args.program) as handle:
+        source = handle.read()
+    program = compile_program(source)
+    sizes = _parse_sizes(args.sizes)
+    inputs = _random_inputs(program, args.entry, sizes, args.reps, args.seed)
+    dataset = collect_dataset(program, args.entry, inputs)
+    save_dataset(dataset, args.out)
+    print(
+        f"collected {dataset.total_observations()} observations at "
+        f"{len(dataset.labels())} stat site(s) from {dataset.num_runs} runs "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    with open(args.program) as handle:
+        source = handle.read()
+    program = compile_program(source)
+    config = AnalysisConfig(
+        degree=args.degree,
+        num_posterior_samples=args.samples,
+        seed=args.seed,
+        objective=args.objective,
+    )
+    if args.data:
+        from .inference.serialize import load_dataset
+
+        dataset = load_dataset(args.data)
+    else:
+        sizes = _parse_sizes(args.sizes)
+        inputs = _random_inputs(program, args.entry, sizes, args.reps, args.seed)
+        dataset = collect_dataset(program, args.entry, inputs)
+    result = run_analysis(program, args.entry, dataset, config, args.method)
+    if args.save_result:
+        from .inference.serialize import save_result
+
+        save_result(result, args.save_result)
+    print(f"method      : {result.method} ({result.mode})")
+    print(f"bounds      : {len(result.bounds)} posterior sample(s)")
+    print(f"runtime     : {result.runtime_seconds:.2f}s")
+    if result.failures:
+        print(f"failures    : {result.failures}")
+    for key, value in result.diagnostics.items():
+        print(f"  {key}: {value:.4g}")
+    show = result.bounds[: args.show]
+    for i, bound in enumerate(show):
+        print(f"bound[{i}]    : {bound.describe()}")
+    if len(result.bounds) > 1:
+        med = result.median_coefficients()
+        print("median coefficients:", json.dumps([round(v, 4) for v in med]))
+    return 0
+
+
+def cmd_static(args) -> int:
+    with open(args.program) as handle:
+        source = handle.read()
+    program = compile_program(source)
+    verdict = run_conventional(program, args.entry, max_degree=args.degree)
+    print(f"status : {verdict.status}")
+    if verdict.bound is not None:
+        print(f"degree : {verdict.degree}")
+        print(f"bound  : {verdict.bound.describe()}")
+    elif verdict.detail:
+        print(f"detail : {verdict.detail}")
+    print(f"runtime: {verdict.runtime_seconds:.2f}s")
+    return 0 if verdict.succeeded else 1
+
+
+def cmd_bench(args) -> int:
+    from .evalharness import render_gap_table, render_table1, run_benchmark
+
+    spec = get_benchmark(args.benchmark)
+    config = AnalysisConfig(num_posterior_samples=args.samples, seed=args.seed)
+    methods = [args.method] if args.method != "all" else ("opt", "bayeswc", "bayespc")
+    run = run_benchmark(spec, config, seed=args.seed, methods=methods)
+    print(render_table1([run]))
+    print()
+    print(render_gap_table(run))
+    for key, message in run.errors.items():
+        print(f"error {key}: {message}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hybrid-aara",
+        description="Hybrid AARA: resource bounds with static analysis and Bayesian inference",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="data-driven/hybrid analysis of a program")
+    analyze.add_argument("program", help="path to the annotated source file")
+    analyze.add_argument("--entry", required=True, help="function to analyze")
+    analyze.add_argument("--method", choices=["opt", "bayeswc", "bayespc"], default="opt")
+    analyze.add_argument("--degree", type=int, default=1)
+    analyze.add_argument("--sizes", default="5:50:5", help="input sizes lo:hi[:step]")
+    analyze.add_argument("--reps", type=int, default=2)
+    analyze.add_argument("--samples", type=int, default=50, help="posterior sample count M")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--objective", choices=["sum", "degree"], default="sum")
+    analyze.add_argument("--show", type=int, default=3, help="bounds to print")
+    analyze.add_argument("--data", help="load a dataset collected with 'collect'")
+    analyze.add_argument("--save-result", help="archive the posterior result as JSON")
+    analyze.set_defaults(func=cmd_analyze)
+
+    collect = sub.add_parser("collect", help="collect runtime cost data to a file")
+    collect.add_argument("program")
+    collect.add_argument("--entry", required=True)
+    collect.add_argument("--sizes", default="5:50:5")
+    collect.add_argument("--reps", type=int, default=2)
+    collect.add_argument("--seed", type=int, default=0)
+    collect.add_argument("--out", required=True)
+    collect.set_defaults(func=cmd_collect)
+
+    static = sub.add_parser("static", help="conventional AARA only")
+    static.add_argument("program")
+    static.add_argument("--entry", required=True)
+    static.add_argument("--degree", type=int, default=3, help="max degree to try")
+    static.set_defaults(func=cmd_static)
+
+    bench = sub.add_parser("bench", help="run one paper benchmark end to end")
+    bench.add_argument("benchmark", help="benchmark name, e.g. QuickSort")
+    bench.add_argument("--method", default="all")
+    bench.add_argument("--samples", type=int, default=25)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

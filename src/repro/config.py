@@ -1,0 +1,74 @@
+"""Analysis configuration (mirrors the paper artifact's config files).
+
+Each analysis run of the prototype takes a program, a list of inputs, and
+a configuration: polynomial degree, the data-driven technique, the
+probabilistic model's hyperparameters, and sampler settings (Section 7,
+"Implementation").  Hyperparameters left at ``None`` are determined by the
+empirical-Bayes procedure of Appendix B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """HMC settings shared by BayesWC (plain) and BayesPC (reflective)."""
+
+    n_warmup: int = 400
+    n_leapfrog: int = 20
+    initial_step_size: float = 0.05
+    target_accept: float = 0.8
+    n_chains: int = 2
+    #: sampler for BayesWC's unconstrained posterior: 'hmc' or 'nuts'
+    #: (BayesPC always uses reflective HMC, which NUTS does not support)
+    algorithm: str = "hmc"
+
+
+@dataclass(frozen=True)
+class BayesWCConfig:
+    """Survival model of Eq. (5.12) / Appendix B.1."""
+
+    gamma0: float = 5.0  # prior scale for (β0, β…, σ)
+    noise: str = "gumbel"  # 'gumbel' | 'normal' | 'logistic' (ablation knob)
+    cost_shift: float = 1.0  # log-model offset so zero costs are supported
+
+
+@dataclass(frozen=True)
+class BayesPCConfig:
+    """Constrained polynomial-coefficient model of Eqs. (5.14–5.16) / App. B.2."""
+
+    gamma0: Optional[float] = None  # None => empirical Bayes (Eq. B.5)
+    theta0: float = 1.0  # Weibull shape (paper uses 1.0–1.5 per benchmark)
+    theta1: Optional[float] = None  # None => empirical Bayes (Eq. B.9)
+    nuisance_scale_factor: float = 20.0  # weak prior scale multiplier for ε vars
+    #: censoring resolution for the truncation normalizer F(c'): avoids the
+    #: integrable density singularity at c' -> 0 for zero-cost observations
+    truncation_floor: float = 0.1
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Everything one analysis run needs besides program + data."""
+
+    degree: int = 1
+    num_posterior_samples: int = 100  # the paper's M (1000 in the artifact)
+    seed: int = 0
+    #: root LP objective after the data-gap stage (Section 6.1): 'sum'
+    #: minimizes the sum of the root coefficients, 'degree' minimizes
+    #: higher-degree coefficients with higher priority.  The paper's
+    #: prototype offers both; 'sum' lets rare extreme observations land in
+    #: high-degree coefficients, which is what makes e.g. Hybrid QuickSelect
+    #: sound at large sizes.
+    objective: str = "sum"
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+    bayeswc: BayesWCConfig = field(default_factory=BayesWCConfig)
+    bayespc: BayesPCConfig = field(default_factory=BayesPCConfig)
+
+    def with_(self, **kwargs) -> "AnalysisConfig":
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Hybrid AARA reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  The hierarchy mirrors the pipeline stages:
+lexing/parsing, simple typing, evaluation, static analysis, LP solving, and
+Bayesian inference.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SourceError(ReproError):
+    """An error attached to a position in a source program."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"{line}:{col if col is not None else '?'}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised when the lexer encounters an invalid token."""
+
+
+class ParseError(SourceError):
+    """Raised when the parser cannot build an AST."""
+
+
+class TypeMismatchError(SourceError):
+    """Raised by the simple type checker for ill-typed programs."""
+
+
+class EvalError(ReproError):
+    """Raised by the interpreter (e.g. ``error`` builtin, bad application)."""
+
+
+class StaticAnalysisError(ReproError):
+    """Base class for conventional-AARA failures."""
+
+
+class UnanalyzableError(StaticAnalysisError):
+    """The program uses a construct that is opaque to static analysis.
+
+    This reproduces the paper's "Cannot Analyze" verdict for benchmarks
+    that contain code fragments such as OCaml's polymorphic comparator.
+    """
+
+
+class InfeasibleError(StaticAnalysisError):
+    """The AARA linear program has no solution at the requested degree."""
+
+
+class LPError(ReproError):
+    """Raised when the LP backend fails unexpectedly."""
+
+
+class InferenceError(ReproError):
+    """Raised when Bayesian inference cannot be run (e.g. empty polytope)."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed or empty runtime-cost datasets."""

@@ -1,0 +1,56 @@
+"""Evaluation harness: regenerates the paper's tables and figures."""
+
+from .asciiplot import render_ascii_curve, render_panels
+from .curves import (
+    CurveSeries,
+    Surface,
+    fig6_curves,
+    mapappend_surface,
+    posterior_curve,
+    render_curve,
+    scatter_from_dataset,
+)
+from .gaps import GAP_SIZES, GapCell, benchmark_gaps, render_gap_table, soundness_by_gap
+from .paper_reference import PAPER_CONVENTIONAL, PAPER_GAPS, PAPER_TABLE1
+from .report import gaps_markdown, markdown_report, table1_markdown
+from .table1 import (
+    METHODS,
+    MODES,
+    SOUNDNESS_SIZES,
+    BenchmarkRun,
+    conventional_label,
+    render_table1,
+    run_benchmark,
+    run_table1,
+)
+
+__all__ = [
+    "render_ascii_curve",
+    "render_panels",
+    "CurveSeries",
+    "Surface",
+    "fig6_curves",
+    "mapappend_surface",
+    "posterior_curve",
+    "render_curve",
+    "scatter_from_dataset",
+    "GAP_SIZES",
+    "PAPER_CONVENTIONAL",
+    "PAPER_GAPS",
+    "PAPER_TABLE1",
+    "gaps_markdown",
+    "markdown_report",
+    "table1_markdown",
+    "GapCell",
+    "benchmark_gaps",
+    "render_gap_table",
+    "soundness_by_gap",
+    "METHODS",
+    "MODES",
+    "SOUNDNESS_SIZES",
+    "BenchmarkRun",
+    "conventional_label",
+    "render_table1",
+    "run_benchmark",
+    "run_table1",
+]

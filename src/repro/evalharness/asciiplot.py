@@ -1,0 +1,98 @@
+"""Minimal ASCII plotting for bound curves (the figures, in a terminal).
+
+Renders a :class:`~repro.evalharness.curves.CurveSeries` — runtime-data
+scatter, true bound, posterior median and band — as a character grid, the
+way the paper's Figs. 1 and 6 look, without any plotting dependency.
+
+Glyphs: ``.`` runtime data, ``T`` true bound, ``m`` posterior median,
+``-`` 10–90th band, ``#`` median on top of the true bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .curves import CurveSeries
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> Optional[int]:
+    if hi <= lo:
+        return 0
+    t = (value - lo) / (hi - lo)
+    if t < 0 or t > 1:
+        return None
+    return min(cells - 1, int(t * (cells - 1) + 0.5))
+
+
+def render_ascii_curve(
+    series: CurveSeries,
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+) -> str:
+    """Render one panel as text; returns a multi-line string."""
+    xs = series.sizes
+    x_lo, x_hi = float(min(xs)), float(max(xs))
+    values = list(series.truth) + list(series.band_high) + [c for _s, c in series.scatter]
+    values = [v for v in values if v > 0 or not log_y]
+    y_hi = max(values) if values else 1.0
+    y_lo = 0.0
+    transform = (lambda v: math.log10(max(v, 1e-9))) if log_y else (lambda v: v)
+    if log_y:
+        y_lo = transform(max(min((v for v in values if v > 0), default=1.0), 1e-3))
+        y_hi = transform(y_hi)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, glyph: str, overwrite: bool = True) -> None:
+        col = _scale(x, x_lo, x_hi, width)
+        row = _scale(transform(y), y_lo, y_hi, height)
+        if col is None or row is None:
+            return
+        r = height - 1 - row
+        if overwrite or grid[r][col] == " ":
+            grid[r][col] = glyph
+
+    # band first (lowest priority), then scatter, truth, median
+    for i, n in enumerate(xs):
+        lo_v, hi_v = series.band_low[i], series.band_high[i]
+        col = _scale(float(n), x_lo, x_hi, width)
+        r_lo = _scale(transform(max(lo_v, y_lo if log_y else 0.0)), y_lo, y_hi, height)
+        r_hi = _scale(transform(hi_v), y_lo, y_hi, height)
+        if col is not None and r_lo is not None and r_hi is not None:
+            for row in range(min(r_lo, r_hi), max(r_lo, r_hi) + 1):
+                grid[height - 1 - row][col] = "-"
+    for size, cost in series.scatter:
+        plot(size, cost, ".", overwrite=False)
+    for i, n in enumerate(xs):
+        plot(float(n), series.truth[i], "T")
+    for i, n in enumerate(xs):
+        col = _scale(float(n), x_lo, x_hi, width)
+        row = _scale(transform(series.median[i]), y_lo, y_hi, height)
+        if col is not None and row is not None:
+            r = height - 1 - row
+            grid[r][col] = "#" if grid[r][col] == "T" else "m"
+
+    header = (
+        f"{series.benchmark} [{series.mode}/{series.method}]"
+        f"   y: 0..{max(values):.0f}{' (log)' if log_y else ''}   x: {int(x_lo)}..{int(x_hi)}"
+    )
+    legend = "legend: . data   T truth   m median   - 10-90% band   # median==truth"
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return "\n".join([header, border, body, border, legend])
+
+
+def render_panels(
+    panels: Sequence[Tuple[str, CurveSeries]],
+    width: int = 72,
+    height: int = 18,
+    log_y: bool = False,
+) -> str:
+    chunks: List[str] = []
+    for title, series in panels:
+        chunks.append(f"=== {title} ===")
+        chunks.append(render_ascii_curve(series, width, height, log_y))
+        chunks.append("")
+    return "\n".join(chunks)

@@ -1,0 +1,149 @@
+"""Figures 1, 2, 6, 7 and Appendix C plots: bound-curve series.
+
+Rather than producing images, the harness emits the numeric series the
+figures plot — runtime-data scatter, the true bound, and the posterior
+median with a 10–90th-percentile band — which is what "regenerating a
+figure" means for a text harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .table1 import BenchmarkRun
+from ..aara.bound import synthetic_list
+from ..inference import PosteriorResult
+from ..inference.dataset import RuntimeDataset
+
+CURVE_PERCENTILES = (10, 50, 90)
+
+
+@dataclass
+class CurveSeries:
+    """The data behind one panel of Fig. 6 (or Fig. 1)."""
+
+    benchmark: str
+    mode: str
+    method: str
+    sizes: List[int]
+    truth: List[float]
+    median: List[float]
+    band_low: List[float]
+    band_high: List[float]
+    #: runtime scatter (size, cost) pairs for the analyzed entry
+    scatter: List[Tuple[float, float]] = field(default_factory=list)
+
+    def sound_fraction_on_sizes(self) -> float:
+        median = np.array(self.median)
+        truth = np.array(self.truth)
+        return float(np.mean(median >= truth - 1e-9))
+
+
+def scatter_from_dataset(dataset: RuntimeDataset, label: Optional[str] = None):
+    """(scalar size, cost) pairs for plotting runtime data."""
+    points = []
+    labels = [label] if label else dataset.labels()
+    for lab in labels:
+        for obs in dataset[lab]:
+            key = obs.size_key()
+            size = key[0] if key else 0
+            points.append((float(size), float(obs.cost)))
+    return points
+
+
+def posterior_curve(
+    run: BenchmarkRun,
+    mode: str,
+    method: str,
+    sizes: Sequence[int],
+    percentiles: Sequence[int] = CURVE_PERCENTILES,
+) -> Optional[CurveSeries]:
+    result = run.results.get((mode, method))
+    if result is None:
+        return None
+    bands = result.percentile_curves(sizes, tuple(percentiles), run.spec.shape_fn)
+    low, mid, high = (bands[p] for p in percentiles)
+    scatter = []
+    dataset = run.datasets.get(mode)
+    if dataset is not None:
+        try:
+            scatter = scatter_from_dataset(dataset)
+        except Exception:
+            scatter = []
+    return CurveSeries(
+        run.spec.name,
+        mode,
+        method,
+        list(sizes),
+        [run.spec.truth(n) for n in sizes],
+        mid,
+        low,
+        high,
+        scatter,
+    )
+
+
+def fig6_curves(run: BenchmarkRun, sizes: Sequence[int]) -> List[CurveSeries]:
+    """All six panels (3 methods × up to 2 modes) for one benchmark."""
+    out = []
+    for mode in ("data-driven", "hybrid"):
+        for method in ("opt", "bayeswc", "bayespc"):
+            series = posterior_curve(run, mode, method, sizes)
+            if series is not None:
+                out.append(series)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: multivariate bound surfaces for MapAppend
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Surface:
+    benchmark: str
+    mode: str
+    method: str
+    grid1: List[int]
+    grid2: List[int]
+    truth: List[List[float]]  # truth[i][j] at (grid1[i], grid2[j])
+    median: List[List[float]]
+
+
+def mapappend_surface(
+    run: BenchmarkRun, mode: str, method: str, grid: Sequence[int] = tuple(range(0, 41, 8))
+) -> Optional[Surface]:
+    """Median-bound surface over (|xs|, |ys|) for MapAppend (Fig. 7)."""
+    result = run.results.get((mode, method))
+    if result is None:
+        return None
+    grid = list(grid)
+    median = []
+    truth = []
+    for n1 in grid:
+        row = []
+        truth_row = []
+        for n2 in grid:
+            args = [synthetic_list(n1), synthetic_list(n2)]
+            values = [bound.evaluate(args) for bound in result.bounds]
+            row.append(float(np.median(values)))
+            truth_row.append(1.0 * n1)
+        median.append(row)
+        truth.append(truth_row)
+    return Surface(run.spec.name, mode, method, grid, grid, truth, median)
+
+
+def render_curve(series: CurveSeries, width: int = 8) -> str:
+    lines = [
+        f"{series.benchmark} [{series.mode} / {series.method}]",
+        f"{'size':>6s} {'truth':>10s} {'p10':>10s} {'median':>10s} {'p90':>10s}",
+    ]
+    for i, n in enumerate(series.sizes):
+        lines.append(
+            f"{n:>6d} {series.truth[i]:>10.1f} {series.band_low[i]:>10.1f} "
+            f"{series.median[i]:>10.1f} {series.band_high[i]:>10.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Fig. 5 / Tables 2–11: relative estimation-gap percentiles.
+
+For each benchmark, method and mode, reports the 5th/50th/95th percentile
+of the relative gap ``(inferred bound − truth)/truth`` at input sizes
+10, 100 and 1000 (the paper's canonical sizes).  A bound is sound at a
+size iff its gap is ≥ 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .table1 import MODES, METHODS, BenchmarkRun, _METHOD_LABEL
+
+GAP_SIZES = (10, 100, 1000)
+GAP_PERCENTILES = (5, 50, 95)
+
+
+@dataclass
+class GapCell:
+    size: int
+    mode: str
+    method: str
+    percentiles: Dict[int, float]
+
+
+def benchmark_gaps(
+    run: BenchmarkRun,
+    sizes: Sequence[int] = GAP_SIZES,
+    percentiles: Sequence[int] = GAP_PERCENTILES,
+) -> List[GapCell]:
+    cells: List[GapCell] = []
+    for size in sizes:
+        for mode in MODES:
+            for method in METHODS:
+                result = run.results.get((mode, method))
+                if result is None:
+                    continue
+                pct = result.gap_percentiles(
+                    run.spec.truth, size, tuple(percentiles), run.spec.shape_fn
+                )
+                cells.append(GapCell(size, mode, method, pct))
+    return cells
+
+
+def render_gap_table(run: BenchmarkRun, sizes: Sequence[int] = GAP_SIZES) -> str:
+    """One benchmark's gap table in the layout of the paper's Tables 2–11."""
+    cells = benchmark_gaps(run, sizes)
+    by_key: Dict[Tuple[int, str, str], GapCell] = {
+        (c.size, c.mode, c.method): c for c in cells
+    }
+    header = (
+        f"{'Size':>6s} {'Method':8s} | "
+        f"{'DD 5th':>9s} {'DD 50th':>9s} {'DD 95th':>9s} | "
+        f"{'Hy 5th':>9s} {'Hy 50th':>9s} {'Hy 95th':>9s}"
+    )
+    lines = [f"Relative estimation gaps — {run.spec.name}", header, "-" * len(header)]
+
+    def fmt(cell: Optional[GapCell], p: int) -> str:
+        if cell is None:
+            return "∅"
+        return f"{cell.percentiles[p]:.2f}"
+
+    for size in sizes:
+        for i, method in enumerate(METHODS):
+            dd = by_key.get((size, "data-driven", method))
+            hy = by_key.get((size, "hybrid", method))
+            label = str(size) if i == 0 else ""
+            lines.append(
+                f"{label:>6s} {_METHOD_LABEL[method]:8s} | "
+                f"{fmt(dd, 5):>9s} {fmt(dd, 50):>9s} {fmt(dd, 95):>9s} | "
+                f"{fmt(hy, 5):>9s} {fmt(hy, 50):>9s} {fmt(hy, 95):>9s}"
+            )
+    return "\n".join(lines)
+
+
+def soundness_by_gap(run: BenchmarkRun, size: int, mode: str, method: str) -> Optional[float]:
+    """Fraction of bounds whose gap at ``size`` is non-negative."""
+    result = run.results.get((mode, method))
+    if result is None:
+        return None
+    gaps = result.relative_gaps(run.spec.truth, size, run.spec.shape_fn)
+    if gaps.size == 0:
+        return None
+    return float((gaps >= -1e-9).mean())

@@ -1,0 +1,219 @@
+"""The paper's published evaluation numbers, for side-by-side comparison.
+
+Source: Table 1 and Tables 2–11 of Pham, Saad & Hoffmann (PLDI 2024).
+Soundness percentages; runtimes in seconds; gap triples are the
+(5th, 50th, 95th) percentiles of relative estimation gaps.  ``None`` marks
+the paper's ∅ (analysis not applicable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: benchmark -> conventional-AARA verdict (Table 1, column 2)
+PAPER_CONVENTIONAL: Dict[str, str] = {
+    "MapAppend": "Cannot Analyze",
+    "Concat": "Cannot Analyze",
+    "InsertionSort2": "Wrong Degree",
+    "QuickSort": "Cannot Analyze",
+    "QuickSelect": "Cannot Analyze",
+    "MedianOfMedians": "Cannot Analyze",
+    "ZAlgorithm": "Wrong Degree",
+    "BubbleSort": "Cannot Analyze",
+    "Round": "Cannot Analyze",
+    "EvenOddTail": "Wrong Degree",
+}
+
+#: benchmark -> method -> (dd_sound%, hybrid_sound%, dd_time_s, hybrid_time_s)
+PAPER_TABLE1: Dict[str, Dict[str, Tuple[float, Optional[float], float, Optional[float]]]] = {
+    "MapAppend": {
+        "opt": (0.0, 0.0, 0.01, 0.01),
+        "bayeswc": (68.5, 100.0, 1.87, 12.44),
+        "bayespc": (75.5, 100.0, 51.83, 360.80),
+    },
+    "Concat": {
+        "opt": (0.0, 0.0, 0.00, 0.01),
+        "bayeswc": (67.3, 96.7, 2.54, 14.73),
+        "bayespc": (96.0, 100.0, 113.53, 125.28),
+    },
+    "InsertionSort2": {
+        "opt": (0.0, 0.0, 0.01, 0.02),
+        "bayeswc": (57.6, 100.0, 1.53, 5.46),
+        "bayespc": (21.0, 57.5, 10.68, 220.66),
+    },
+    "QuickSort": {
+        "opt": (0.0, 0.0, 0.01, 0.11),
+        "bayeswc": (4.0, 96.0, 2.20, 144.88),
+        "bayespc": (0.0, 100.0, 13.72, 274.51),
+    },
+    "QuickSelect": {
+        "opt": (0.0, 0.0, 0.02, 0.19),
+        "bayeswc": (0.2, 98.2, 1.83, 222.47),
+        "bayespc": (0.0, 100.0, 12.39, 277.20),
+    },
+    "MedianOfMedians": {
+        "opt": (0.0, 0.0, 0.17, 0.21),
+        "bayeswc": (11.5, 71.3, 2.36, 93.89),
+        "bayespc": (0.0, 100.0, 70.39, 896.98),
+    },
+    "ZAlgorithm": {
+        "opt": (0.0, 0.0, 0.09, 0.13),
+        "bayeswc": (13.7, 95.9, 1.96, 72.21),
+        "bayespc": (28.0, 100.0, 11.11, 509.29),
+    },
+    "BubbleSort": {
+        "opt": (0.0, None, 0.01, None),
+        "bayeswc": (40.1, None, 2.69, None),
+        "bayespc": (31.5, None, 11.70, None),
+    },
+    "Round": {
+        "opt": (0.0, None, 0.01, None),
+        "bayeswc": (58.3, None, 1.91, None),
+        "bayespc": (81.0, None, 12.87, None),
+    },
+    "EvenOddTail": {
+        "opt": (0.0, None, 0.01, None),
+        "bayeswc": (65.1, None, 1.98, None),
+        "bayespc": (70.0, None, 11.79, None),
+    },
+}
+
+Gap = Tuple[float, float, float]
+
+#: benchmark -> size -> method -> (dd_gaps, hybrid_gaps); from Tables 2–11
+#: (a subset of sizes shown in the paper; None = ∅)
+PAPER_GAPS: Dict[str, Dict[int, Dict[str, Tuple[Optional[Gap], Optional[Gap]]]]] = {
+    "QuickSort": {
+        10: {
+            "opt": ((-0.23, -0.23, -0.23), (-0.29, -0.29, -0.29)),
+            "bayeswc": ((0.37, 3.66, 32.71), (36.48, 181.96, 1776.52)),
+            "bayespc": ((-0.52, -0.47, -0.22), (4.12, 4.73, 4.96)),
+        },
+        100: {
+            "opt": ((-0.90, -0.90, -0.90), (-0.39, -0.39, -0.39)),
+            "bayeswc": ((-0.87, -0.64, 1.24), (17.83, 82.90, 667.39)),
+            "bayespc": ((-0.88, -0.79, -0.61), (3.78, 4.41, 4.69)),
+        },
+        1000: {
+            "opt": ((-0.96, -0.96, -0.96), (-0.40, -0.40, -0.40)),
+            "bayeswc": ((-0.98, -0.91, -0.09), (5.07, 60.66, 610.58)),
+            "bayespc": ((-0.93, -0.83, -0.63), (3.75, 4.38, 4.66)),
+        },
+    },
+    "MedianOfMedians": {
+        10: {
+            "opt": ((-0.42, -0.42, -0.42), (-0.39, -0.39, -0.39)),
+            "bayeswc": ((-0.29, 0.60, 5.20), (19.69, 85.53, 709.77)),
+            "bayespc": ((-0.64, -0.55, -0.34), (1.41, 1.48, 1.52)),
+        },
+        100: {
+            "opt": ((-0.95, -0.95, -0.95), (-0.49, -0.49, -0.49)),
+            "bayeswc": ((-0.95, -0.89, -0.62), (8.35, 40.30, 339.77)),
+            "bayespc": ((-0.91, -0.80, -0.54), (1.38, 1.45, 1.50)),
+        },
+        1000: {
+            "opt": ((-0.99, -0.99, -0.99), (-0.50, -0.50, -0.50)),
+            "bayeswc": ((-1.00, -0.99, -0.82), (2.48, 31.90, 328.10)),
+            "bayespc": ((-0.94, -0.81, -0.55), (1.38, 1.45, 1.50)),
+        },
+    },
+    "Round": {
+        10: {
+            "opt": ((0.26, 0.26, 0.26), None),
+            "bayeswc": ((0.27, 0.68, 2.83), None),
+            "bayespc": ((0.49, 0.82, 2.57), None),
+        },
+        100: {
+            "opt": ((0.40, 0.40, 0.40), None),
+            "bayeswc": ((0.40, 0.68, 2.33), None),
+            "bayespc": ((0.55, 0.87, 2.86), None),
+        },
+        1000: {
+            "opt": ((0.73, 0.73, 0.73), None),
+            "bayeswc": ((0.67, 1.06, 3.11), None),
+            "bayespc": ((0.89, 1.29, 3.75), None),
+        },
+    },
+    "EvenOddTail": {
+        10: {
+            "opt": ((0.73, 0.73, 0.73), None),
+            "bayeswc": ((0.53, 1.88, 9.15), None),
+            "bayespc": ((0.17, 0.38, 1.00), None),
+        },
+        100: {
+            "opt": ((-0.14, -0.14, -0.14), None),
+            "bayeswc": ((-0.08, 0.62, 3.80), None),
+            "bayespc": ((0.10, 0.25, 0.90), None),
+        },
+        1000: {
+            "opt": ((-0.21, -0.21, -0.21), None),
+            "bayeswc": ((-0.62, 0.52, 3.75), None),
+            "bayespc": ((0.11, 0.27, 0.92), None),
+        },
+    },
+    "BubbleSort": {
+        10: {
+            "opt": ((0.01, 0.01, 0.01), None),
+            "bayeswc": ((0.44, 6.29, 60.73), None),
+            "bayespc": ((-0.31, 0.02, 0.39), None),
+        },
+        100: {
+            "opt": ((-0.38, -0.38, -0.38), None),
+            "bayeswc": ((-0.48, 0.41, 8.34), None),
+            "bayespc": ((-0.34, -0.10, 0.17), None),
+        },
+        1000: {
+            "opt": ((-0.38, -0.38, -0.38), None),
+            "bayeswc": ((-0.93, -0.22, 5.31), None),
+            "bayespc": ((-0.35, -0.10, 0.15), None),
+        },
+    },
+    "InsertionSort2": {
+        10: {
+            "opt": ((-0.37, -0.37, -0.37), (-0.15, -0.15, -0.15)),
+            "bayeswc": ((0.05, 1.17, 8.68), (0.39, 0.72, 1.47)),
+            "bayespc": ((-0.33, -0.12, 0.35), (-0.14, 0.08, 0.84)),
+        },
+        1000: {
+            "opt": ((-0.40, -0.40, -0.40), (-0.15, -0.15, -0.15)),
+            "bayeswc": ((-0.57, 0.14, 3.33), (0.39, 0.72, 1.47)),
+            "bayespc": ((-0.40, -0.24, 0.25), (-0.14, 0.08, 0.84)),
+        },
+    },
+    "ZAlgorithm": {
+        10: {
+            "opt": ((-0.68, -0.68, -0.68), (-0.08, -0.08, -0.08)),
+            "bayeswc": ((-0.53, -0.21, 1.37), (0.00, 0.29, 2.99)),
+            "bayespc": ((-0.48, -0.10, 0.33), (1.18, 1.49, 1.78)),
+        },
+        1000: {
+            "opt": ((-0.68, -0.68, -0.68), (-0.08, -0.08, -0.08)),
+            "bayeswc": ((-0.76, -0.47, 0.56), (0.00, 0.29, 2.99)),
+            "bayespc": ((-0.50, -0.14, 0.22), (1.18, 1.49, 1.78)),
+        },
+    },
+    "MapAppend": {
+        10: {
+            "opt": ((-0.26, -0.26, -0.26), (-0.15, -0.15, -0.15)),
+            "bayeswc": ((0.03, 0.41, 1.64), (0.53, 1.03, 2.27)),
+            "bayespc": ((0.85, 1.62, 2.61), (1.18, 1.92, 2.91)),
+        },
+        1000: {
+            "opt": ((-0.32, -0.32, -0.32), (-0.15, -0.15, -0.15)),
+            "bayeswc": ((-0.22, 0.20, 1.15), (0.53, 1.03, 2.27)),
+            "bayespc": ((0.74, 1.54, 2.52), (1.11, 1.88, 2.89)),
+        },
+    },
+    "Concat": {
+        10: {
+            "opt": ((-0.33, -0.33, -0.33), (0.03, 0.03, 0.03)),
+            "bayeswc": ((14.05, 66.64, 744.65), (1.74, 4.80, 19.86)),
+            "bayespc": ((0.37, 0.60, 0.90), (4.46, 5.90, 7.19)),
+        },
+        1000: {
+            "opt": ((2.83, 2.83, 2.83), (22.44, 22.44, 22.44)),
+            "bayeswc": ((11.04, 931.52, 32459.92), (2.33, 97.00, 1309.28)),
+            "bayespc": ((1.06, 7.84, 42.44), (132.48, 298.20, 456.99)),
+        },
+    },
+}

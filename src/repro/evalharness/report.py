@@ -1,0 +1,123 @@
+"""Markdown report generation: paper-vs-measured for every experiment.
+
+:func:`markdown_report` renders a full comparison document from a list of
+:class:`~repro.evalharness.table1.BenchmarkRun` — the machinery behind
+EXPERIMENTS.md.  Each Table 1 cell and each gap triple is printed next to
+the paper's published value (from :mod:`.paper_reference`), together with
+an agreement verdict on the *qualitative* claim (sound vs unsound, hybrid
+vs data-driven ordering) rather than the absolute number.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .gaps import benchmark_gaps
+from .paper_reference import PAPER_CONVENTIONAL, PAPER_GAPS, PAPER_TABLE1
+from .table1 import METHODS, BenchmarkRun, _METHOD_LABEL
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return "∅" if value is None else f"{value:.1f}%"
+
+
+def _fmt_gap(triple) -> str:
+    if triple is None:
+        return "∅"
+    return "/".join(f"{v:.2f}" for v in triple)
+
+
+def _agreement(paper: Optional[float], ours: Optional[float]) -> str:
+    """Coarse agreement on the soundness *regime* of a Table 1 cell."""
+    if paper is None or ours is None:
+        return "—" if paper is None and ours is None else "✗"
+
+    def regime(v: float) -> str:
+        if v <= 5.0:
+            return "unsound"
+        if v >= 60.0:
+            return "mostly-sound"
+        return "mixed"
+
+    return "✓" if regime(paper) == regime(ours) else "≈" if abs(paper - ours) <= 40 else "✗"
+
+
+def table1_markdown(runs: Sequence[BenchmarkRun]) -> str:
+    lines = [
+        "| Benchmark | Conventional (paper / ours) | Method | DD sound (paper / ours) "
+        "| Hybrid sound (paper / ours) | agree | DD time (ours) | Hy time (ours) |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for run in runs:
+        name = run.spec.name
+        paper_conv = PAPER_CONVENTIONAL.get(name, "?")
+        for i, method in enumerate(METHODS):
+            paper_row = PAPER_TABLE1.get(name, {}).get(method)
+            p_dd, p_hy = (paper_row[0], paper_row[1]) if paper_row else (None, None)
+            o_dd = run.soundness("data-driven", method)
+            o_hy = run.soundness("hybrid", method)
+            o_dd_pct = None if o_dd is None else 100 * o_dd
+            o_hy_pct = None if o_hy is None else 100 * o_hy
+            agree = _agreement(p_dd, o_dd_pct) + _agreement(p_hy, o_hy_pct)
+            dd_t = run.runtime("data-driven", method)
+            hy_t = run.runtime("hybrid", method)
+            lines.append(
+                f"| {name if i == 0 else ''} "
+                f"| {(paper_conv + ' / ' + run.conventional_label) if i == 0 else ''} "
+                f"| {_METHOD_LABEL[method]} "
+                f"| {_fmt_pct(p_dd)} / {_fmt_pct(o_dd_pct)} "
+                f"| {_fmt_pct(p_hy)} / {_fmt_pct(o_hy_pct)} "
+                f"| {agree} "
+                f"| {'-' if dd_t is None else f'{dd_t:.2f}s'} "
+                f"| {'-' if hy_t is None else f'{hy_t:.2f}s'} |"
+            )
+    return "\n".join(lines)
+
+
+def gaps_markdown(run: BenchmarkRun, sizes=(10, 1000)) -> str:
+    name = run.spec.name
+    cells = {(c.size, c.mode, c.method): c for c in benchmark_gaps(run, sizes)}
+    lines = [
+        f"#### {name} — relative estimation gaps (5th/50th/95th pct), paper vs ours",
+        "",
+        "| Size | Method | DD paper | DD ours | Hybrid paper | Hybrid ours |",
+        "|---|---|---|---|---|---|",
+    ]
+    for size in sizes:
+        paper_at = PAPER_GAPS.get(name, {}).get(size, {})
+        for method in METHODS:
+            paper_pair = paper_at.get(method)
+            p_dd, p_hy = (paper_pair if paper_pair else (None, None))
+            ours_dd = cells.get((size, "data-driven", method))
+            ours_hy = cells.get((size, "hybrid", method))
+
+            def fmt_ours(cell) -> str:
+                if cell is None:
+                    return "∅"
+                return "/".join(f"{cell.percentiles[p]:.2f}" for p in (5, 50, 95))
+
+            lines.append(
+                f"| {size} | {_METHOD_LABEL[method]} "
+                f"| {_fmt_gap(p_dd)} | {fmt_ours(ours_dd)} "
+                f"| {_fmt_gap(p_hy)} | {fmt_ours(ours_hy)} |"
+            )
+    return "\n".join(lines)
+
+
+def markdown_report(runs: Sequence[BenchmarkRun], samples: int, seed: int) -> str:
+    chunks: List[str] = [
+        "## Table 1 — fraction of sound inferred bounds",
+        "",
+        f"(our runs: M = {samples} posterior samples, seed = {seed}; soundness "
+        "checked on all input sizes 1..1000 against the analytic ground truth; "
+        "`agree` compares the qualitative regime per cell: data-driven then hybrid)",
+        "",
+        table1_markdown(runs),
+        "",
+        "## Tables 2–11 / Fig. 5 — relative estimation gaps",
+        "",
+    ]
+    for run in runs:
+        chunks.append(gaps_markdown(run))
+        chunks.append("")
+    return "\n".join(chunks)

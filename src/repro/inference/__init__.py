@@ -1,0 +1,60 @@
+"""Data-driven and hybrid resource analyses (Opt, BayesWC, BayesPC)."""
+
+from .bayespc import BayesPCDensity, LikelihoodRow
+from .bayeswc import (
+    SurvivalModel,
+    WorstCaseSamples,
+    build_survival_model,
+    infer_worst_case_samples,
+)
+from .dataset import (
+    Observation,
+    RuntimeDataset,
+    StatDataset,
+    collect_dataset,
+    dataset_from_results,
+)
+from .hybrid import (
+    SiteCollector,
+    SiteOccurrence,
+    classify_mode,
+    make_data_handler,
+    run_analysis,
+    run_bayespc,
+    run_bayeswc,
+    run_opt,
+)
+from .hyperparams import (
+    BayesPCHyperparams,
+    gamma0_from_opt,
+    resolve_bayespc_hyperparams,
+    theta1_from_gaps,
+)
+from .posterior import PosteriorResult
+
+__all__ = [
+    "BayesPCDensity",
+    "LikelihoodRow",
+    "SurvivalModel",
+    "WorstCaseSamples",
+    "build_survival_model",
+    "infer_worst_case_samples",
+    "Observation",
+    "RuntimeDataset",
+    "StatDataset",
+    "collect_dataset",
+    "dataset_from_results",
+    "SiteCollector",
+    "SiteOccurrence",
+    "classify_mode",
+    "make_data_handler",
+    "run_analysis",
+    "run_bayespc",
+    "run_bayeswc",
+    "run_opt",
+    "BayesPCHyperparams",
+    "gamma0_from_opt",
+    "resolve_bayespc_hyperparams",
+    "theta1_from_gaps",
+    "PosteriorResult",
+]

@@ -1,0 +1,111 @@
+"""Containers and summaries for posterior collections of cost bounds.
+
+Bayesian resource analysis returns a whole distribution over bounds
+(Section 5); these helpers compute the paper's headline statistics:
+fraction of sound bounds (Table 1), relative estimation-gap percentiles
+(Fig. 5 / Tables 2–11), and median/percentile bound curves (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..aara.bound import ResourceBound, synthetic_list
+from ..lang.values import Value
+
+ShapeFn = Callable[[int], List[Value]]
+TruthFn = Callable[[int], float]
+
+
+def default_shape(n: int) -> List[Value]:
+    return [synthetic_list(n)]
+
+
+@dataclass
+class PosteriorResult:
+    """Outcome of one analysis run (Opt has a single-element posterior)."""
+
+    method: str  # 'opt' | 'bayeswc' | 'bayespc'
+    mode: str  # 'data-driven' | 'hybrid'
+    bounds: List[ResourceBound]
+    runtime_seconds: float
+    failures: int = 0  # posterior samples whose LP was infeasible
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_bounds(self) -> int:
+        return len(self.bounds)
+
+    # -- evaluation helpers ---------------------------------------------------
+
+    def curves(self, sizes: Sequence[int], shape_fn: Optional[ShapeFn] = None) -> np.ndarray:
+        """Matrix of bound values, shape (num_bounds, len(sizes))."""
+        shape_fn = shape_fn or default_shape
+        out = np.empty((len(self.bounds), len(sizes)))
+        for j, n in enumerate(sizes):
+            shape = shape_fn(n)  # build the synthetic arguments once per size
+            for i, bound in enumerate(self.bounds):
+                out[i, j] = bound.evaluate(shape)
+        return out
+
+    def soundness_fraction(
+        self,
+        truth: TruthFn,
+        sizes: Sequence[int],
+        shape_fn: Optional[ShapeFn] = None,
+        tol: float = 1e-6,
+    ) -> float:
+        """Fraction of bounds that dominate the true worst case on all sizes."""
+        if not self.bounds:
+            return 0.0
+        curves = self.curves(sizes, shape_fn)
+        truths = np.array([truth(n) for n in sizes])
+        sound = np.all(curves >= truths[None, :] - tol, axis=1)
+        return float(sound.mean())
+
+    def relative_gaps(
+        self,
+        truth: TruthFn,
+        size: int,
+        shape_fn: Optional[ShapeFn] = None,
+    ) -> np.ndarray:
+        """Relative estimation gaps (bound − truth)/truth at one size (Fig. 5)."""
+        shape_fn = shape_fn or default_shape
+        true_value = truth(size)
+        if true_value == 0:
+            true_value = 1.0
+        values = np.array([bound.evaluate(shape_fn(size)) for bound in self.bounds])
+        return (values - true_value) / true_value
+
+    def gap_percentiles(
+        self,
+        truth: TruthFn,
+        size: int,
+        percentiles=(5, 50, 95),
+        shape_fn: Optional[ShapeFn] = None,
+    ) -> Dict[int, float]:
+        gaps = self.relative_gaps(truth, size, shape_fn)
+        if gaps.size == 0:
+            return {p: float("nan") for p in percentiles}
+        return {p: float(np.percentile(gaps, p)) for p in percentiles}
+
+    def percentile_curves(
+        self,
+        sizes: Sequence[int],
+        percentiles=(10, 50, 90),
+        shape_fn: Optional[ShapeFn] = None,
+    ) -> Dict[int, List[float]]:
+        """Per-size percentile curves of the posterior bounds (Fig. 6 bands)."""
+        curves = self.curves(sizes, shape_fn)
+        return {
+            p: [float(v) for v in np.percentile(curves, p, axis=0)] for p in percentiles
+        }
+
+    def median_coefficients(self) -> List[float]:
+        if not self.bounds:
+            return []
+        matrix = np.array([b.coefficients() for b in self.bounds])
+        return [float(v) for v in np.median(matrix, axis=0)]

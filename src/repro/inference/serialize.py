@@ -1,0 +1,225 @@
+"""JSON (de)serialization for datasets, bounds, and analysis results.
+
+The paper's artifact separates data collection from analysis: runtime cost
+data is generated once and re-analyzed under many configurations.  These
+helpers make that workflow concrete: datasets round-trip through JSON
+(values encoded structurally), and posterior results can be archived with
+their bounds and diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .dataset import Observation, RuntimeDataset, StatDataset
+from .posterior import PosteriorResult
+from ..aara.annot import ABase, AList, AProd, ASum, AnnType
+from ..aara.bound import ResourceBound
+from ..errors import DatasetError
+from ..lang import ast as A
+from ..lang.values import VInl, VInr, VList, VTuple, VUnit, Value
+from ..lp import LinExpr
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+def value_to_json(value: Value) -> Any:
+    if isinstance(value, bool):
+        return {"b": value}
+    if isinstance(value, int):
+        return value
+    if isinstance(value, VUnit):
+        return {"u": 0}
+    if isinstance(value, VList):
+        return [value_to_json(v) for v in value.items]
+    if isinstance(value, VTuple):
+        return {"t": [value_to_json(v) for v in value.items]}
+    if isinstance(value, VInl):
+        return {"l": value_to_json(value.value)}
+    if isinstance(value, VInr):
+        return {"r": value_to_json(value.value)}
+    raise DatasetError(f"cannot serialize value {value!r}")
+
+
+def value_from_json(data: Any) -> Value:
+    if isinstance(data, bool):
+        return data
+    if isinstance(data, int):
+        return data
+    if isinstance(data, list):
+        return VList(tuple(value_from_json(v) for v in data))
+    if isinstance(data, dict):
+        if "b" in data:
+            return bool(data["b"])
+        if "u" in data:
+            return VUnit()
+        if "t" in data:
+            return VTuple(tuple(value_from_json(v) for v in data["t"]))
+        if "l" in data:
+            return VInl(value_from_json(data["l"]))
+        if "r" in data:
+            return VInr(value_from_json(data["r"]))
+    raise DatasetError(f"cannot deserialize value from {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+
+def dataset_to_json(dataset: RuntimeDataset) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "num_runs": dataset.num_runs,
+        "labels": {
+            label: [
+                {
+                    "env": [[name, value_to_json(v)] for name, v in obs.env],
+                    "value": value_to_json(obs.value),
+                    "cost": obs.cost,
+                }
+                for obs in ds.observations
+            ]
+            for label, ds in dataset.per_label.items()
+        },
+    }
+
+
+def dataset_from_json(data: Dict[str, Any]) -> RuntimeDataset:
+    if data.get("version") != FORMAT_VERSION:
+        raise DatasetError(f"unsupported dataset format version {data.get('version')}")
+    dataset = RuntimeDataset(num_runs=int(data.get("num_runs", 0)))
+    for label, observations in data["labels"].items():
+        ds = StatDataset(label)
+        for entry in observations:
+            env = tuple(
+                (name, value_from_json(v)) for name, v in entry["env"]
+            )
+            ds.observations.append(
+                Observation(env, value_from_json(entry["value"]), float(entry["cost"]))
+            )
+        dataset.per_label[label] = ds
+    return dataset
+
+
+def save_dataset(dataset: RuntimeDataset, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(dataset_to_json(dataset), handle)
+
+
+def load_dataset(path: str) -> RuntimeDataset:
+    with open(path) as handle:
+        return dataset_from_json(json.load(handle))
+
+
+# ---------------------------------------------------------------------------
+# Annotations and bounds
+# ---------------------------------------------------------------------------
+
+
+def _ann_to_json(ann: AnnType) -> Any:
+    if isinstance(ann, ABase):
+        return {"base": str(ann.base)}
+    if isinstance(ann, AProd):
+        return {"prod": [_ann_to_json(item) for item in ann.items]}
+    if isinstance(ann, ASum):
+        return {
+            "sum": [
+                _ann_to_json(ann.left),
+                ann.left_const.const,
+                _ann_to_json(ann.right),
+                ann.right_const.const,
+            ]
+        }
+    if isinstance(ann, AList):
+        return {
+            "list": [c.const for c in ann.coeffs],
+            "elem": _ann_to_json(ann.elem),
+        }
+    raise DatasetError(f"cannot serialize annotation {ann!r}")
+
+
+_BASES = {"unit": A.UNIT, "int": A.INT, "bool": A.BOOL}
+
+
+def _ann_from_json(data: Any) -> AnnType:
+    if "base" in data:
+        return ABase(_BASES[data["base"]])
+    if "prod" in data:
+        return AProd(tuple(_ann_from_json(item) for item in data["prod"]))
+    if "sum" in data:
+        left, lc, right, rc = data["sum"]
+        return ASum(
+            _ann_from_json(left),
+            LinExpr.constant(lc),
+            _ann_from_json(right),
+            LinExpr.constant(rc),
+        )
+    if "list" in data:
+        return AList(
+            tuple(LinExpr.constant(c) for c in data["list"]),
+            _ann_from_json(data["elem"]),
+        )
+    raise DatasetError(f"cannot deserialize annotation from {data!r}")
+
+
+def bound_to_json(bound: ResourceBound) -> Dict[str, Any]:
+    return {
+        "fname": bound.fname,
+        "p0": bound.p0,
+        "params": [_ann_to_json(p) for p in bound.params],
+    }
+
+
+def bound_from_json(data: Dict[str, Any]) -> ResourceBound:
+    return ResourceBound(
+        data["fname"],
+        tuple(_ann_from_json(p) for p in data["params"]),
+        float(data["p0"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Posterior results
+# ---------------------------------------------------------------------------
+
+
+def result_to_json(result: PosteriorResult) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "method": result.method,
+        "mode": result.mode,
+        "runtime_seconds": result.runtime_seconds,
+        "failures": result.failures,
+        "diagnostics": dict(result.diagnostics),
+        "bounds": [bound_to_json(b) for b in result.bounds],
+    }
+
+
+def result_from_json(data: Dict[str, Any]) -> PosteriorResult:
+    if data.get("version") != FORMAT_VERSION:
+        raise DatasetError(f"unsupported result format version {data.get('version')}")
+    return PosteriorResult(
+        method=data["method"],
+        mode=data["mode"],
+        bounds=[bound_from_json(b) for b in data["bounds"]],
+        runtime_seconds=float(data["runtime_seconds"]),
+        failures=int(data.get("failures", 0)),
+        diagnostics={k: float(v) for k, v in data.get("diagnostics", {}).items()},
+    )
+
+
+def save_result(result: PosteriorResult, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(result_to_json(result), handle)
+
+
+def load_result(path: str) -> PosteriorResult:
+    with open(path) as handle:
+        return result_from_json(json.load(handle))

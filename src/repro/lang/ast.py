@@ -1,0 +1,419 @@
+"""Abstract syntax for the first-order AARA language (paper Listing 2).
+
+The same node classes represent both the surface program produced by the
+parser and the *share-let normal form* consumed by the resource analysis
+(:mod:`repro.lang.normalize` performs the translation).  In normal form
+
+* every variable is used at most once (explicit ``share`` duplicates),
+* constructors and destructors are applied to variables only, and
+* function arguments are variables.
+
+Positions are carried for error messages but excluded from structural
+equality so that tests can compare trees directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Types (simple types; resource-annotated types live in repro.aara.annot)
+# ---------------------------------------------------------------------------
+
+
+class Type:
+    """Base class of simple (unannotated) datatypes."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+
+@dataclass(frozen=True)
+class TUnit(Type):
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class TInt(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class TBool(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class TSum(Type):
+    left: Type
+    right: Type
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class TProd(Type):
+    items: Tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return "(" + " * ".join(str(t) for t in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class TList(Type):
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"{self.elem} list"
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """Unification variable used only during simple type inference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"'{self.name}"
+
+
+@dataclass(frozen=True)
+class FunType:
+    """First-order function type ``(t1, ..., tn) -> r``."""
+
+    params: Tuple[Type, ...]
+    result: Type
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.params)
+        return f"({args}) -> {self.result}"
+
+
+UNIT = TUnit()
+INT = TInt()
+BOOL = TBool()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pos:
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+def _pos_field():
+    return field(default=None, compare=False, repr=False)
+
+
+class Expr:
+    """Base class of expressions.
+
+    Subclasses are dataclasses; ``pos`` never participates in equality.
+    After simple type checking, every node carries its inferred ``type``
+    (also excluded from equality so normalization tests stay readable).
+    """
+
+    pos: Optional[Pos]
+    type: Optional[Type]
+
+    def children(self) -> Iterator["Expr"]:
+        """Iterate over direct sub-expressions (used by generic walks)."""
+        for fname in getattr(self, "__dataclass_fields__", {}):
+            value = getattr(self, fname)
+            if isinstance(value, Expr):
+                yield value
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, Expr):
+                        yield item
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the whole subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass
+class Var(Expr):
+    name: str
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class UnitLit(Expr):
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+#: Integer-valued binary operators (cost-free, potential-free).
+ARITH_OPS = ("+", "-", "*", "/", "mod")
+#: Boolean-valued comparison operators on integers.
+CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+#: Boolean connectives.
+BOOL_OPS = ("&&", "||")
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Neg(Expr):
+    """Unary integer negation / boolean not (op in {'-', 'not'})."""
+
+    op: str
+    operand: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Inl(Expr):
+    operand: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Inr(Expr):
+    operand: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class TupleExpr(Expr):
+    items: Tuple[Expr, ...]
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Nil(Expr):
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Cons(Expr):
+    head: Expr
+    tail: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class MatchList(Expr):
+    scrutinee: Expr
+    nil_branch: Expr
+    head_var: str
+    tail_var: str
+    cons_branch: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class MatchSum(Expr):
+    scrutinee: Expr
+    left_var: str
+    left_branch: Expr
+    right_var: str
+    right_branch: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class MatchTuple(Expr):
+    scrutinee: Expr
+    names: Tuple[str, ...]
+    body: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class If(Expr):
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class App(Expr):
+    """Fully applied call of a top-level function or builtin."""
+
+    fname: str
+    args: Tuple[Expr, ...]
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Let(Expr):
+    name: str
+    bound: Expr
+    body: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Share(Expr):
+    """``share x as x1, x2 in e`` — explicit duplication of an affine var."""
+
+    name: str
+    name1: str
+    name2: str
+    body: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Tick(Expr):
+    amount: float
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class Stat(Expr):
+    """``stat(e)`` — analyze ``e`` with data-driven analysis.
+
+    Labels uniquely identify stat sites; the parser assigns fresh labels in
+    source order when the program does not name them explicitly.
+    """
+
+    label: str
+    body: Expr
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+@dataclass
+class ErrorExpr(Expr):
+    """``error "msg"`` — abort evaluation (models OCaml ``raise``)."""
+
+    message: str
+    pos: Optional[Pos] = _pos_field()
+    type: Optional[Type] = _pos_field()
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunDef:
+    name: str
+    params: Tuple[str, ...]
+    body: Expr
+    recursive: bool = False
+    #: filled by the type checker
+    fun_type: Optional[FunType] = field(default=None, compare=False)
+    pos: Optional[Pos] = _pos_field()
+
+
+@dataclass
+class Program:
+    """A program: ordered top-level function definitions.
+
+    Functions may only reference functions defined earlier, except that a
+    ``let rec`` group may reference itself (mutual recursion is expressed
+    with ``and``).
+    """
+
+    functions: dict  # name -> FunDef, insertion-ordered
+
+    def __init__(self, functions):
+        if isinstance(functions, dict):
+            self.functions = dict(functions)
+        else:
+            self.functions = {f.name: f for f in functions}
+
+    def __getitem__(self, name: str) -> FunDef:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self):
+        return iter(self.functions.values())
+
+    def function_names(self):
+        return list(self.functions.keys())
+
+    def stat_labels(self) -> list:
+        """All stat labels in source order."""
+        labels = []
+        for fdef in self:
+            for node in fdef.body.walk():
+                if isinstance(node, Stat):
+                    labels.append(node.label)
+        return labels
+
+    def has_stat(self) -> bool:
+        return bool(self.stat_labels())
+
+
+def free_vars(expr: Expr) -> set:
+    """Free variables of an expression."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Let):
+        return free_vars(expr.bound) | (free_vars(expr.body) - {expr.name})
+    if isinstance(expr, Share):
+        inner = free_vars(expr.body) - {expr.name1, expr.name2}
+        return inner | {expr.name}
+    if isinstance(expr, MatchList):
+        cons = free_vars(expr.cons_branch) - {expr.head_var, expr.tail_var}
+        return free_vars(expr.scrutinee) | free_vars(expr.nil_branch) | cons
+    if isinstance(expr, MatchSum):
+        left = free_vars(expr.left_branch) - {expr.left_var}
+        right = free_vars(expr.right_branch) - {expr.right_var}
+        return free_vars(expr.scrutinee) | left | right
+    if isinstance(expr, MatchTuple):
+        body = free_vars(expr.body) - set(expr.names)
+        return free_vars(expr.scrutinee) | body
+    result: set = set()
+    for child in expr.children():
+        result |= free_vars(child)
+    return result

@@ -1,0 +1,98 @@
+"""Builtin operations of the language.
+
+The registry distinguishes *analyzable* builtins (conventional AARA knows a
+resource-annotated signature for them) from *opaque* ones.  Opaque builtins
+model the paper's statically-intractable code fragments — e.g. OCaml's
+polymorphic structural comparator or the ``compare_dist`` closure over a
+reference cell (Section 2).  The interpreter executes them normally, but
+conventional AARA aborts with :class:`~repro.errors.UnanalyzableError` when
+one occurs outside a ``stat`` region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from . import ast as A
+from ..errors import EvalError
+
+
+@dataclass(frozen=True)
+class BuiltinSpec:
+    name: str
+    params: Tuple[A.Type, ...]
+    result: A.Type
+    impl: Callable
+    #: False for builtins that conventional AARA must refuse to analyze.
+    analyzable: bool = True
+    doc: str = ""
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    @property
+    def fun_type(self) -> A.FunType:
+        return A.FunType(self.params, self.result)
+
+
+def _complex_leq(a: int, b: int) -> bool:
+    if not isinstance(a, int) or not isinstance(b, int):
+        raise EvalError("complex_leq expects integers")
+    return a <= b
+
+
+def _complex_lt(a: int, b: int) -> bool:
+    if not isinstance(a, int) or not isinstance(b, int):
+        raise EvalError("complex_lt expects integers")
+    return a < b
+
+
+def _complex_eq(a: int, b: int) -> bool:
+    if not isinstance(a, int) or not isinstance(b, int):
+        raise EvalError("complex_eq expects integers")
+    return a == b
+
+
+BUILTINS = {
+    spec.name: spec
+    for spec in [
+        BuiltinSpec(
+            "complex_leq",
+            (A.INT, A.INT),
+            A.BOOL,
+            _complex_leq,
+            analyzable=False,
+            doc=(
+                "A `<=` comparison whose implementation is opaque to static "
+                "analysis (models OCaml's polymorphic comparator / "
+                "compare_dist from Section 2 of the paper)."
+            ),
+        ),
+        BuiltinSpec(
+            "complex_lt",
+            (A.INT, A.INT),
+            A.BOOL,
+            _complex_lt,
+            analyzable=False,
+            doc="A `<` comparison opaque to static analysis.",
+        ),
+        BuiltinSpec(
+            "complex_eq",
+            (A.INT, A.INT),
+            A.BOOL,
+            _complex_eq,
+            analyzable=False,
+            doc="An `=` comparison opaque to static analysis.",
+        ),
+    ]
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS
+
+
+def get_builtin(name: str) -> BuiltinSpec:
+    return BUILTINS[name]

@@ -1,0 +1,269 @@
+"""Big-step cost semantics and runtime-data collection (Sections 3.2–3.3).
+
+The interpreter evaluates *normalized* programs, accumulating the tick
+cost, and records one :class:`StatRecord` per dynamic evaluation of every
+``stat``-labelled subexpression: the environment restricted to the free
+variables of the labelled expression, the resulting value, and the cost
+incurred inside the expression.  This is exactly the data-collection
+judgment ``(V_i |- e ⇓^c v_i) | D`` of Eq. (3.3).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import ast as A
+from .builtins import BUILTINS
+from .values import UNIT_VALUE, VInl, VInr, VList, VTuple, Value
+from ..errors import EvalError
+
+RECURSION_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class StatRecord:
+    """One runtime measurement ``(V, v, c)`` at a stat site ``label``."""
+
+    label: str
+    env: Tuple[Tuple[str, Value], ...]  # sorted (name, value) pairs
+    value: Value
+    cost: float
+
+    def env_dict(self) -> Dict[str, Value]:
+        return dict(self.env)
+
+
+@dataclass
+class EvalResult:
+    value: Value
+    cost: float
+    stat_records: List[StatRecord] = field(default_factory=list)
+
+
+@contextmanager
+def _deep_recursion():
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, RECURSION_LIMIT))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """OCaml integer division truncates toward zero."""
+    if b == 0:
+        raise EvalError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    """OCaml ``mod``: sign follows the dividend."""
+    if b == 0:
+        raise EvalError("modulo by zero")
+    return a - _trunc_div(a, b) * b
+
+
+class Interpreter:
+    """Evaluates normalized programs under the tick cost metric."""
+
+    def __init__(self, program: A.Program, collect_stats: bool = True):
+        self.program = program
+        self.collect_stats = collect_stats
+        self.cost = 0.0
+        self.records: List[StatRecord] = []
+        self._stat_free_vars: Dict[int, frozenset] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, fname: str, args: List[Value]) -> EvalResult:
+        """Evaluate ``fname(args)`` from a fresh cost counter."""
+        if fname not in self.program:
+            raise EvalError(f"unknown function {fname!r}")
+        fdef = self.program[fname]
+        if len(args) != len(fdef.params):
+            raise EvalError(
+                f"{fname} expects {len(fdef.params)} arguments, got {len(args)}"
+            )
+        self.cost = 0.0
+        self.records = []
+        with _deep_recursion():
+            frame = dict(zip(fdef.params, args))
+            value = self.eval(fdef.body, frame)
+        return EvalResult(value, self.cost, list(self.records))
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval(self, expr: A.Expr, env: Dict[str, Value]) -> Value:
+        if isinstance(expr, A.Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise EvalError(f"unbound variable {expr.name!r}") from None
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.BoolLit):
+            return expr.value
+        if isinstance(expr, A.UnitLit):
+            return UNIT_VALUE
+        if isinstance(expr, A.Nil):
+            return VList(())
+        if isinstance(expr, A.Tick):
+            self.cost += expr.amount
+            return UNIT_VALUE
+        if isinstance(expr, A.ErrorExpr):
+            raise EvalError(f"program error: {expr.message}")
+        if isinstance(expr, A.Cons):
+            head = self.eval(expr.head, env)
+            tail = self.eval(expr.tail, env)
+            if not isinstance(tail, VList):
+                raise EvalError("cons onto a non-list")
+            return VList((head,) + tail.items)
+        if isinstance(expr, A.TupleExpr):
+            return VTuple(tuple(self.eval(e, env) for e in expr.items))
+        if isinstance(expr, A.Inl):
+            return VInl(self.eval(expr.operand, env))
+        if isinstance(expr, A.Inr):
+            return VInr(self.eval(expr.operand, env))
+        if isinstance(expr, A.BinOp):
+            return self._eval_binop(expr, env)
+        if isinstance(expr, A.Neg):
+            operand = self.eval(expr.operand, env)
+            if expr.op == "-":
+                return -operand
+            return not operand
+        if isinstance(expr, A.If):
+            cond = self.eval(expr.cond, env)
+            if not isinstance(cond, bool):
+                raise EvalError("if condition is not a boolean")
+            branch = expr.then_branch if cond else expr.else_branch
+            return self.eval(branch, env)
+        if isinstance(expr, A.Let):
+            env[expr.name] = self.eval(expr.bound, env)
+            return self.eval(expr.body, env)
+        if isinstance(expr, A.Share):
+            value = env[expr.name]
+            env[expr.name1] = value
+            env[expr.name2] = value
+            return self.eval(expr.body, env)
+        if isinstance(expr, A.MatchList):
+            scrut = self.eval(expr.scrutinee, env)
+            if not isinstance(scrut, VList):
+                raise EvalError("match on a non-list")
+            if not scrut.items:
+                return self.eval(expr.nil_branch, env)
+            env[expr.head_var] = scrut.items[0]
+            env[expr.tail_var] = VList(scrut.items[1:])
+            return self.eval(expr.cons_branch, env)
+        if isinstance(expr, A.MatchSum):
+            scrut = self.eval(expr.scrutinee, env)
+            if isinstance(scrut, VInl):
+                env[expr.left_var] = scrut.value
+                return self.eval(expr.left_branch, env)
+            if isinstance(scrut, VInr):
+                env[expr.right_var] = scrut.value
+                return self.eval(expr.right_branch, env)
+            raise EvalError("match on a non-sum value")
+        if isinstance(expr, A.MatchTuple):
+            scrut = self.eval(expr.scrutinee, env)
+            if not isinstance(scrut, VTuple) or len(scrut.items) != len(expr.names):
+                raise EvalError("tuple match arity mismatch")
+            for name, item in zip(expr.names, scrut.items):
+                env[name] = item
+            return self.eval(expr.body, env)
+        if isinstance(expr, A.App):
+            return self._eval_app(expr, env)
+        if isinstance(expr, A.Stat):
+            return self._eval_stat(expr, env)
+        raise EvalError(f"cannot evaluate node {type(expr).__name__}")
+
+    def _eval_binop(self, expr: A.BinOp, env: Dict[str, Value]) -> Value:
+        op = expr.op
+        if op == "&&":
+            left = self.eval(expr.left, env)
+            if not left:
+                return False
+            return bool(self.eval(expr.right, env))
+        if op == "||":
+            left = self.eval(expr.left, env)
+            if left:
+                return True
+            return bool(self.eval(expr.right, env))
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return _trunc_div(left, right)
+        if op == "mod":
+            return _trunc_mod(left, right)
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise EvalError(f"unknown operator {op!r}")
+
+    def _eval_app(self, expr: A.App, env: Dict[str, Value]) -> Value:
+        args = [self.eval(arg, env) for arg in expr.args]
+        if expr.fname in self.program:
+            fdef = self.program[expr.fname]
+            frame = dict(zip(fdef.params, args))
+            return self.eval(fdef.body, frame)
+        if expr.fname in BUILTINS:
+            return BUILTINS[expr.fname].impl(*args)
+        raise EvalError(f"unknown function {expr.fname!r}")
+
+    def _eval_stat(self, expr: A.Stat, env: Dict[str, Value]) -> Value:
+        if not self.collect_stats:
+            return self.eval(expr.body, env)
+        key = id(expr)
+        fv = self._stat_free_vars.get(key)
+        if fv is None:
+            fv = frozenset(A.free_vars(expr.body))
+            self._stat_free_vars[key] = fv
+        before = self.cost
+        value = self.eval(expr.body, env)
+        cost = self.cost - before
+        restricted = tuple(sorted((name, env[name]) for name in fv if name in env))
+        self.records.append(StatRecord(expr.label, restricted, value, cost))
+        return value
+
+
+def evaluate(
+    program: A.Program,
+    fname: str,
+    args: List[Value],
+    collect_stats: bool = True,
+) -> EvalResult:
+    """Convenience wrapper: evaluate ``fname(args)`` on ``program``."""
+    return Interpreter(program, collect_stats=collect_stats).run(fname, args)
+
+
+def run_on_inputs(
+    program: A.Program,
+    fname: str,
+    inputs: List[List[Value]],
+    collect_stats: bool = True,
+) -> List[EvalResult]:
+    """Sweep through a list of argument vectors (data collection driver)."""
+    interp = Interpreter(program, collect_stats=collect_stats)
+    results = []
+    for args in inputs:
+        results.append(interp.run(fname, args))
+    return results

@@ -1,0 +1,190 @@
+"""Lexer for the OCaml-like surface syntax.
+
+Produces a list of :class:`Token`.  Identifiers may be dotted
+(``Raml.tick``), comments are OCaml-style ``(* ... *)`` and nest, and both
+integer and floating-point literals are recognized (floats appear only as
+tick amounts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import LexError
+
+KEYWORDS = {
+    "let",
+    "rec",
+    "and",
+    "in",
+    "match",
+    "with",
+    "if",
+    "then",
+    "else",
+    "true",
+    "false",
+    "not",
+    "raise",
+    "exception",
+    "mod",
+    "fun",
+    "of",
+    "type",
+}
+
+# multi-character operators first so maximal munch works
+SYMBOLS = [
+    "->",
+    "::",
+    "<=",
+    ">=",
+    "<>",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "|",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    ":",
+    "_",
+    "'",
+]
+
+
+@dataclass
+class Token:
+    kind: str  # 'int' | 'float' | 'ident' | 'keyword' | 'symbol' | 'string' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on invalid input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments (* ... *), nesting
+        if source.startswith("(*", i):
+            depth = 1
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and depth > 0:
+                if source.startswith("(*", i):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("*)", i):
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance(1)
+            if depth > 0:
+                raise LexError("unterminated comment", start_line, start_col)
+            continue
+        # string literal (used by error messages)
+        if ch == '"':
+            start_line, start_col = line, col
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string", start_line, start_col)
+            text = "".join(buf)
+            advance(j + 1 - i)
+            tokens.append(Token("string", text, start_line, start_col))
+            continue
+        # numbers: int or float (digits '.' digits)
+        if ch.isdigit():
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+                text = source[i:j]
+                advance(j - i)
+                tokens.append(Token("float", text, start_line, start_col))
+            else:
+                text = source[i:j]
+                advance(j - i)
+                tokens.append(Token("int", text, start_line, start_col))
+            continue
+        # identifiers / keywords; dotted names allowed (Raml.tick)
+        if ch.isalpha() or ch == "_" and _ident_follows(source, i):
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_'"):
+                j += 1
+            while j < n and source[j] == "." and j + 1 < n and (source[j + 1].isalpha() or source[j + 1] == "_"):
+                j += 1
+                while j < n and (source[j].isalnum() or source[j] in "_'"):
+                    j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # symbols (maximal munch)
+        matched: Optional[str] = None
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                matched = sym
+                break
+        if matched is not None:
+            tokens.append(Token("symbol", matched, line, col))
+            advance(len(matched))
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+def _ident_follows(source: str, i: int) -> bool:
+    """Is ``_`` at position ``i`` the start of an identifier (``_foo``)?
+
+    A lone ``_`` is the wildcard symbol; ``_x`` is an identifier.
+    """
+    return i + 1 < len(source) and (source[i + 1].isalnum() or source[i + 1] in "_'")

@@ -1,0 +1,701 @@
+"""Recursive-descent parser for the OCaml-like surface syntax.
+
+The grammar covers the fragment used by the paper's benchmarks
+(Appendix C): top-level ``let``/``let rec`` function definitions, list and
+tuple pattern matching (including nested patterns, compiled to the core
+``MatchList``/``MatchTuple``/``MatchSum`` forms), ``if``/``let``/``match``
+expressions, integer arithmetic and comparisons, ``Raml.tick`` and
+``Raml.stat`` annotations, and ``raise``.
+
+Pattern matches with nested or multiple refutable patterns are compiled to
+a decision tree by :func:`_compile_match` (a small instance of the classic
+pattern-matrix algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from . import ast as A
+from .builtins import is_builtin
+from .lexer import Token, tokenize
+from ..errors import ParseError
+
+# ---------------------------------------------------------------------------
+# Patterns (surface only; compiled away before the AST leaves this module)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PVar:
+    name: str  # "_" means wildcard
+
+
+@dataclass
+class PUnit:
+    pass
+
+
+@dataclass
+class PNil:
+    pass
+
+
+@dataclass
+class PCons:
+    head: "Pattern"
+    tail: "Pattern"
+
+
+@dataclass
+class PTuple:
+    items: Tuple["Pattern", ...]
+
+
+@dataclass
+class PInl:
+    inner: "Pattern"
+
+
+@dataclass
+class PInr:
+    inner: "Pattern"
+
+
+Pattern = object
+
+
+def _is_irrefutable(pat) -> bool:
+    if isinstance(pat, (PVar, PUnit)):
+        return True
+    if isinstance(pat, PTuple):
+        return all(_is_irrefutable(p) for p in pat.items)
+    return False
+
+
+class _FreshNames:
+    """Generates hygienic temporaries (``$m1`` etc. cannot be user idents)."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def fresh(self, hint: str = "m") -> str:
+        self.counter += 1
+        return f"${hint}{self.counter}"
+
+
+def _compile_match(scrut_var: str, arms, fresh: "_FreshNames", pos) -> A.Expr:
+    """Compile ``match scrut_var with arms`` to core destructors.
+
+    ``arms`` is a list of ``(pattern, rhs_expr)``.  Implements the pattern
+    matrix algorithm over obligation lists ``[(var, pattern), ...]``.
+    """
+    matrix = [([(scrut_var, pat)], rhs) for pat, rhs in arms]
+    return _compile_matrix(matrix, fresh, pos)
+
+
+def _compile_matrix(matrix, fresh: "_FreshNames", pos) -> A.Expr:
+    if not matrix:
+        return A.ErrorExpr("match failure", pos=pos)
+    obligations, rhs = matrix[0]
+
+    # Discharge leading irrefutable obligations of the first row.
+    for idx, (var, pat) in enumerate(obligations):
+        if isinstance(pat, (PVar, PUnit)):
+            continue
+        if isinstance(pat, PTuple) and _is_irrefutable(pat):
+            continue
+        return _branch_on(idx, matrix, fresh, pos)
+
+    # Whole first row is irrefutable: bind and ignore remaining rows.
+    body = rhs
+    for var, pat in reversed(obligations):
+        body = _bind_irrefutable(var, pat, body, fresh, pos)
+    return body
+
+
+def _bind_irrefutable(var: str, pat, body: A.Expr, fresh: "_FreshNames", pos) -> A.Expr:
+    if isinstance(pat, PVar):
+        if pat.name == "_":
+            return body
+        return A.Let(pat.name, A.Var(var, pos=pos), body, pos=pos)
+    if isinstance(pat, PUnit):
+        return body
+    if isinstance(pat, PTuple):
+        names = []
+        inner = body
+        binders = []
+        for item in pat.items:
+            if isinstance(item, PVar):
+                names.append(item.name)
+            else:
+                tmp = fresh.fresh("t")
+                names.append(tmp)
+                binders.append((tmp, item))
+        for tmp, item in reversed(binders):
+            inner = _bind_irrefutable(tmp, item, inner, fresh, pos)
+        return A.MatchTuple(A.Var(var, pos=pos), tuple(names), inner, pos=pos)
+    raise ParseError(f"pattern {pat} is refutable", pos.line if pos else None)
+
+
+def _branch_on(idx: int, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+    """Branch on the constructor of obligation ``idx`` of the first row."""
+    var = matrix[0][0][idx][0]
+    pivot = matrix[0][0][idx][1]
+
+    if isinstance(pivot, (PNil, PCons)):
+        return _branch_list(idx, var, matrix, fresh, pos)
+    if isinstance(pivot, PTuple):
+        return _branch_tuple(idx, var, matrix, fresh, pos)
+    if isinstance(pivot, (PInl, PInr)):
+        return _branch_sum(idx, var, matrix, fresh, pos)
+    raise ParseError(f"unsupported pattern {pivot}")
+
+
+def _row_obligation_on(row, var):
+    """Find the obligation index on ``var`` in ``row``, or None."""
+    for k, (v, _p) in enumerate(row[0]):
+        if v == var:
+            return k
+    return None
+
+
+def _branch_list(idx: int, var: str, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+    head_var = fresh.fresh("h")
+    tail_var = fresh.fresh("t")
+    nil_rows = []
+    cons_rows = []
+    for obligations, rhs in matrix:
+        k = _row_obligation_on((obligations, rhs), var)
+        if k is None:
+            nil_rows.append((list(obligations), rhs))
+            cons_rows.append((list(obligations), rhs))
+            continue
+        pat = obligations[k][1]
+        rest = obligations[:k] + obligations[k + 1 :]
+        if isinstance(pat, PNil):
+            nil_rows.append((rest, rhs))
+        elif isinstance(pat, PCons):
+            cons_rows.append(
+                (rest + [(head_var, pat.head), (tail_var, pat.tail)], rhs)
+            )
+        elif isinstance(pat, PVar):
+            # variable matches both; rebind the scrutinee variable
+            bound_nil = rest if pat.name == "_" else rest + [(var, pat)]
+            nil_rows.append((bound_nil, rhs))
+            cons_rows.append((list(bound_nil), rhs))
+        else:
+            raise ParseError("list and non-list patterns mixed in match")
+    nil_branch = _compile_matrix(nil_rows, fresh, pos)
+    cons_branch = _compile_matrix(cons_rows, fresh, pos)
+    return A.MatchList(A.Var(var, pos=pos), nil_branch, head_var, tail_var, cons_branch, pos=pos)
+
+
+def _branch_tuple(idx: int, var: str, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+    width = len(matrix[0][0][idx][1].items)
+    comp_vars = [fresh.fresh("c") for _ in range(width)]
+    rows = []
+    for obligations, rhs in matrix:
+        k = _row_obligation_on((obligations, rhs), var)
+        if k is None:
+            rows.append((list(obligations), rhs))
+            continue
+        pat = obligations[k][1]
+        rest = obligations[:k] + obligations[k + 1 :]
+        if isinstance(pat, PTuple):
+            if len(pat.items) != width:
+                raise ParseError("tuple pattern arity mismatch")
+            rows.append((rest + list(zip(comp_vars, pat.items)), rhs))
+        elif isinstance(pat, PVar):
+            rows.append((rest + ([] if pat.name == "_" else [(var, pat)]), rhs))
+        else:
+            raise ParseError("tuple and non-tuple patterns mixed in match")
+    body = _compile_matrix(rows, fresh, pos)
+    return A.MatchTuple(A.Var(var, pos=pos), tuple(comp_vars), body, pos=pos)
+
+
+def _branch_sum(idx: int, var: str, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+    lvar = fresh.fresh("l")
+    rvar = fresh.fresh("r")
+    left_rows = []
+    right_rows = []
+    for obligations, rhs in matrix:
+        k = _row_obligation_on((obligations, rhs), var)
+        if k is None:
+            left_rows.append((list(obligations), rhs))
+            right_rows.append((list(obligations), rhs))
+            continue
+        pat = obligations[k][1]
+        rest = obligations[:k] + obligations[k + 1 :]
+        if isinstance(pat, PInl):
+            left_rows.append((rest + [(lvar, pat.inner)], rhs))
+        elif isinstance(pat, PInr):
+            right_rows.append((rest + [(rvar, pat.inner)], rhs))
+        elif isinstance(pat, PVar):
+            bound = rest if pat.name == "_" else rest + [(var, pat)]
+            left_rows.append((bound, rhs))
+            right_rows.append((list(bound), rhs))
+        else:
+            raise ParseError("sum and non-sum patterns mixed in match")
+    left_branch = _compile_matrix(left_rows, fresh, pos)
+    right_branch = _compile_matrix(right_rows, fresh, pos)
+    return A.MatchSum(A.Var(var, pos=pos), lvar, left_branch, rvar, right_branch, pos=pos)
+
+
+# ---------------------------------------------------------------------------
+# The parser proper
+# ---------------------------------------------------------------------------
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.fresh = _FreshNames()
+        self.current_fun: Optional[str] = None
+        self.stat_counter = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def at_symbol(self, text: str, offset: int = 0) -> bool:
+        return self.at("symbol", text, offset)
+
+    def at_keyword(self, text: str, offset: int = 0) -> bool:
+        return self.at("keyword", text, offset)
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.text!r}", tok.line, tok.col)
+        return self.next()
+
+    def here(self) -> A.Pos:
+        tok = self.peek()
+        return A.Pos(tok.line, tok.col)
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        functions: List[A.FunDef] = []
+        while not self.at("eof"):
+            if self.at_keyword("exception"):
+                self.next()
+                self.expect("ident")
+                continue
+            functions.append(self.parse_fundef())
+        if not functions:
+            raise ParseError("empty program")
+        return A.Program(functions)
+
+    def parse_fundef(self) -> A.FunDef:
+        pos = self.here()
+        self.expect("keyword", "let")
+        recursive = False
+        if self.at_keyword("rec"):
+            self.next()
+            recursive = True
+        name_tok = self.expect("ident")
+        name = name_tok.text
+        if is_builtin(name):
+            raise ParseError(f"cannot redefine builtin {name!r}", name_tok.line, name_tok.col)
+        self.current_fun = name
+        self.stat_counter = 0
+        params: List[str] = []
+        while not self.at_symbol("=") and not self.at_symbol(":"):
+            params.append(self.parse_param())
+        # optional return type annotation
+        if self.at_symbol(":"):
+            self.next()
+            self.parse_type()
+        self.expect("symbol", "=")
+        body = self.parse_expr()
+        if not params:
+            raise ParseError(f"function {name!r} has no parameters", pos.line, pos.col)
+        return A.FunDef(name, tuple(params), body, recursive=recursive, pos=pos)
+
+    def parse_param(self) -> str:
+        if self.at("ident"):
+            return self.next().text
+        if self.at_symbol("_"):
+            self.next()
+            return self.fresh.fresh("u")
+        if self.at_symbol("("):
+            self.next()
+            tok = self.expect("ident")
+            if self.at_symbol(":"):
+                self.next()
+                self.parse_type()
+            self.expect("symbol", ")")
+            return tok.text
+        tok = self.peek()
+        raise ParseError(f"expected parameter, found {tok.text!r}", tok.line, tok.col)
+
+    # -- types (parsed and discarded; inference recomputes them) -------------
+
+    def parse_type(self) -> A.Type:
+        ty = self.parse_type_atom()
+        items = [ty]
+        while self.at_symbol("*"):
+            self.next()
+            items.append(self.parse_type_atom())
+        if len(items) > 1:
+            return A.TProd(tuple(items))
+        return ty
+
+    def parse_type_atom(self) -> A.Type:
+        if self.at_symbol("("):
+            self.next()
+            ty = self.parse_type()
+            self.expect("symbol", ")")
+            return self._type_suffix(ty)
+        if self.at_symbol("'"):
+            self.next()
+            name = self.expect("ident").text
+            return self._type_suffix(A.TVar(name))
+        tok = self.expect("ident")
+        base = {"int": A.INT, "bool": A.BOOL, "unit": A.UNIT}.get(tok.text)
+        if base is None:
+            if tok.text == "list":
+                raise ParseError("'list' must follow an element type", tok.line, tok.col)
+            base = A.TVar(tok.text)
+        return self._type_suffix(base)
+
+    def _type_suffix(self, ty: A.Type) -> A.Type:
+        while self.at("ident", "list"):
+            self.next()
+            ty = A.TList(ty)
+        return ty
+
+    # -- patterns -----------------------------------------------------------
+
+    def parse_pattern(self):
+        pat = self.parse_pattern_cons()
+        return pat
+
+    def parse_pattern_cons(self):
+        head = self.parse_pattern_atom()
+        if self.at_symbol("::"):
+            self.next()
+            tail = self.parse_pattern_cons()
+            return PCons(head, tail)
+        return head
+
+    def parse_pattern_atom(self):
+        tok = self.peek()
+        if self.at_symbol("_"):
+            self.next()
+            return PVar("_")
+        if self.at("ident"):
+            name = self.next().text
+            if name == "Left":
+                return PInl(self.parse_pattern_atom())
+            if name == "Right":
+                return PInr(self.parse_pattern_atom())
+            return PVar(name)
+        if self.at_symbol("["):
+            self.next()
+            items = []
+            if not self.at_symbol("]"):
+                items.append(self.parse_pattern())
+                while self.at_symbol(";"):
+                    self.next()
+                    items.append(self.parse_pattern())
+            self.expect("symbol", "]")
+            pat = PNil()
+            for item in reversed(items):
+                pat = PCons(item, pat)
+            return pat
+        if self.at_symbol("("):
+            self.next()
+            if self.at_symbol(")"):
+                self.next()
+                return PUnit()
+            items = [self.parse_pattern()]
+            while self.at_symbol(","):
+                self.next()
+                items.append(self.parse_pattern())
+            self.expect("symbol", ")")
+            if len(items) == 1:
+                return items[0]
+            return PTuple(tuple(items))
+        raise ParseError(f"expected pattern, found {tok.text!r}", tok.line, tok.col)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        pos = self.here()
+        if self.at_keyword("let"):
+            return self.parse_let()
+        if self.at_keyword("if"):
+            self.next()
+            cond = self.parse_expr()
+            self.expect("keyword", "then")
+            then_branch = self.parse_expr()
+            self.expect("keyword", "else")
+            else_branch = self.parse_expr()
+            return A.If(cond, then_branch, else_branch, pos=pos)
+        if self.at_keyword("match"):
+            return self.parse_match()
+        if self.at_keyword("raise"):
+            self.next()
+            tok = self.expect("ident")
+            return A.ErrorExpr(tok.text, pos=pos)
+        if self.at_keyword("fun"):
+            tok = self.peek()
+            raise ParseError("higher-order functions are not supported", tok.line, tok.col)
+        return self.parse_or()
+
+    def parse_let(self) -> A.Expr:
+        pos = self.here()
+        self.expect("keyword", "let")
+        if self.at_keyword("rec"):
+            tok = self.peek()
+            raise ParseError("local 'let rec' is not supported", tok.line, tok.col)
+        pat = self.parse_pattern()
+        if self.at_symbol(","):
+            # OCaml allows unparenthesized tuple patterns in let bindings:
+            #   let lower, upper = partition pivot xs in ...
+            items = [pat]
+            while self.at_symbol(","):
+                self.next()
+                items.append(self.parse_pattern())
+            pat = PTuple(tuple(items))
+        if self.at_symbol(":"):
+            self.next()
+            self.parse_type()
+        self.expect("symbol", "=")
+        bound = self.parse_expr()
+        self.expect("keyword", "in")
+        body = self.parse_expr()
+        if isinstance(pat, PVar):
+            name = pat.name if pat.name != "_" else self.fresh.fresh("u")
+            return A.Let(name, bound, body, pos=pos)
+        tmp = self.fresh.fresh("b")
+        compiled = _compile_match(tmp, [(pat, body)], self.fresh, pos)
+        return A.Let(tmp, bound, compiled, pos=pos)
+
+    def parse_match(self) -> A.Expr:
+        pos = self.here()
+        self.expect("keyword", "match")
+        scrut = self.parse_expr()
+        self.expect("keyword", "with")
+        arms = []
+        if self.at_symbol("|"):
+            self.next()
+        while True:
+            pat = self.parse_pattern()
+            self.expect("symbol", "->")
+            rhs = self.parse_expr()
+            arms.append((pat, rhs))
+            if self.at_symbol("|"):
+                self.next()
+                continue
+            break
+        if isinstance(scrut, A.Var):
+            return _compile_match(scrut.name, arms, self.fresh, pos)
+        tmp = self.fresh.fresh("s")
+        compiled = _compile_match(tmp, arms, self.fresh, pos)
+        return A.Let(tmp, scrut, compiled, pos=pos)
+
+    def parse_or(self) -> A.Expr:
+        # `a || b` desugars to `if a then true else b` at parse time so that
+        # share-let normalization cannot break short-circuit evaluation
+        left = self.parse_and()
+        while self.at_symbol("||"):
+            pos = self.here()
+            self.next()
+            right = self.parse_and()
+            left = A.If(left, A.BoolLit(True, pos=pos), right, pos=pos)
+        return left
+
+    def parse_and(self) -> A.Expr:
+        # `a && b` desugars to `if a then b else false` (see parse_or)
+        left = self.parse_cmp()
+        while self.at_symbol("&&"):
+            pos = self.here()
+            self.next()
+            right = self.parse_cmp()
+            left = A.If(left, right, A.BoolLit(False, pos=pos), pos=pos)
+        return left
+
+    def parse_cmp(self) -> A.Expr:
+        left = self.parse_cons()
+        if self.peek().kind == "symbol" and self.peek().text in A.CMP_OPS:
+            pos = self.here()
+            op = self.next().text
+            right = self.parse_cons()
+            return A.BinOp(op, left, right, pos=pos)
+        return left
+
+    def parse_cons(self) -> A.Expr:
+        head = self.parse_additive()
+        if self.at_symbol("::"):
+            pos = self.here()
+            self.next()
+            tail = self.parse_cons()
+            return A.Cons(head, tail, pos=pos)
+        return head
+
+    def parse_additive(self) -> A.Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind == "symbol" and self.peek().text in ("+", "-"):
+            pos = self.here()
+            op = self.next().text
+            right = self.parse_multiplicative()
+            left = A.BinOp(op, left, right, pos=pos)
+        return left
+
+    def parse_multiplicative(self) -> A.Expr:
+        left = self.parse_unary()
+        while (self.peek().kind == "symbol" and self.peek().text in ("*", "/")) or self.at_keyword("mod"):
+            pos = self.here()
+            op = self.next().text
+            right = self.parse_unary()
+            left = A.BinOp(op, left, right, pos=pos)
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        pos = self.here()
+        if self.at_symbol("-"):
+            self.next()
+            operand = self.parse_unary()
+            if isinstance(operand, A.IntLit):
+                return A.IntLit(-operand.value, pos=pos)
+            return A.Neg("-", operand, pos=pos)
+        if self.at_keyword("not"):
+            self.next()
+            operand = self.parse_unary()
+            return A.Neg("not", operand, pos=pos)
+        return self.parse_app()
+
+    def parse_app(self) -> A.Expr:
+        pos = self.here()
+        if self.at("ident"):
+            name = self.peek().text
+            if name in ("Raml.tick", "tick"):
+                self.next()
+                return self.parse_tick(pos)
+            if name in ("Raml.stat", "stat"):
+                self.next()
+                self.stat_counter += 1
+                label = f"{self.current_fun or 'main'}#{self.stat_counter}"
+                body = self.parse_atom()
+                return A.Stat(label, body, pos=pos)
+            if name in ("Left", "Right"):
+                self.next()
+                operand = self.parse_atom()
+                cls = A.Inl if name == "Left" else A.Inr
+                return cls(operand, pos=pos)
+            # function application: ident followed by atoms
+            if self._atom_follows(1):
+                self.next()
+                args = [self.parse_atom()]
+                while self._atom_follows(0):
+                    args.append(self.parse_atom())
+                return A.App(name, tuple(args), pos=pos)
+        return self.parse_atom()
+
+    def parse_tick(self, pos: A.Pos) -> A.Expr:
+        negative = False
+        if self.at_symbol("-"):
+            self.next()
+            negative = True
+        if self.at_symbol("("):
+            self.next()
+            if self.at_symbol("-"):
+                self.next()
+                negative = True
+            tok = self.next()
+            self.expect("symbol", ")")
+        else:
+            tok = self.next()
+        if tok.kind not in ("int", "float"):
+            raise ParseError("tick expects a numeric literal", tok.line, tok.col)
+        amount = float(tok.text)
+        return A.Tick(-amount if negative else amount, pos=pos)
+
+    def _atom_follows(self, offset: int) -> bool:
+        tok = self.peek(offset)
+        if tok.kind in ("int", "float", "ident"):
+            return tok.text not in ("mod",)
+        if tok.kind == "keyword" and tok.text in ("true", "false"):
+            return True
+        if tok.kind == "symbol" and tok.text in ("(", "["):
+            return True
+        return False
+
+    def parse_atom(self) -> A.Expr:
+        pos = self.here()
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return A.IntLit(int(tok.text), pos=pos)
+        if tok.kind == "float":
+            raise ParseError("float literals are only allowed in tick", tok.line, tok.col)
+        if self.at_keyword("true"):
+            self.next()
+            return A.BoolLit(True, pos=pos)
+        if self.at_keyword("false"):
+            self.next()
+            return A.BoolLit(False, pos=pos)
+        if tok.kind == "ident":
+            self.next()
+            return A.Var(tok.text, pos=pos)
+        if self.at_symbol("["):
+            self.next()
+            items = []
+            if not self.at_symbol("]"):
+                items.append(self.parse_expr())
+                while self.at_symbol(";"):
+                    self.next()
+                    items.append(self.parse_expr())
+            self.expect("symbol", "]")
+            expr: A.Expr = A.Nil(pos=pos)
+            for item in reversed(items):
+                expr = A.Cons(item, expr, pos=pos)
+            return expr
+        if self.at_symbol("("):
+            self.next()
+            if self.at_symbol(")"):
+                self.next()
+                return A.UnitLit(pos=pos)
+            items = [self.parse_expr()]
+            while self.at_symbol(","):
+                self.next()
+                items.append(self.parse_expr())
+            self.expect("symbol", ")")
+            if len(items) == 1:
+                return items[0]
+            return A.TupleExpr(tuple(items), pos=pos)
+        raise ParseError(f"expected expression, found {tok.text!r}", tok.line, tok.col)
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse a whole program from source text."""
+    return Parser(source).parse_program()
+
+
+def parse_expr(source: str) -> A.Expr:
+    """Parse a single expression (test helper)."""
+    parser = Parser(source)
+    parser.current_fun = "main"
+    expr = parser.parse_expr()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.col)
+    return expr

@@ -1,0 +1,87 @@
+"""Pretty-printer for expressions and programs (debugging/documentation)."""
+
+from __future__ import annotations
+
+from . import ast as A
+
+
+def pretty_expr(expr: A.Expr, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, A.UnitLit):
+        return "()"
+    if isinstance(expr, A.Nil):
+        return "[]"
+    if isinstance(expr, A.Tick):
+        return f"tick {expr.amount}"
+    if isinstance(expr, A.ErrorExpr):
+        return f'error "{expr.message}"'
+    if isinstance(expr, A.Cons):
+        return f"{pretty_expr(expr.head)} :: {pretty_expr(expr.tail)}"
+    if isinstance(expr, A.TupleExpr):
+        return "(" + ", ".join(pretty_expr(e) for e in expr.items) + ")"
+    if isinstance(expr, A.Inl):
+        return f"Left {pretty_expr(expr.operand)}"
+    if isinstance(expr, A.Inr):
+        return f"Right {pretty_expr(expr.operand)}"
+    if isinstance(expr, A.BinOp):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    if isinstance(expr, A.Neg):
+        op = "-" if expr.op == "-" else "not "
+        return f"{op}{pretty_expr(expr.operand)}"
+    if isinstance(expr, A.App):
+        args = " ".join(pretty_expr(a) for a in expr.args)
+        return f"({expr.fname} {args})"
+    if isinstance(expr, A.Stat):
+        return f"stat[{expr.label}] ({pretty_expr(expr.body)})"
+    if isinstance(expr, A.Let):
+        return (
+            f"let {expr.name} = {pretty_expr(expr.bound)} in\n"
+            f"{pad}{pretty_expr(expr.body, indent)}"
+        )
+    if isinstance(expr, A.Share):
+        return (
+            f"share {expr.name} as {expr.name1}, {expr.name2} in\n"
+            f"{pad}{pretty_expr(expr.body, indent)}"
+        )
+    if isinstance(expr, A.If):
+        return (
+            f"if {pretty_expr(expr.cond)}\n"
+            f"{pad}then {pretty_expr(expr.then_branch, indent + 1)}\n"
+            f"{pad}else {pretty_expr(expr.else_branch, indent + 1)}"
+        )
+    if isinstance(expr, A.MatchList):
+        return (
+            f"match {pretty_expr(expr.scrutinee)} with\n"
+            f"{pad}| [] -> {pretty_expr(expr.nil_branch, indent + 1)}\n"
+            f"{pad}| {expr.head_var} :: {expr.tail_var} -> "
+            f"{pretty_expr(expr.cons_branch, indent + 1)}"
+        )
+    if isinstance(expr, A.MatchSum):
+        return (
+            f"match {pretty_expr(expr.scrutinee)} with\n"
+            f"{pad}| Left {expr.left_var} -> {pretty_expr(expr.left_branch, indent + 1)}\n"
+            f"{pad}| Right {expr.right_var} -> {pretty_expr(expr.right_branch, indent + 1)}"
+        )
+    if isinstance(expr, A.MatchTuple):
+        names = ", ".join(expr.names)
+        return (
+            f"match {pretty_expr(expr.scrutinee)} with ({names}) ->\n"
+            f"{pad}{pretty_expr(expr.body, indent)}"
+        )
+    return f"<{type(expr).__name__}>"
+
+
+def pretty_program(program: A.Program) -> str:
+    chunks = []
+    for fdef in program:
+        rec = "rec " if fdef.recursive else ""
+        params = " ".join(fdef.params)
+        sig = f" (* : {fdef.fun_type} *)" if fdef.fun_type else ""
+        chunks.append(f"let {rec}{fdef.name} {params} ={sig}\n  {pretty_expr(fdef.body, 1)}")
+    return "\n\n".join(chunks)

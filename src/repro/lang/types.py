@@ -1,0 +1,268 @@
+"""Simple type inference for the first-order language.
+
+Unification-based inference (monomorphic, first-order).  Works on both
+surface and normalized ASTs; annotates every expression node with its
+resolved type and every function with its :class:`~repro.lang.ast.FunType`.
+Residual unification variables (types unconstrained by usage) default to
+``int``, which is always sound for the resource analysis because ``int``
+carries no potential.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from . import ast as A
+from .builtins import BUILTINS
+from ..errors import TypeMismatchError
+
+
+class _Unifier:
+    def __init__(self) -> None:
+        self.bindings: Dict[str, A.Type] = {}
+        self.counter = itertools.count()
+
+    def fresh(self) -> A.TVar:
+        return A.TVar(f"t{next(self.counter)}")
+
+    def resolve(self, ty: A.Type) -> A.Type:
+        """Follow bindings one level."""
+        while isinstance(ty, A.TVar) and ty.name in self.bindings:
+            ty = self.bindings[ty.name]
+        return ty
+
+    def zonk(self, ty: A.Type, default_int: bool = True) -> A.Type:
+        """Fully resolve a type; unresolved variables become int."""
+        ty = self.resolve(ty)
+        if isinstance(ty, A.TVar):
+            return A.INT if default_int else ty
+        if isinstance(ty, A.TList):
+            return A.TList(self.zonk(ty.elem, default_int))
+        if isinstance(ty, A.TProd):
+            return A.TProd(tuple(self.zonk(t, default_int) for t in ty.items))
+        if isinstance(ty, A.TSum):
+            return A.TSum(self.zonk(ty.left, default_int), self.zonk(ty.right, default_int))
+        return ty
+
+    def occurs(self, name: str, ty: A.Type) -> bool:
+        ty = self.resolve(ty)
+        if isinstance(ty, A.TVar):
+            return ty.name == name
+        if isinstance(ty, A.TList):
+            return self.occurs(name, ty.elem)
+        if isinstance(ty, A.TProd):
+            return any(self.occurs(name, t) for t in ty.items)
+        if isinstance(ty, A.TSum):
+            return self.occurs(name, ty.left) or self.occurs(name, ty.right)
+        return False
+
+    def unify(self, t1: A.Type, t2: A.Type, pos: Optional[A.Pos] = None) -> None:
+        t1 = self.resolve(t1)
+        t2 = self.resolve(t2)
+        if t1 == t2:
+            return
+        if isinstance(t1, A.TVar):
+            if self.occurs(t1.name, t2):
+                raise TypeMismatchError(
+                    f"occurs check failed: {t1} in {t2}",
+                    pos.line if pos else None,
+                    pos.col if pos else None,
+                )
+            self.bindings[t1.name] = t2
+            return
+        if isinstance(t2, A.TVar):
+            self.unify(t2, t1, pos)
+            return
+        if isinstance(t1, A.TList) and isinstance(t2, A.TList):
+            self.unify(t1.elem, t2.elem, pos)
+            return
+        if isinstance(t1, A.TProd) and isinstance(t2, A.TProd) and len(t1.items) == len(t2.items):
+            for a, b in zip(t1.items, t2.items):
+                self.unify(a, b, pos)
+            return
+        if isinstance(t1, A.TSum) and isinstance(t2, A.TSum):
+            self.unify(t1.left, t2.left, pos)
+            self.unify(t1.right, t2.right, pos)
+            return
+        raise TypeMismatchError(
+            f"cannot unify {t1} with {t2}",
+            pos.line if pos else None,
+            pos.col if pos else None,
+        )
+
+
+class TypeChecker:
+    """Infers simple types for a whole program."""
+
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.uni = _Unifier()
+        self.fun_types: Dict[str, A.FunType] = {}
+
+    def run(self) -> A.Program:
+        # Pre-declare every function with fresh type variables so that
+        # (mutually) recursive references unify consistently.
+        for fdef in self.program:
+            params = tuple(self.uni.fresh() for _ in fdef.params)
+            self.fun_types[fdef.name] = A.FunType(params, self.uni.fresh())
+        for fdef in self.program:
+            env = dict(zip(fdef.params, self.fun_types[fdef.name].params))
+            result = self.infer(fdef.body, env)
+            self.uni.unify(result, self.fun_types[fdef.name].result, fdef.pos)
+        # zonk all annotations
+        for fdef in self.program:
+            sig = self.fun_types[fdef.name]
+            fdef.fun_type = A.FunType(
+                tuple(self.uni.zonk(t) for t in sig.params), self.uni.zonk(sig.result)
+            )
+            for node in fdef.body.walk():
+                if node.type is not None:
+                    node.type = self.uni.zonk(node.type)
+        return self.program
+
+    # -- expression inference -----------------------------------------------
+
+    def infer(self, expr: A.Expr, env: Dict[str, A.Type]) -> A.Type:
+        ty = self._infer(expr, env)
+        expr.type = ty
+        return ty
+
+    def _infer(self, expr: A.Expr, env: Dict[str, A.Type]) -> A.Type:
+        uni = self.uni
+        if isinstance(expr, A.Var):
+            if expr.name not in env:
+                raise TypeMismatchError(
+                    f"unbound variable {expr.name!r}",
+                    expr.pos.line if expr.pos else None,
+                    expr.pos.col if expr.pos else None,
+                )
+            return env[expr.name]
+        if isinstance(expr, A.UnitLit):
+            return A.UNIT
+        if isinstance(expr, A.IntLit):
+            return A.INT
+        if isinstance(expr, A.BoolLit):
+            return A.BOOL
+        if isinstance(expr, A.Tick):
+            return A.UNIT
+        if isinstance(expr, A.ErrorExpr):
+            return uni.fresh()
+        if isinstance(expr, A.BinOp):
+            lt = self.infer(expr.left, env)
+            rt = self.infer(expr.right, env)
+            if expr.op in A.ARITH_OPS:
+                uni.unify(lt, A.INT, expr.pos)
+                uni.unify(rt, A.INT, expr.pos)
+                return A.INT
+            if expr.op in A.CMP_OPS:
+                uni.unify(lt, rt, expr.pos)
+                return A.BOOL
+            if expr.op in A.BOOL_OPS:
+                uni.unify(lt, A.BOOL, expr.pos)
+                uni.unify(rt, A.BOOL, expr.pos)
+                return A.BOOL
+            raise TypeMismatchError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, A.Neg):
+            ot = self.infer(expr.operand, env)
+            if expr.op == "-":
+                uni.unify(ot, A.INT, expr.pos)
+                return A.INT
+            uni.unify(ot, A.BOOL, expr.pos)
+            return A.BOOL
+        if isinstance(expr, A.Inl):
+            inner = self.infer(expr.operand, env)
+            return A.TSum(inner, uni.fresh())
+        if isinstance(expr, A.Inr):
+            inner = self.infer(expr.operand, env)
+            return A.TSum(uni.fresh(), inner)
+        if isinstance(expr, A.TupleExpr):
+            return A.TProd(tuple(self.infer(e, env) for e in expr.items))
+        if isinstance(expr, A.Nil):
+            return A.TList(uni.fresh())
+        if isinstance(expr, A.Cons):
+            head = self.infer(expr.head, env)
+            tail = self.infer(expr.tail, env)
+            uni.unify(tail, A.TList(head), expr.pos)
+            return tail
+        if isinstance(expr, A.MatchList):
+            scrut = self.infer(expr.scrutinee, env)
+            elem = uni.fresh()
+            uni.unify(scrut, A.TList(elem), expr.pos)
+            nil_ty = self.infer(expr.nil_branch, env)
+            cons_env = dict(env)
+            cons_env[expr.head_var] = elem
+            cons_env[expr.tail_var] = A.TList(elem)
+            cons_ty = self.infer(expr.cons_branch, cons_env)
+            uni.unify(nil_ty, cons_ty, expr.pos)
+            return nil_ty
+        if isinstance(expr, A.MatchSum):
+            scrut = self.infer(expr.scrutinee, env)
+            lt, rt = uni.fresh(), uni.fresh()
+            uni.unify(scrut, A.TSum(lt, rt), expr.pos)
+            left_env = dict(env)
+            left_env[expr.left_var] = lt
+            left_ty = self.infer(expr.left_branch, left_env)
+            right_env = dict(env)
+            right_env[expr.right_var] = rt
+            right_ty = self.infer(expr.right_branch, right_env)
+            uni.unify(left_ty, right_ty, expr.pos)
+            return left_ty
+        if isinstance(expr, A.MatchTuple):
+            scrut = self.infer(expr.scrutinee, env)
+            comps = tuple(uni.fresh() for _ in expr.names)
+            uni.unify(scrut, A.TProd(comps), expr.pos)
+            body_env = dict(env)
+            body_env.update(zip(expr.names, comps))
+            return self.infer(expr.body, body_env)
+        if isinstance(expr, A.If):
+            cond = self.infer(expr.cond, env)
+            uni.unify(cond, A.BOOL, expr.pos)
+            then_ty = self.infer(expr.then_branch, env)
+            else_ty = self.infer(expr.else_branch, env)
+            uni.unify(then_ty, else_ty, expr.pos)
+            return then_ty
+        if isinstance(expr, A.App):
+            sig = self._signature_of(expr)
+            if len(sig.params) != len(expr.args):
+                raise TypeMismatchError(
+                    f"{expr.fname} expects {len(sig.params)} arguments, got {len(expr.args)}",
+                    expr.pos.line if expr.pos else None,
+                    expr.pos.col if expr.pos else None,
+                )
+            for arg, param_ty in zip(expr.args, sig.params):
+                arg_ty = self.infer(arg, env)
+                uni.unify(arg_ty, param_ty, expr.pos)
+            return sig.result
+        if isinstance(expr, A.Let):
+            bound = self.infer(expr.bound, env)
+            body_env = dict(env)
+            body_env[expr.name] = bound
+            return self.infer(expr.body, body_env)
+        if isinstance(expr, A.Share):
+            if expr.name not in env:
+                raise TypeMismatchError(f"unbound variable {expr.name!r} in share")
+            ty = env[expr.name]
+            body_env = dict(env)
+            body_env[expr.name1] = ty
+            body_env[expr.name2] = ty
+            return self.infer(expr.body, body_env)
+        if isinstance(expr, A.Stat):
+            return self.infer(expr.body, env)
+        raise TypeMismatchError(f"cannot type node {type(expr).__name__}")
+
+    def _signature_of(self, expr: A.App) -> A.FunType:
+        if expr.fname in self.fun_types:
+            return self.fun_types[expr.fname]
+        if expr.fname in BUILTINS:
+            return BUILTINS[expr.fname].fun_type
+        raise TypeMismatchError(
+            f"unknown function {expr.fname!r}",
+            expr.pos.line if expr.pos else None,
+            expr.pos.col if expr.pos else None,
+        )
+
+
+def typecheck_program(program: A.Program) -> A.Program:
+    """Infer and annotate simple types; raises TypeMismatchError on error."""
+    return TypeChecker(program).run()

@@ -1,0 +1,154 @@
+"""Runtime values of the AARA language and helpers to convert Python data.
+
+Values mirror the grammar in Section 3.2 of the paper:
+
+``v ::= <> | n | true | false | left v | right v | (v1,...,vk) | [] | v::v``
+
+Lists are represented as Python tuples for O(1) hashing and cheap structural
+sharing; this keeps datasets compact and lets values serve as dict keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from . import ast as A
+from ..errors import EvalError
+
+
+@dataclass(frozen=True)
+class VUnit:
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class VInl:
+    value: "Value"
+
+    def __str__(self) -> str:
+        return f"Left {self.value}"
+
+
+@dataclass(frozen=True)
+class VInr:
+    value: "Value"
+
+    def __str__(self) -> str:
+        return f"Right {self.value}"
+
+
+@dataclass(frozen=True)
+class VTuple:
+    items: Tuple["Value", ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(v) for v in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class VList:
+    items: Tuple["Value", ...]
+
+    def __str__(self) -> str:
+        return "[" + "; ".join(str(v) for v in self.items) + "]"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+Value = Union[int, bool, VUnit, VInl, VInr, VTuple, VList]
+
+UNIT_VALUE = VUnit()
+
+
+def from_python(obj) -> Value:
+    """Convert nested Python data (ints, bools, lists, tuples) to a Value."""
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if obj is None:
+        return UNIT_VALUE
+    if isinstance(obj, VUnit) or isinstance(obj, (VInl, VInr, VTuple, VList)):
+        return obj
+    if isinstance(obj, list):
+        return VList(tuple(from_python(x) for x in obj))
+    if isinstance(obj, tuple):
+        return VTuple(tuple(from_python(x) for x in obj))
+    raise EvalError(f"cannot convert {obj!r} to a language value")
+
+
+def to_python(value: Value):
+    """Inverse of :func:`from_python` (sums map to tagged pairs)."""
+    if isinstance(value, bool) or isinstance(value, int):
+        return value
+    if isinstance(value, VUnit):
+        return None
+    if isinstance(value, VList):
+        return [to_python(v) for v in value.items]
+    if isinstance(value, VTuple):
+        return tuple(to_python(v) for v in value.items)
+    if isinstance(value, VInl):
+        return ("left", to_python(value.value))
+    if isinstance(value, VInr):
+        return ("right", to_python(value.value))
+    raise EvalError(f"unknown value {value!r}")
+
+
+def type_of_value(value: Value) -> A.Type:
+    """Best-effort simple type of a closed value (lists need a witness)."""
+    if isinstance(value, bool):
+        return A.BOOL
+    if isinstance(value, int):
+        return A.INT
+    if isinstance(value, VUnit):
+        return A.UNIT
+    if isinstance(value, VTuple):
+        return A.TProd(tuple(type_of_value(v) for v in value.items))
+    if isinstance(value, VList):
+        if value.items:
+            return A.TList(type_of_value(value.items[0]))
+        return A.TList(A.INT)
+    if isinstance(value, VInl):
+        return A.TSum(type_of_value(value.value), A.INT)
+    if isinstance(value, VInr):
+        return A.TSum(A.INT, type_of_value(value.value))
+    raise EvalError(f"unknown value {value!r}")
+
+
+def sizes_of(value: Value) -> tuple:
+    """Flattened size statistics used by size projections φ (Section 5.4).
+
+    Returns a tuple whose entries depend on the type shape:
+
+    * ints/bools/unit contribute nothing;
+    * a list contributes its length followed by the statistics of the
+      *concatenation* of its elements (so a nested list contributes
+      ``(outer length, total inner length, ...)``);
+    * tuples contribute the concatenation of their components' statistics.
+    """
+    if isinstance(value, (bool, int, VUnit)):
+        return ()
+    if isinstance(value, VTuple):
+        out: tuple = ()
+        for item in value.items:
+            out += sizes_of(item)
+        return out
+    if isinstance(value, VList):
+        out = (len(value.items),)
+        # aggregate statistics of elements (sum over positions)
+        agg = None
+        for item in value.items:
+            stats = sizes_of(item)
+            if stats:
+                agg = stats if agg is None else tuple(a + b for a, b in zip(agg, stats))
+        if agg is not None:
+            out += agg
+        elif value.items and isinstance(value.items[0], (VList, VTuple)):
+            out += (0,)
+        return out
+    if isinstance(value, (VInl, VInr)):
+        return sizes_of(value.value)
+    raise EvalError(f"unknown value {value!r}")

@@ -1,0 +1,17 @@
+"""Linear-programming substrate: expressions, problems, HiGHS solving."""
+
+from .expr import LinExpr, ZERO, as_expr
+from .problem import Constraint, LPProblem
+from .solver import LPSolution, feasible_point, solve_lexicographic, solve_min
+
+__all__ = [
+    "LinExpr",
+    "ZERO",
+    "as_expr",
+    "Constraint",
+    "LPProblem",
+    "LPSolution",
+    "solve_lexicographic",
+    "solve_min",
+    "feasible_point",
+]

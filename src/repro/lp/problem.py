@@ -1,0 +1,174 @@
+"""Linear programs: variables, constraints, matrix export.
+
+All variables are non-negative by default (resource coefficients live in
+``Q≥0``).  Constraints are stored in normalized form ``lhs ≤ rhs`` or
+``lhs = rhs`` with a provenance note for debugging infeasibilities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .expr import LinExpr, as_expr
+from ..errors import LPError
+
+
+@dataclass
+class Constraint:
+    lhs: LinExpr
+    sense: str  # '<=' or '='
+    rhs: LinExpr
+    note: str = ""
+
+    def gap(self) -> LinExpr:
+        """``rhs - lhs`` (non-negative when the constraint holds)."""
+        return self.rhs - self.lhs
+
+    def holds(self, assignment, tol: float = 1e-6) -> bool:
+        gap = self.gap().evaluate(assignment)
+        if self.sense == "<=":
+            return gap >= -tol
+        return abs(gap) <= tol
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.sense} {self.rhs}" + (f"  [{self.note}]" if self.note else "")
+
+
+class LPProblem:
+    """A collection of non-negative variables and linear constraints."""
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self.constraints: List[Constraint] = []
+        self._vars: Dict[str, int] = {}
+        self._counter = itertools.count()
+        #: cached to_matrices() result; the per-posterior-sample LP loops of
+        #: BayesWC/BayesPC re-solve the same problem with different pinned
+        #: bounds, so matrix assembly must not be repeated M times
+        self._matrix_cache = None
+
+    # -- variables ------------------------------------------------------------
+
+    def fresh(self, hint: str = "q") -> LinExpr:
+        name = f"{hint}.{next(self._counter)}"
+        self.declare(name)
+        return LinExpr.var(name)
+
+    def declare(self, name: str) -> None:
+        if name not in self._vars:
+            self._vars[name] = len(self._vars)
+            self._matrix_cache = None
+
+    def declare_expr(self, expr: LinExpr) -> None:
+        for name in expr.coeffs:
+            self.declare(name)
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self._vars.keys())
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    # -- constraints ------------------------------------------------------------
+
+    def add_le(self, lhs, rhs, note: str = "") -> Constraint:
+        con = Constraint(as_expr(lhs), "<=", as_expr(rhs), note)
+        self._register(con)
+        return con
+
+    def add_ge(self, lhs, rhs, note: str = "") -> Constraint:
+        return self.add_le(rhs, lhs, note)
+
+    def add_eq(self, lhs, rhs, note: str = "") -> Constraint:
+        con = Constraint(as_expr(lhs), "=", as_expr(rhs), note)
+        self._register(con)
+        return con
+
+    def _register(self, con: Constraint) -> None:
+        self.declare_expr(con.lhs)
+        self.declare_expr(con.rhs)
+        self.constraints.append(con)
+        self._matrix_cache = None
+
+    def extend(self, other: "LPProblem") -> None:
+        """Merge another problem's variables and constraints into this one."""
+        for name in other.variables:
+            self.declare(name)
+        self.constraints.extend(other.constraints)
+
+    def copy(self) -> "LPProblem":
+        clone = LPProblem(self.name)
+        clone._vars = dict(self._vars)
+        clone._counter = itertools.count(next(self._counter))
+        clone.constraints = list(self.constraints)
+        clone._matrix_cache = None
+        return clone
+
+    # -- matrix export ------------------------------------------------------------
+
+    def column_index(self) -> Dict[str, int]:
+        return dict(self._vars)
+
+    def to_matrices(
+        self, extra_vars: Sequence[str] = ()
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Dict[str, int]]:
+        """Export as ``A_ub x <= b_ub``, ``A_eq x = b_eq`` over declared vars.
+
+        Does NOT include the implicit non-negativity bounds; callers add
+        them where needed (the solver passes bounds, the polytope module
+        appends ``-I x <= 0`` rows).
+        """
+        if not extra_vars and self._matrix_cache is not None:
+            return self._matrix_cache
+        index = self.column_index()
+        for name in extra_vars:
+            if name not in index:
+                index[name] = len(index)
+        n = len(index)
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for con in self.constraints:
+            row = np.zeros(n)
+            diff = con.lhs - con.rhs
+            for name, coef in diff.coeffs.items():
+                row[index[name]] = coef
+            if con.sense == "<=":
+                ub_rows.append(row)
+                ub_rhs.append(-diff.const)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(-diff.const)
+        A_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
+        b_ub = np.array(ub_rhs) if ub_rhs else np.zeros(0)
+        A_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
+        b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
+        result = (A_ub, b_ub, A_eq, b_eq, index)
+        if not extra_vars:
+            self._matrix_cache = result
+        return result
+
+    def check(self, assignment: Dict[str, float], tol: float = 1e-5) -> Optional[Constraint]:
+        """Return the first violated constraint under ``assignment`` or None."""
+        for con in self.constraints:
+            if not con.holds(assignment, tol):
+                return con
+        return None
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"LP {self.name}: {self.num_vars} vars, {len(self.constraints)} constraints"]
+        lines += [f"  {con}" for con in self.constraints]
+        return "\n".join(lines)
+
+
+def validate_objective(problem: LPProblem, objective: LinExpr) -> None:
+    for name in objective.coeffs:
+        if name not in problem._vars:
+            raise LPError(f"objective references undeclared variable {name!r}")

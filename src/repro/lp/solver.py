@@ -1,0 +1,138 @@
+"""LP solving with scipy's HiGHS backend, plus lexicographic objectives.
+
+Hybrid AARA solves its joint linear programs in two stages (Section 6.1):
+first minimize the total cost gap of the data-driven components, then
+minimize the resource coefficients of the root typing context with
+higher-degree coefficients weighted more heavily.  :func:`solve_lexicographic`
+implements the staging by re-solving with the previous optimum pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from .expr import LinExpr
+from .problem import LPProblem
+from ..errors import InfeasibleError, LPError
+
+#: relative slack allowed when pinning a stage optimum for the next stage
+STAGE_TOLERANCE = 1e-9
+
+
+@dataclass
+class LPSolution:
+    assignment: Dict[str, float]
+    objective_values: List[float]
+
+    def __getitem__(self, name: str) -> float:
+        return self.assignment.get(name, 0.0)
+
+    def value(self, expr: LinExpr) -> float:
+        return expr.evaluate(self.assignment)
+
+
+def _run_linprog(c, A_ub, b_ub, A_eq, b_eq, n, bounds=None):
+    if bounds is None:
+        bounds = [(0, None)] * n
+    kwargs = dict(bounds=bounds, method="highs")
+    A_ub_s = csr_matrix(A_ub) if A_ub.size else None
+    A_eq_s = csr_matrix(A_eq) if A_eq.size else None
+    return linprog(
+        c,
+        A_ub=A_ub_s,
+        b_ub=b_ub if A_ub_s is not None else None,
+        A_eq=A_eq_s,
+        b_eq=b_eq if A_eq_s is not None else None,
+        **kwargs,
+    )
+
+
+def solve_lexicographic(
+    problem: LPProblem,
+    objectives: Sequence[LinExpr],
+    context: str = "",
+    pinned: Optional[Dict[str, float]] = None,
+    pin_slack: float = 1e-7,
+) -> LPSolution:
+    """Minimize each objective in order, pinning earlier optima.
+
+    ``pinned`` fixes named variables to values via their bounds (used by the
+    per-posterior-sample LPs of Hybrid BayesWC/BayesPC, Eq. 6.5); a small
+    ``pin_slack`` keeps sampled points numerically feasible.
+
+    Raises :class:`InfeasibleError` when the feasible region is empty and
+    :class:`LPError` for solver-level failures (e.g. unbounded objectives).
+    """
+    if not objectives:
+        objectives = [LinExpr()]
+    for objective in objectives:
+        problem.declare_expr(objective)
+    A_ub, b_ub, A_eq, b_eq, index = problem.to_matrices()
+    n = len(index)
+    bounds = [(0.0, None)] * n
+    if pinned:
+        for name, value in pinned.items():
+            if name not in index:
+                continue
+            lo = max(0.0, float(value) - pin_slack)
+            hi = float(value) + pin_slack
+            bounds[index[name]] = (lo, hi)
+    objective_values: List[float] = []
+    result = None
+
+    ub_rows = [A_ub] if A_ub.size else []
+    ub_rhs = [b_ub] if b_ub.size else []
+
+    for stage, objective in enumerate(objectives):
+        c = np.zeros(n)
+        for name, coef in objective.coeffs.items():
+            c[index[name]] += coef
+        A_cur = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+        b_cur = np.concatenate(ub_rhs) if ub_rhs else np.zeros(0)
+        result = _run_linprog(c, A_cur, b_cur, A_eq, b_eq, n, bounds=bounds)
+        if result.status == 2:
+            raise InfeasibleError(
+                f"infeasible linear program{': ' + context if context else ''}"
+            )
+        if result.status == 3:
+            raise LPError(f"unbounded objective at stage {stage}{': ' + context if context else ''}")
+        if result.status != 0:
+            raise LPError(f"LP solver failure ({result.message})")
+        stage_opt = float(result.fun) + objective.const
+        objective_values.append(stage_opt)
+        if stage < len(objectives) - 1:
+            # pin: objective <= opt (+ small slack for numerical robustness)
+            slack = STAGE_TOLERANCE * max(1.0, abs(stage_opt))
+            row = np.zeros(n)
+            for name, coef in objective.coeffs.items():
+                row[index[name]] += coef
+            ub_rows.append(row.reshape(1, -1))
+            ub_rhs.append(np.array([stage_opt - objective.const + slack]))
+
+    assert result is not None
+    assignment = {name: float(result.x[col]) for name, col in index.items()}
+    return LPSolution(assignment, objective_values)
+
+
+def solve_min(
+    problem: LPProblem,
+    objective: LinExpr,
+    context: str = "",
+    pinned: Optional[Dict[str, float]] = None,
+) -> LPSolution:
+    """Single-objective convenience wrapper."""
+    return solve_lexicographic(problem, [objective], context, pinned=pinned)
+
+
+def feasible_point(problem: LPProblem, context: str = "") -> Optional[Dict[str, float]]:
+    """A feasible point of the problem, or None when infeasible."""
+    try:
+        solution = solve_min(problem, LinExpr(), context)
+    except InfeasibleError:
+        return None
+    return solution.assignment

@@ -1,0 +1,52 @@
+"""MCMC diagnostics: effective sample size and split R-hat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def effective_sample_size(chain: np.ndarray, max_lag: int | None = None) -> float:
+    """ESS of a 1-D chain via the initial-positive-sequence estimator."""
+    chain = np.asarray(chain, dtype=float).ravel()
+    n = chain.size
+    if n < 4:
+        return float(n)
+    centered = chain - chain.mean()
+    var0 = float(centered @ centered) / n
+    if var0 == 0:
+        return float(n)
+    max_lag = max_lag or min(n - 2, 1000)
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = float(centered[:-lag] @ centered[lag:]) / ((n - lag) * var0)
+        if rho <= 0.0:
+            break
+        rho_sum += rho
+    return n / (1.0 + 2.0 * rho_sum)
+
+
+def split_rhat(chains: np.ndarray) -> float:
+    """Split R-hat for an array of shape (n_chains, n_draws)."""
+    chains = np.asarray(chains, dtype=float)
+    if chains.ndim == 1:
+        chains = chains.reshape(1, -1)
+    n_chains, n_draws = chains.shape
+    half = n_draws // 2
+    if half < 2:
+        return float("nan")
+    halves = np.concatenate([chains[:, :half], chains[:, half : 2 * half]], axis=0)
+    m, n = halves.shape
+    chain_means = halves.mean(axis=1)
+    chain_vars = halves.var(axis=1, ddof=1)
+    between = n * chain_means.var(ddof=1)
+    within = chain_vars.mean()
+    if within == 0:
+        return 1.0
+    var_hat = (n - 1) / n * within + between / n
+    return float(np.sqrt(var_hat / within))
+
+
+def percentile_bands(samples: np.ndarray, percentiles=(5, 50, 95)) -> dict:
+    """Convenience: named percentile summaries of an array of draws."""
+    samples = np.asarray(samples, dtype=float)
+    return {f"p{p}": float(np.percentile(samples, p)) for p in percentiles}

@@ -1,0 +1,204 @@
+"""Hamiltonian Monte Carlo with dual-averaging step-size adaptation.
+
+Used for the unconstrained posterior of BayesWC's survival model
+(Eq. 5.12).  Plain leapfrog HMC with a diagonal unit mass matrix and the
+Hoffman–Gelman dual-averaging schedule for the step size during warmup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import InferenceError
+
+LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
+
+
+@dataclass
+class HMCConfig:
+    n_samples: int = 1000
+    n_warmup: int = 500
+    n_leapfrog: int = 24
+    initial_step_size: float = 0.1
+    target_accept: float = 0.8
+    max_step_size: float = 2.0
+    jitter_steps: bool = True
+
+
+@dataclass
+class HMCResult:
+    samples: np.ndarray  # (n_samples, dim)
+    accept_rate: float
+    step_size: float
+    logdensities: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class _DualAveraging:
+    """Nesterov dual averaging of log step size (Hoffman & Gelman 2014)."""
+
+    def __init__(self, initial_step: float, target: float):
+        self.mu = math.log(10.0 * initial_step)
+        self.target = target
+        self.log_step = math.log(initial_step)
+        self.log_step_bar = 0.0
+        self.h_bar = 0.0
+        self.gamma = 0.05
+        self.t0 = 10.0
+        self.kappa = 0.75
+        self.iteration = 0
+
+    def update(self, accept_prob: float) -> float:
+        self.iteration += 1
+        m = self.iteration
+        eta = 1.0 / (m + self.t0)
+        self.h_bar = (1.0 - eta) * self.h_bar + eta * (self.target - accept_prob)
+        self.log_step = self.mu - math.sqrt(m) / self.gamma * self.h_bar
+        weight = m**-self.kappa
+        self.log_step_bar = weight * self.log_step + (1.0 - weight) * self.log_step_bar
+        return math.exp(self.log_step)
+
+    def final(self) -> float:
+        return math.exp(self.log_step_bar)
+
+
+def leapfrog(
+    position: np.ndarray,
+    momentum: np.ndarray,
+    grad: np.ndarray,
+    step_size: float,
+    n_steps: int,
+    logdensity_and_grad: LogDensityAndGrad,
+):
+    """Standard leapfrog integration; returns (q, p, logp, grad)."""
+    q = position.copy()
+    with np.errstate(over="ignore", invalid="ignore"):
+        p = momentum + 0.5 * step_size * grad
+        logp = -np.inf
+        g = grad
+        for step in range(n_steps):
+            q = q + step_size * p
+            if not np.all(np.isfinite(q)):
+                return q, p, -np.inf, g
+            logp, g = logdensity_and_grad(q)
+            if not np.all(np.isfinite(g)) or not np.isfinite(logp):
+                return q, p, -np.inf, g
+            if step < n_steps - 1:
+                p = p + step_size * g
+        p = p + 0.5 * step_size * g
+    return q, p, logp, g
+
+
+def _find_initial_step_unconstrained(
+    logdensity_and_grad: LogDensityAndGrad,
+    q: np.ndarray,
+    logp: float,
+    grad: np.ndarray,
+    rng: np.random.Generator,
+    start: float,
+) -> float:
+    """Stan's heuristic: scale the step so one leapfrog step accepts ≈ 1/2."""
+    step = start
+    momentum = rng.normal(size=q.size)
+    h0 = -logp + 0.5 * float(momentum @ momentum)
+
+    def accept_prob(step_size: float) -> float:
+        qn, pn, lpn, _gn = leapfrog(
+            q.copy(), momentum.copy(), grad, step_size, 1, logdensity_and_grad
+        )
+        if not np.isfinite(lpn):
+            return 0.0
+        h1 = -lpn + 0.5 * float(pn @ pn)
+        return math.exp(min(0.0, h0 - h1))
+
+    a = accept_prob(step)
+    direction = 1 if a > 0.5 else -1
+    for _ in range(60):
+        step_next = step * (2.0 if direction == 1 else 0.5)
+        a_next = accept_prob(step_next)
+        if (direction == 1 and a_next < 0.5) or (direction == -1 and a_next > 0.5):
+            return step_next if direction == -1 else step
+        step = step_next
+        if step < 1e-14 or step > 1e6:
+            break
+    return step
+
+
+def hmc_sample(
+    logdensity_and_grad: LogDensityAndGrad,
+    initial: np.ndarray,
+    config: HMCConfig,
+    rng: np.random.Generator,
+) -> HMCResult:
+    """Run one HMC chain; warmup iterations adapt the step size and are discarded."""
+    position = np.asarray(initial, dtype=float).copy()
+    logp, grad = logdensity_and_grad(position)
+    if not np.isfinite(logp):
+        raise InferenceError("HMC initial position has zero density")
+    dim = position.size
+
+    step_size = _find_initial_step_unconstrained(
+        logdensity_and_grad, position, logp, grad, rng, config.initial_step_size
+    )
+    adapter = _DualAveraging(step_size, config.target_accept)
+    samples = np.empty((config.n_samples, dim))
+    logdensities = np.empty(config.n_samples)
+    accepted = 0
+    total_post_warmup = 0
+
+    n_total = config.n_warmup + config.n_samples
+    for iteration in range(n_total):
+        momentum = rng.normal(size=dim)
+        current_h = -logp + 0.5 * float(momentum @ momentum)
+        n_steps = config.n_leapfrog
+        if config.jitter_steps:
+            n_steps = max(1, int(round(config.n_leapfrog * rng.uniform(0.6, 1.4))))
+        q, p, new_logp, new_grad = leapfrog(
+            position, momentum, grad, step_size, n_steps, logdensity_and_grad
+        )
+        if np.isfinite(new_logp):
+            proposal_h = -new_logp + 0.5 * float(p @ p)
+            log_accept = current_h - proposal_h
+            accept_prob = min(1.0, math.exp(min(0.0, log_accept)))
+        else:
+            accept_prob = 0.0
+        if rng.uniform() < accept_prob:
+            position, logp, grad = q, new_logp, new_grad
+        if iteration < config.n_warmup:
+            step_size = min(adapter.update(accept_prob), config.max_step_size)
+            if iteration == config.n_warmup - 1:
+                step_size = min(adapter.final(), config.max_step_size)
+        else:
+            idx = iteration - config.n_warmup
+            samples[idx] = position
+            logdensities[idx] = logp
+            total_post_warmup += 1
+            accepted += accept_prob
+    accept_rate = accepted / max(1, total_post_warmup)
+    return HMCResult(samples, accept_rate, step_size, logdensities)
+
+
+def hmc_sample_chains(
+    logdensity_and_grad: LogDensityAndGrad,
+    initial_points,
+    config: HMCConfig,
+    rng: np.random.Generator,
+) -> HMCResult:
+    """Run several chains from different starts; concatenates draws."""
+    chains = []
+    rates = []
+    logps = []
+    for initial in initial_points:
+        result = hmc_sample(logdensity_and_grad, np.asarray(initial, float), config, rng)
+        chains.append(result.samples)
+        logps.append(result.logdensities)
+        rates.append(result.accept_rate)
+    return HMCResult(
+        np.concatenate(chains, axis=0),
+        float(np.mean(rates)),
+        0.0,
+        np.concatenate(logps),
+    )

@@ -1,0 +1,12 @@
+"""Benchmark suite: programs, input generators, specifications."""
+
+from . import generators
+from .registry import BenchmarkSpec, all_benchmarks, benchmark_names, get_benchmark
+
+__all__ = [
+    "generators",
+    "BenchmarkSpec",
+    "all_benchmarks",
+    "benchmark_names",
+    "get_benchmark",
+]

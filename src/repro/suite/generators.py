@@ -1,0 +1,82 @@
+"""Input generators for runtime-cost data collection (Section 7).
+
+The paper stresses that uniformly random inputs rarely trigger worst-case
+behaviour — that is precisely what makes Opt unsound and motivates the
+Bayesian treatment — so the default generators ARE uniformly random.
+Adversarial generators are provided separately for ground-truth validation
+and for the Theorem 6.2 convergence ablation (mixing in worst-case inputs
+with positive probability).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..lang.values import VList, Value, from_python
+
+
+def random_int_list(rng: np.random.Generator, n: int, lo: int = 0, hi: int = 1000) -> Value:
+    return from_python([int(v) for v in rng.integers(lo, hi, size=n)])
+
+
+def random_small_alphabet_list(rng: np.random.Generator, n: int, alphabet: int = 8) -> Value:
+    """Lists over a small alphabet (longer common prefixes for ZAlgorithm)."""
+    return from_python([int(v) * 5 for v in rng.integers(0, alphabet, size=n)])
+
+
+def random_nested_list(
+    rng: np.random.Generator, outer: int, total: int, lo: int = 0, hi: int = 1000
+) -> Value:
+    """An ``int list list`` with ``outer`` inner lists totalling ``total``."""
+    if outer <= 0:
+        return VList(())
+    cuts = sorted(rng.integers(0, total + 1, size=outer - 1).tolist())
+    bounds = [0] + cuts + [total]
+    inners = []
+    for i in range(outer):
+        size = bounds[i + 1] - bounds[i]
+        inners.append(random_int_list(rng, size, lo, hi))
+    return VList(tuple(inners))
+
+
+def sorted_descending_list(n: int, step: int = 10) -> Value:
+    """Reverse-sorted multiples of ``step`` — worst case for BubbleSort
+    (every adjacent pair is out of order and every tick is maximal)."""
+    return from_python([step * (n - i) for i in range(n)])
+
+
+def sorted_ascending_expensive(n: int, step: int = 100) -> Value:
+    """Sorted multiples of ``step`` — worst case for head-pivot QuickSort
+    (fully unbalanced partitions, maximal per-element tick)."""
+    return from_python([step * (i + 1) for i in range(n)])
+
+
+def all_equal_expensive(n: int, value: int = 100) -> Value:
+    """All-equal expensive elements — worst case for ZAlgorithm."""
+    return from_python([value] * n)
+
+
+def multiples_list(n: int, step: int = 10) -> Value:
+    """n random-order multiples of ``step`` (maximal ticks, random order)."""
+    values = [step * (i + 1) for i in range(n)]
+    return from_python(values)
+
+
+class MixedGenerator:
+    """Random inputs with probability 1-p, adversarial with probability p.
+
+    Used by the Theorem 6.2 ablation: worst-case inputs appear in the data
+    with positive probability, so soundness converges as N grows.
+    """
+
+    def __init__(self, random_fn, adversarial_fn, p: float):
+        self.random_fn = random_fn
+        self.adversarial_fn = adversarial_fn
+        self.p = p
+
+    def __call__(self, rng: np.random.Generator, n: int) -> List[Value]:
+        if rng.uniform() < self.p:
+            return self.adversarial_fn(rng, n)
+        return self.random_fn(rng, n)

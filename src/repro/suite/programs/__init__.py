@@ -1,0 +1,27 @@
+"""The 10 benchmark programs of the paper's evaluation (Appendix C)."""
+
+from . import (
+    bubble_sort,
+    concat,
+    even_odd_tail,
+    insertion_sort2,
+    map_append,
+    median_of_medians,
+    quick_select,
+    quick_sort,
+    round_power,
+    z_algorithm,
+)
+
+__all__ = [
+    "bubble_sort",
+    "concat",
+    "even_odd_tail",
+    "insertion_sort2",
+    "map_append",
+    "median_of_medians",
+    "quick_select",
+    "quick_sort",
+    "round_power",
+    "z_algorithm",
+]

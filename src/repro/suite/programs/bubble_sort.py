@@ -1,0 +1,73 @@
+"""BubbleSort benchmark (paper Listing 7, Tables 1 and 3).
+
+Saturation-based bubble sort: scan-and-swap passes repeat until no swap
+occurs.  Conventional AARA cannot even bound the number of passes (the
+recursion in ``bubble_sort`` is not structural), so both the conventional
+and hybrid analyses are impossible — only fully data-driven analysis
+applies (Table 1 marks the hybrid column ∅).  True worst case:
+``1.0·n·(n−1)`` (reverse-sorted multiples of 10: n passes of n−1 maximal
+ticks; the final clean pass still compares).
+"""
+
+from __future__ import annotations
+
+from ..generators import random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+DATA_DRIVEN_SRC = """
+let incur_cost hd =
+  if (hd mod 10) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec scan_and_swap xs =
+  match xs with
+  | [] -> ([], false)
+  | [ x ] -> ([ x ], false)
+  | x1 :: x2 :: tl ->
+    let _ = incur_cost x1 in
+    if x1 <= x2 then
+      let recursive_result, is_swapped = scan_and_swap (x2 :: tl) in
+      (x1 :: recursive_result, is_swapped)
+    else
+      let recursive_result, swapped_unused = scan_and_swap (x1 :: tl) in
+      (x2 :: recursive_result, true)
+
+let rec bubble_sort xs =
+  let xs_scanned, is_swapped = scan_and_swap xs in
+  if is_swapped then bubble_sort xs_scanned else xs_scanned
+
+let bubble_sort2 xs = Raml.stat (bubble_sort xs)
+"""
+
+
+def truth(n: int) -> float:
+    return 1.0 * n * max(n - 1, 0)
+
+
+def shape(n: int):
+    return [synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    return [random_int_list(rng, n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="BubbleSort",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="bubble_sort2",
+        hybrid_source=None,
+        hybrid_entry=None,
+        degree=2,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 81, 5)),
+        repetitions=2,
+        expected_conventional="cannot-analyze",
+        truth_degree=2,
+        theta0=1.5,
+        notes="saturation recursion — hybrid analysis impossible (∅)",
+    )
+)

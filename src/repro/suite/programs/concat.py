@@ -1,0 +1,88 @@
+"""Concat benchmark (paper Listing 8, Tables 1 and 4, Figs. 11–12).
+
+Flatten a nested list by mapping ``complex_function`` over each inner
+list while appending.  The true worst case is ``1.0 * (total inner
+size)``; in AARA terms the bound lives in the *inner* coefficient of the
+nested-list annotation.  Canonical size n corresponds to the paper's
+(total, outer) = (5n, n) parameterization ((50, 10) at n = 10, Table 4).
+"""
+
+from __future__ import annotations
+
+from ..generators import random_nested_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_nested_list
+
+_COMMON = """
+let incur_cost hd =
+  if (hd mod 5) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let complex_function hd =
+  let _ = incur_cost hd in
+  if complex_lt hd 42 then hd / 2 else hd * 2
+
+let rec map_append xs ys =
+  match xs with
+  | [] -> ys
+  | hd :: tl ->
+    let hd_new = complex_function hd in
+    hd_new :: map_append tl ys
+"""
+
+DATA_DRIVEN_SRC = (
+    _COMMON
+    + """
+let rec concat xss =
+  match xss with
+  | [] -> []
+  | hd :: tl -> map_append hd (concat tl)
+
+let concat2 xss = Raml.stat (concat xss)
+"""
+)
+
+HYBRID_SRC = (
+    _COMMON
+    + """
+let rec concat xss =
+  match xss with
+  | [] -> []
+  | hd :: tl ->
+    let rec_tl = concat tl in
+    Raml.stat (map_append hd rec_tl)
+"""
+)
+
+
+def truth(n: int) -> float:
+    return 1.0 * 5 * n
+
+
+def shape(n: int):
+    return [synthetic_nested_list(n, 5 * n)]
+
+
+def generate(rng, n: int):
+    return [random_nested_list(rng, n, 5 * n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="Concat",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="concat2",
+        hybrid_source=HYBRID_SRC,
+        hybrid_entry="concat",
+        degree=1,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(2, 25, 2)),
+        repetitions=3,
+        expected_conventional="cannot-analyze",
+        truth_degree=1,
+        theta0=1.5,
+        theta0_hybrid=1.5,
+        notes="canonical size n = outer length; total inner size = 5n",
+    )
+)

@@ -1,0 +1,101 @@
+"""EvenOddTail benchmark (paper Listing 9, Tables 1 and 5).
+
+Repeatedly traverse a list-encoded natural number; halve it when even,
+decrement when odd.  Each level pays a full ticking traversal, so the
+exact worst case satisfies ``T(n) = n + (T(n/2) if n even else T(n−1))``
+— linear overall (≤ 3n), attained on lists of multiples of 10.
+Conventional AARA needs the wrong quadratic degree to find any bound.
+Hybrid analysis is not applicable: there is no statically analyzable
+remainder once the parity-driven recursion is cut out (Table 1 ∅).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..generators import random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+DATA_DRIVEN_SRC = """
+let incur_cost hd =
+  if (hd mod 10) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec linear_traversal xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let _ = incur_cost hd in
+    hd :: linear_traversal tl
+
+let rec is_even xs =
+  match xs with
+  | [] -> true
+  | [ x ] -> false
+  | x1 :: x2 :: tl -> is_even tl
+
+let tail xs =
+  match xs with [] -> raise Invalid_input | hd :: tl -> tl
+
+let rec split xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> raise Invalid_input
+  | x1 :: x2 :: tl -> x1 :: split tl
+
+let rec even_split_odd_tail xs =
+  let xs_traversed = linear_traversal xs in
+  match xs_traversed with
+  | [] -> []
+  | hd :: tl ->
+    let xs_is_even = is_even xs_traversed in
+    if xs_is_even then
+      let split_result = split xs_traversed in
+      even_split_odd_tail split_result
+    else
+      let tail_result = tail xs_traversed in
+      even_split_odd_tail tail_result
+
+let even_split_odd_tail2 xs = Raml.stat (even_split_odd_tail xs)
+"""
+
+
+@lru_cache(maxsize=None)
+def _worst(n: int) -> float:
+    if n <= 0:
+        return 0.0
+    if n % 2 == 0:
+        return float(n) + _worst(n // 2)
+    return float(n) + _worst(n - 1)
+
+
+def truth(n: int) -> float:
+    return _worst(n)
+
+
+def shape(n: int):
+    return [synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    return [random_int_list(rng, n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="EvenOddTail",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="even_split_odd_tail2",
+        hybrid_source=None,
+        hybrid_entry=None,
+        degree=1,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 151, 5)),
+        repetitions=2,
+        expected_conventional="wrong-degree",
+        truth_degree=1,
+        notes="deterministic: T(n) = n + (T(n/2) if even else T(n-1))",
+    )
+)

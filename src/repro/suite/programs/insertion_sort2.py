@@ -1,0 +1,105 @@
+"""InsertionSort2 benchmark (paper Listing 10, Tables 1 and 6).
+
+Insertion sort is run twice; the resource metric counts only the
+comparisons of the *second* sort (the first sort's insert carries no
+ticks).  Because the second sort always receives a sorted list, each
+insert stops after one comparison: the true bound is ``1.0·(n−1)``,
+linear.  Conventional AARA cannot see sortedness and needs the wrong
+(quadratic) degree.
+"""
+
+from __future__ import annotations
+
+from ..generators import random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+_COMMON = """
+let incur_cost hd =
+  if (hd mod 200) = 0 then Raml.tick 1.0
+  else (
+    if (hd mod 5) = 1 then Raml.tick 0.85
+    else (
+      if (hd mod 5) = 2 then Raml.tick 0.65
+      else Raml.tick 0.5))
+
+let rec insert x xs =
+  match xs with
+  | [] -> [ x ]
+  | hd :: tl ->
+    if x <= hd then x :: hd :: tl else hd :: insert x tl
+
+let rec insertion_sort xs =
+  match xs with
+  | [] -> []
+  | hd :: tl -> insert hd (insertion_sort tl)
+
+let rec insert_second_time x xs =
+  match xs with
+  | [] -> [ x ]
+  | hd :: tl ->
+    let _ = incur_cost hd in
+    if x <= hd then x :: hd :: tl else hd :: insert_second_time x tl
+"""
+
+DATA_DRIVEN_SRC = (
+    _COMMON
+    + """
+let rec insertion_sort_second_time xs =
+  match xs with
+  | [] -> []
+  | hd :: tl -> insert_second_time hd (insertion_sort_second_time tl)
+
+let double_insertion_sort xs =
+  let sorted_xs = insertion_sort xs in
+  Raml.stat (insertion_sort_second_time sorted_xs)
+"""
+)
+
+HYBRID_SRC = (
+    _COMMON
+    + """
+let rec insertion_sort_second_time xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let rec_result = insertion_sort_second_time tl in
+    Raml.stat (insert_second_time hd rec_result)
+
+let double_insertion_sort xs =
+  let sorted_xs = insertion_sort xs in
+  insertion_sort_second_time sorted_xs
+"""
+)
+
+
+def truth(n: int) -> float:
+    return 1.0 * max(n - 1, 0)
+
+
+def shape(n: int):
+    return [synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    return [random_int_list(rng, n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="InsertionSort2",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="double_insertion_sort",
+        hybrid_source=HYBRID_SRC,
+        hybrid_entry="double_insertion_sort",
+        degree=1,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 101, 5)),
+        repetitions=2,
+        expected_conventional="wrong-degree",
+        truth_degree=1,
+        notes="second sort of an already-sorted list is linear",
+    )
+)

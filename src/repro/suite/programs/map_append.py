@@ -1,0 +1,98 @@
+"""MapAppend benchmark (paper Listing 6, Tables 1–2, Figs. 7–9).
+
+For each element of ``xs``, run a statically-unanalyzable
+``complex_function`` and cons its result onto the recursive result, with
+``ys`` as the base of the accumulation.  The bound is multivariate (one
+coefficient per argument); the true worst case is ``1.0 * |xs|``
+(one ``incur_cost`` call per element, maximal when divisible by 100).
+
+The hybrid variant (Listing 6b) is the paper's showcase for the stat
+interface: ``step_function`` *returns the lists it was given*, so the
+data-driven judgment must thread their potential through to the recursive
+call.
+"""
+
+from __future__ import annotations
+
+from ..generators import random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+_COMMON = """
+let incur_cost hd =
+  if (hd mod 100) = 0 then Raml.tick 1.0
+  else (
+    if (hd mod 5) = 1 then Raml.tick 0.85
+    else (
+      if (hd mod 5) = 2 then Raml.tick 0.65
+      else Raml.tick 0.5))
+
+let complex_function hd =
+  let _ = incur_cost hd in
+  if complex_lt hd 42 then hd / 2 else hd * 2
+"""
+
+DATA_DRIVEN_SRC = (
+    _COMMON
+    + """
+let rec map_append xs ys =
+  match xs with
+  | [] -> ys
+  | hd :: tl ->
+    let hd_new = complex_function hd in
+    hd_new :: map_append tl ys
+
+let map_append2 xs ys = Raml.stat (map_append xs ys)
+"""
+)
+
+HYBRID_SRC = (
+    _COMMON
+    + """
+let step_function x xs ys =
+  let x_new = complex_function x in
+  (x_new, xs, ys)
+
+let rec map_append xs ys =
+  match xs with
+  | [] -> ys
+  | hd :: tl ->
+    let hd_new, rec_xs, rec_ys = Raml.stat (step_function hd tl ys) in
+    hd_new :: map_append rec_xs rec_ys
+"""
+)
+
+
+def truth(n: int) -> float:
+    return 1.0 * n
+
+
+def shape(n: int):
+    return [synthetic_list(n), synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    n2 = int(rng.integers(1, n + 1))
+    return [random_int_list(rng, n), random_int_list(rng, n2)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="MapAppend",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="map_append2",
+        hybrid_source=HYBRID_SRC,
+        hybrid_entry="map_append",
+        degree=1,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 101, 5)),
+        repetitions=2,
+        expected_conventional="cannot-analyze",
+        truth_degree=1,
+        theta0=1.25,
+        theta0_hybrid=1.0,
+        notes="multivariate bound; canonical size (n, n) as in paper Table 2",
+    )
+)

@@ -1,0 +1,215 @@
+"""MedianOfMedians benchmark (paper Listings 11–12, Tables 1 and 7).
+
+Linear-time selection via the median-of-medians pivot (Blum et al.).
+Only ``partition`` ticks; the true worst case is linear, given by the
+recurrence ``T(n) = n + T(⌈n/5⌉) + T(⌊7n/10⌋ + 6)`` (the classical side
+bound after partitioning around the median of medians).  Conventional
+AARA cannot reason about the median's balancing guarantee: the LP is
+infeasible at every degree.  The hybrid variant analyzes the three
+``partition`` call sites data-driven — the balance shows up statistically
+in the observed result sizes, which is exactly what makes the hybrid
+linear bound derivable (Section 2, "Challenges").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..generators import random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+_COMMON = """
+let incur_cost hd =
+  if (hd mod 10) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec append xs ys =
+  match xs with [] -> ys | hd :: tl -> hd :: append tl ys
+
+let rec insert x xs =
+  match xs with
+  | [] -> [ x ]
+  | y :: ys -> if x <= y then x :: y :: ys else y :: insert x ys
+
+let rec insertion_sort xs =
+  match xs with [] -> [] | x :: rest -> insert x (insertion_sort rest)
+
+let median_of_list_of_five xs =
+  let sorted_xs = insertion_sort xs in
+  match sorted_xs with
+  | [ x1; x2; x3; x4; x5 ] -> (x3, [ x1; x2; x4; x5 ])
+  | _ -> raise Invalid_input
+
+let rec partition_into_blocks xs =
+  match xs with
+  | [] -> ([], [])
+  | x1 :: x2 :: x3 :: x4 :: x5 :: tl ->
+    let median, leftover = median_of_list_of_five [ x1; x2; x3; x4; x5 ] in
+    let list_medians, list_leftover = partition_into_blocks tl in
+    (median :: list_medians, append leftover list_leftover)
+  | _ -> raise Invalid_input
+
+let rec partition pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | hd :: tl ->
+    let lower_list, upper_list = partition pivot tl in
+    let _ = incur_cost hd in
+    if hd <= pivot then (hd :: lower_list, upper_list)
+    else (lower_list, hd :: upper_list)
+
+let rec lower_list_length_after_partition pivot xs =
+  match xs with
+  | [] -> 0
+  | hd :: tl ->
+    let lower_list_length = lower_list_length_after_partition pivot tl in
+    if hd <= pivot then lower_list_length + 1 else lower_list_length
+
+let rec list_length xs =
+  match xs with [] -> 0 | hd :: tl -> 1 + list_length tl
+
+let rec find_minimum_acc acc candidate xs =
+  match xs with
+  | [] -> (candidate, acc)
+  | hd :: tl ->
+    if hd < candidate then find_minimum_acc (candidate :: acc) hd tl
+    else find_minimum_acc (hd :: acc) candidate tl
+
+let find_minimum xs =
+  match xs with
+  | [] -> raise Invalid_input
+  | hd :: tl -> find_minimum_acc [] hd tl
+
+let rec preprocess_list_acc minima_acc xs =
+  let xs_length = list_length xs in
+  if (xs_length mod 5) = 0 then (minima_acc, xs)
+  else
+    let minimum, leftover = find_minimum xs in
+    preprocess_list_acc (minimum :: minima_acc) leftover
+
+let rec get_nth_element index xs =
+  match xs with
+  | [] -> raise Invalid_input
+  | hd :: tl -> if index = 0 then hd else get_nth_element (index - 1) tl
+
+let rec remove_first pivot xs =
+  match xs with
+  | [] -> []
+  | hd :: tl -> if hd = pivot then tl else hd :: remove_first pivot tl
+"""
+
+_BODY_DATA = """
+let rec median_of_medians index xs =
+  match xs with
+  | [] -> raise Invalid_input
+  | _ ->
+    let minima, xs_trimmed = preprocess_list_acc [] xs in
+    let mod_five = list_length minima in
+    if index < mod_five then get_nth_element (mod_five - index - 1) minima
+    else
+      let index_trimmed = index - mod_five in
+      let list_medians, leftover_unused = partition_into_blocks xs_trimmed in
+      let num_medians = list_length list_medians in
+      let index_median = num_medians / 2 in
+      let pivot = median_of_medians index_median list_medians in
+      let xs_rest = remove_first pivot xs_trimmed in
+      let lower_list_length =
+        lower_list_length_after_partition pivot xs_rest in
+      if index_trimmed = lower_list_length then
+        let unused_a, unused_b = partition pivot xs_rest in
+        pivot
+      else if index_trimmed < lower_list_length then
+        let lower_list, upper_unused = partition pivot xs_rest in
+        median_of_medians index_trimmed lower_list
+      else
+        let new_index = index_trimmed - lower_list_length - 1 in
+        let lower_unused, upper_list = partition pivot xs_rest in
+        median_of_medians new_index upper_list
+"""
+
+DATA_DRIVEN_SRC = (
+    _COMMON
+    + _BODY_DATA
+    + """
+let median_of_medians2 index xs = Raml.stat (median_of_medians index xs)
+"""
+)
+
+HYBRID_SRC = (
+    _COMMON
+    + """
+let rec median_of_medians index xs =
+  match xs with
+  | [] -> raise Invalid_input
+  | _ ->
+    let minima, xs_trimmed = preprocess_list_acc [] xs in
+    let mod_five = list_length minima in
+    if index < mod_five then get_nth_element (mod_five - index - 1) minima
+    else
+      let index_trimmed = index - mod_five in
+      let list_medians, leftover_unused = partition_into_blocks xs_trimmed in
+      let num_medians = list_length list_medians in
+      let index_median = num_medians / 2 in
+      let pivot = median_of_medians index_median list_medians in
+      let xs_rest = remove_first pivot xs_trimmed in
+      let lower_list_length =
+        lower_list_length_after_partition pivot xs_rest in
+      if index_trimmed = lower_list_length then
+        let unused_a, unused_b = Raml.stat (partition pivot xs_rest) in
+        pivot
+      else if index_trimmed < lower_list_length then
+        let lower_list, upper_unused = Raml.stat (partition pivot xs_rest) in
+        median_of_medians index_trimmed lower_list
+      else
+        let new_index = index_trimmed - lower_list_length - 1 in
+        let lower_unused, upper_list = Raml.stat (partition pivot xs_rest) in
+        median_of_medians new_index upper_list
+"""
+)
+
+
+@lru_cache(maxsize=None)
+def _recurrence(n: int) -> float:
+    if n <= 5:
+        return float(n)
+    smaller = (n + 4) // 5
+    larger = min(n - 1, (7 * n) // 10 + 6)
+    return float(n) + _recurrence(smaller) + _recurrence(larger)
+
+
+def truth(n: int) -> float:
+    """Classical MoM worst-case recurrence with unit tick per element."""
+    return _recurrence(n)
+
+
+def shape(n: int):
+    return [0, synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    # distinct values keep selection semantics exact under remove_first
+    values = rng.permutation(10 * n)[:n]
+    index = int(rng.integers(0, max(n, 1)))
+    from ...lang.values import from_python
+
+    return [index, from_python([int(v) for v in values])]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="MedianOfMedians",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="median_of_medians2",
+        hybrid_source=HYBRID_SRC,
+        hybrid_entry="median_of_medians",
+        degree=1,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 101, 5)),
+        repetitions=2,
+        expected_conventional="cannot-analyze",
+        truth_degree=1,
+        notes="ground truth from T(n)=n+T(n/5)+T(7n/10+6)",
+    )
+)

@@ -1,0 +1,119 @@
+"""QuickSelect benchmark (paper Listing 13, Tables 1 and 8).
+
+Head-pivot quickselect returning the i-th smallest element.  The hybrid
+variant follows Listing 13b: a cost-free ``partition_cost_free`` computes
+the branch decision, then the actual ``partition`` call in each branch is
+analyzed data-driven.  True worst case is ``1.0 * n(n-1)/2`` (fully
+unbalanced recursion on sorted inputs of multiples of 10).
+"""
+
+from __future__ import annotations
+
+from ..generators import random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+_COMMON = """
+let incur_cost hd =
+  if (hd mod 10) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec partition pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | hd :: tl ->
+    let lower_list, upper_list = partition pivot tl in
+    let _ = incur_cost hd in
+    if complex_leq hd pivot then (hd :: lower_list, upper_list)
+    else (lower_list, hd :: upper_list)
+
+let rec list_length xs =
+  match xs with [] -> 0 | hd :: tl -> 1 + list_length tl
+"""
+
+DATA_DRIVEN_SRC = (
+    _COMMON
+    + """
+let rec quickselect index xs =
+  match xs with
+  | [] -> raise Invalid_input
+  | [ x ] -> if index = 0 then x else raise Invalid_input
+  | hd :: tl ->
+    let lower_list, upper_list = partition hd tl in
+    let lower_list_length = list_length lower_list in
+    if index < lower_list_length then quickselect index lower_list
+    else if index = lower_list_length then hd
+    else
+      let new_index = index - lower_list_length - 1 in
+      quickselect new_index upper_list
+
+let quickselect2 index xs = Raml.stat (quickselect index xs)
+"""
+)
+
+HYBRID_SRC = (
+    _COMMON
+    + """
+(* The cost-free probe only computes the branch decision; it uses the
+   analyzable built-in <= (semantically identical to complex_leq), so the
+   static part of the hybrid analysis stays tractable, mirroring the
+   paper's Listing 13b workaround. *)
+let rec partition_cost_free pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | hd :: tl ->
+    let lower_list, upper_list = partition_cost_free pivot tl in
+    if hd <= pivot then (hd :: lower_list, upper_list)
+    else (lower_list, hd :: upper_list)
+
+let rec quickselect index xs =
+  match xs with
+  | [] -> raise Invalid_input
+  | [ x ] -> if index = 0 then x else raise Invalid_input
+  | hd :: tl ->
+    let lower_probe, upper_probe = partition_cost_free hd tl in
+    let lower_list_length = list_length lower_probe in
+    if index < lower_list_length then
+      let lower_list, upper_unused = Raml.stat (partition hd tl) in
+      quickselect index lower_list
+    else if index = lower_list_length then
+      let lower_unused, upper_unused = Raml.stat (partition hd tl) in
+      hd
+    else
+      let lower_unused, upper_list = Raml.stat (partition hd tl) in
+      let new_index = index - lower_list_length - 1 in
+      quickselect new_index upper_list
+"""
+)
+
+
+def truth(n: int) -> float:
+    return 1.0 * n * (n - 1) / 2.0
+
+
+def shape(n: int):
+    return [0, synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    index = int(rng.integers(0, max(n, 1)))
+    return [index, random_int_list(rng, n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="QuickSelect",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="quickselect2",
+        hybrid_source=HYBRID_SRC,
+        hybrid_entry="quickselect",
+        degree=2,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 101, 5)),
+        repetitions=2,
+        expected_conventional="cannot-analyze",
+        truth_degree=2,
+        notes="worst case = fully unbalanced recursion on sorted input",
+    )
+)

@@ -1,0 +1,96 @@
+"""QuickSort benchmark (paper Listing 14, Tables 1 and 9).
+
+Deterministic quicksort with the head of the list as pivot.  The
+comparison inside ``partition`` is ``complex_leq``, which is opaque to
+static analysis (the paper's polymorphic comparator), so conventional
+AARA cannot analyze either variant.  The true worst-case cost under the
+``incur_cost`` metric (1.0 when the element is divisible by 5, else 0.5)
+is ``1.0 * n(n-1)/2``, attained on sorted lists of multiples of 5.
+"""
+
+from __future__ import annotations
+
+from ..generators import random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+_COMMON = """
+let rec append xs ys =
+  match xs with
+  | [] -> ys
+  | hd :: tl -> hd :: append tl ys
+
+let incur_cost hd =
+  if (hd mod 5) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec partition pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | hd :: tl ->
+    let lower, upper = partition pivot tl in
+    let _ = incur_cost hd in
+    if complex_leq hd pivot then (hd :: lower, upper)
+    else (lower, hd :: upper)
+"""
+
+DATA_DRIVEN_SRC = (
+    _COMMON
+    + """
+let rec quicksort xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let lower, upper = partition hd tl in
+    let lower_sorted = quicksort lower in
+    let upper_sorted = quicksort upper in
+    append lower_sorted (hd :: upper_sorted)
+
+let quicksort2 xs = Raml.stat (quicksort xs)
+"""
+)
+
+HYBRID_SRC = (
+    _COMMON
+    + """
+let rec quicksort xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let lower, upper = Raml.stat (partition hd tl) in
+    let lower_sorted = quicksort lower in
+    let upper_sorted = quicksort upper in
+    append lower_sorted (hd :: upper_sorted)
+"""
+)
+
+
+def truth(n: int) -> float:
+    return 1.0 * n * (n - 1) / 2.0
+
+
+def shape(n: int):
+    return [synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    return [random_int_list(rng, n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="QuickSort",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="quicksort2",
+        hybrid_source=HYBRID_SRC,
+        hybrid_entry="quicksort",
+        degree=2,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 101, 5)),
+        repetitions=2,
+        expected_conventional="cannot-analyze",
+        truth_degree=2,
+        notes="worst case = ascending list of multiples of 5",
+    )
+)

@@ -1,0 +1,92 @@
+"""Round benchmark (paper Listing 15, Tables 1 and 10).
+
+``round`` maps a list-encoded natural number to (roughly) the largest
+power of two below it by halving and doubling; a ticking traversal then
+walks the result.  The output length follows ``r(n) = 1 + 2·r(⌊(n−1)/2⌋)``
+(so ``r(n) = 2^⌊log2 n⌋ − …``, always ≤ n), making the cost linear — but
+conventional AARA would need an infinitely tall typing tree to see that
+``double`` only duplicates structure the input paid for (Hoffmann 2011,
+§5.4.3), so no degree is feasible.  Data-driven analysis only.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..generators import multiples_list, random_int_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+DATA_DRIVEN_SRC = """
+let incur_cost hd =
+  if (hd mod 10) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec double xs =
+  match xs with [] -> [] | hd :: tl -> hd :: hd :: double tl
+
+let rec half xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> []
+  | x1 :: x2 :: tl -> x1 :: half tl
+
+let rec round xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let half_result = half tl in
+    let recursive_result = round half_result in
+    hd :: double recursive_result
+
+let rec linear_traversal xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let _ = incur_cost hd in
+    hd :: linear_traversal tl
+
+let round_followed_by_linear_traversal xs =
+  let round_result = round xs in
+  linear_traversal round_result
+
+let round2 xs = Raml.stat (round_followed_by_linear_traversal xs)
+"""
+
+
+@lru_cache(maxsize=None)
+def _round_size(n: int) -> int:
+    if n <= 0:
+        return 0
+    return 1 + 2 * _round_size((n - 1) // 2)
+
+
+def truth(n: int) -> float:
+    return 1.0 * _round_size(n)
+
+
+def shape(n: int):
+    return [synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    return [random_int_list(rng, n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="Round",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="round2",
+        hybrid_source=None,
+        hybrid_entry=None,
+        degree=1,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 151, 5)),
+        repetitions=2,
+        expected_conventional="cannot-analyze",
+        truth_degree=1,
+        notes="output length r(n) = 1 + 2 r((n-1)/2); cost = r(n) worst ticks",
+    )
+)

@@ -1,0 +1,132 @@
+"""ZAlgorithm benchmark (paper Listings 16–17, Tables 1 and 11).
+
+The Z-algorithm computes, for each position, the length of the longest
+common prefix of the string and its suffix, reusing the current Z-box to
+skip comparisons.  Each of the n−1 main-loop iterations ticks once (≤ 1)
+and each *successful* character comparison inside
+``longest_common_prefix`` ticks once; the box invariant bounds total
+successful comparisons by n−1.  True worst case: ``2.0·(n−1)``, attained
+on all-equal strings of multiples of 100.  Conventional AARA cannot see
+the amortization and needs a quadratic degree.
+"""
+
+from __future__ import annotations
+
+from ..generators import random_small_alphabet_list
+from ..registry import BenchmarkSpec, register
+from ...aara.bound import synthetic_list
+
+_COMMON = """
+let incur_cost hd =
+  if (hd mod 100) = 0 then Raml.tick 1.0
+  else (
+    if (hd mod 5) = 1 then Raml.tick 0.85
+    else (
+      if (hd mod 5) = 2 then Raml.tick 0.65
+      else Raml.tick 0.5))
+
+let rec list_length xs =
+  match xs with [] -> 0 | hd :: tl -> 1 + list_length tl
+
+let hd_exn xs =
+  match xs with [] -> raise Invalid_input | hd :: tl -> hd
+
+let min_int x1 x2 = if x1 < x2 then x1 else x2
+
+let rec drop_n_elements xs n =
+  match xs with
+  | [] -> []
+  | hd :: tl -> if n = 0 then hd :: tl else drop_n_elements tl (n - 1)
+
+let rec longest_common_prefix xs1 xs2 =
+  match xs1 with
+  | [] -> 0
+  | hd1 :: tl1 ->
+    (match xs2 with
+     | [] -> 0
+     | hd2 :: tl2 ->
+       if hd1 = hd2 then
+         let _ = incur_cost (hd1 + hd2) in
+         1 + longest_common_prefix tl1 tl2
+       else 0)
+"""
+
+_Z_BODY = """
+let rec z_algorithm_acc acc original_string current_string left right =
+  match current_string with
+  | [] -> acc
+  | hd :: tl ->
+    let _ = incur_cost hd in
+    let current_index = list_length acc in
+    let old_result =
+      if left = 0 then 0 else hd_exn (drop_n_elements acc (left - 1)) in
+    let current_result_initial =
+      if current_index < right then min_int (right - current_index) old_result
+      else 0 in
+    let first_sublist =
+      drop_n_elements original_string current_result_initial in
+    let second_sublist =
+      drop_n_elements current_string current_result_initial in
+    let common_prefix_size = {LCP_CALL} in
+    let current_result = current_result_initial + common_prefix_size in
+    let cumulative_result_updated = current_result :: acc in
+    if current_index + current_result > right then
+      z_algorithm_acc cumulative_result_updated original_string tl
+        current_index (current_index + current_result)
+    else
+      z_algorithm_acc cumulative_result_updated original_string tl left right
+
+let rec reverse_acc acc xs =
+  match xs with [] -> acc | hd :: tl -> reverse_acc (hd :: acc) tl
+
+let z_algorithm xs =
+  match xs with
+  | [] -> []
+  | hd :: tl -> reverse_acc [] (z_algorithm_acc [ 0 ] xs tl 0 0)
+"""
+
+DATA_DRIVEN_SRC = (
+    _COMMON
+    + _Z_BODY.replace("{LCP_CALL}", "longest_common_prefix first_sublist second_sublist")
+    + """
+let z_algorithm2 xs = Raml.stat (z_algorithm xs)
+"""
+)
+
+HYBRID_SRC = _COMMON + _Z_BODY.replace(
+    "{LCP_CALL}", "Raml.stat (longest_common_prefix first_sublist second_sublist)"
+)
+
+
+def truth(n: int) -> float:
+    return 2.0 * max(n - 1, 0)
+
+
+def shape(n: int):
+    return [synthetic_list(n)]
+
+
+def generate(rng, n: int):
+    return [random_small_alphabet_list(rng, n)]
+
+
+SPEC = register(
+    BenchmarkSpec(
+        name="ZAlgorithm",
+        data_driven_source=DATA_DRIVEN_SRC,
+        data_driven_entry="z_algorithm2",
+        hybrid_source=HYBRID_SRC,
+        hybrid_entry="z_algorithm",
+        degree=1,
+        truth=truth,
+        shape_fn=shape,
+        generator=generate,
+        data_sizes=tuple(range(5, 101, 5)),
+        repetitions=2,
+        expected_conventional="wrong-degree",
+        truth_degree=1,
+        theta0=1.5,
+        theta0_hybrid=1.25,
+        notes="amortized linear; worst case = all-equal expensive string",
+    )
+)

@@ -1,0 +1,110 @@
+"""Benchmark specifications for the Section 7 evaluation suite.
+
+Each benchmark carries everything the evaluation harness needs: the
+data-driven and hybrid program sources (Appendix C), entry points, input
+generator, canonical size parameterization (shape function + analytic
+ground-truth worst-case curve), the polynomial degree, and the expected
+conventional-AARA verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..lang.values import Value
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    name: str
+    #: source of the fully data-driven variant (stat around the whole task)
+    data_driven_source: str
+    #: entry function of the data-driven variant
+    data_driven_entry: str
+    #: source of the hybrid variant (None when hybrid analysis is impossible,
+    #: as for BubbleSort / Round / EvenOddTail in Table 1)
+    hybrid_source: Optional[str]
+    hybrid_entry: Optional[str]
+    #: maximum polynomial degree for the analysis
+    degree: int
+    #: ground-truth worst-case cost at canonical size n
+    truth: Callable[[int], float]
+    #: synthetic argument shapes at canonical size n (for evaluating bounds)
+    shape_fn: Callable[[int], List[Value]]
+    #: draw one input-argument vector of canonical size n
+    generator: Callable[[np.random.Generator, int], List[Value]]
+    #: canonical sizes used for runtime-data collection
+    data_sizes: Sequence[int]
+    #: repetitions per size during data collection
+    repetitions: int = 1
+    #: 'cannot-analyze' or 'wrong-degree' (paper Table 1, column 2)
+    expected_conventional: str = "cannot-analyze"
+    #: the true asymptotic degree of the ground-truth bound
+    truth_degree: int = 1
+    #: per-benchmark Weibull shape for BayesPC (Appendix B.2)
+    theta0: float = 1.0
+    theta0_hybrid: Optional[float] = None
+    notes: str = ""
+
+    def inputs(self, rng: np.random.Generator) -> List[List[Value]]:
+        out = []
+        for _ in range(self.repetitions):
+            for n in self.data_sizes:
+                out.append(self.generator(rng, n))
+        return out
+
+    def config(self, base: AnalysisConfig, hybrid: bool = False) -> AnalysisConfig:
+        theta0 = self.theta0
+        if hybrid and self.theta0_hybrid is not None:
+            theta0 = self.theta0_hybrid
+        from dataclasses import replace
+
+        return base.with_(
+            degree=self.degree, bayespc=replace(base.bayespc, theta0=theta0)
+        )
+
+
+_REGISTRY: dict = {}
+
+
+def register(spec: BenchmarkSpec) -> BenchmarkSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def benchmark_names() -> List[str]:
+    _ensure_loaded()
+    return list(_REGISTRY.keys())
+
+
+def all_benchmarks() -> List[BenchmarkSpec]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def _ensure_loaded() -> None:
+    if _REGISTRY:
+        return
+    from .programs import (  # noqa: F401
+        bubble_sort,
+        concat,
+        even_odd_tail,
+        insertion_sort2,
+        map_append,
+        median_of_medians,
+        quick_select,
+        quick_sort,
+        round_power,
+        z_algorithm,
+    )

@@ -1,0 +1,95 @@
+"""Property-based soundness: static AARA bounds dominate measured costs on
+randomized inputs (Theorem 4.1, checked empirically)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aara import analyze_program
+from repro.lang import compile_program, evaluate, from_python
+
+PROGRAMS = {
+    "length": (
+        """
+let rec length xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + length tl
+""",
+        1,
+    ),
+    "isort": (
+        """
+let rec insert x xs =
+  match xs with
+  | [] -> [ x ]
+  | hd :: tl ->
+    let _ = Raml.tick 1.0 in
+    if x <= hd then x :: hd :: tl else hd :: insert x tl
+
+let rec isort xs =
+  match xs with [] -> [] | hd :: tl -> insert hd (isort tl)
+""",
+        2,
+    ),
+    "all_pairs": (
+        # note: an accumulator-based selection sort is NOT AARA-typable
+        # (accumulators cannot gain polynomial potential under the shift
+        # operator — the same limitation that makes ZAlgorithm "Wrong
+        # Degree"); this nested traversal is the canonical typable quadratic
+        """
+let rec inner x ys =
+  match ys with
+  | [] -> 0
+  | h :: t -> let _ = Raml.tick 1.0 in 1 + inner x t
+
+let rec all_pairs xs =
+  match xs with
+  | [] -> 0
+  | h :: t -> inner h t + all_pairs t
+""",
+        2,
+    ),
+    "pairs": (
+        """
+let rec zip_cost xs ys =
+  match xs with
+  | [] -> 0
+  | hd :: tl ->
+    (match ys with
+     | [] -> 0
+     | h2 :: t2 -> let _ = Raml.tick 1.0 in 1 + zip_cost tl t2)
+""",
+        1,
+    ),
+}
+
+_BOUNDS = {}
+
+
+def bound_for(name):
+    if name not in _BOUNDS:
+        src, degree = PROGRAMS[name]
+        program = compile_program(src)
+        fname = program.function_names()[-1]
+        _BOUNDS[name] = (
+            program,
+            fname,
+            analyze_program(program, fname, degree, stat_mode="transparent").bound,
+        )
+    return _BOUNDS[name]
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_static_bound_dominates_random_executions(name, data):
+    program, fname, bound = bound_for(name)
+    xs = data.draw(st.lists(st.integers(-100, 100), max_size=25))
+    if fname == "all_pairs":
+        args = [from_python(xs)]
+    elif fname == "zip_cost":
+        ys = data.draw(st.lists(st.integers(-100, 100), max_size=25))
+        args = [from_python(xs), from_python(ys)]
+    else:
+        args = [from_python(xs)]
+    measured = evaluate(program, fname, args).cost
+    assert bound.evaluate(args) >= measured - 1e-6

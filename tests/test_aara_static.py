@@ -1,0 +1,194 @@
+"""Conventional AARA end-to-end tests: bound inference on canonical programs.
+
+These reproduce the claims of Sections 2 and 4: tight linear and quadratic
+bounds for the standard list programs, cost-free resource-polymorphic
+recursion for insertion sort, honest failures on opaque builtins and on
+recursions AARA cannot bound.
+"""
+
+import pytest
+
+from repro.aara import analyze_program, run_conventional, synthetic_list
+from repro.aara.bound import psi, synthetic_nested_list
+from repro.errors import InfeasibleError, StaticAnalysisError, UnanalyzableError
+from repro.lang import compile_program, evaluate, from_python
+
+LENGTH = """
+let rec length xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + length tl
+"""
+
+APPEND = """
+let rec append xs ys =
+  match xs with
+  | [] -> ys
+  | hd :: tl -> let _ = Raml.tick 1.0 in hd :: append tl ys
+"""
+
+INSERTION_SORT = """
+let rec insert x xs =
+  match xs with
+  | [] -> [ x ]
+  | hd :: tl ->
+    let _ = Raml.tick 1.0 in
+    if x <= hd then x :: hd :: tl else hd :: insert x tl
+
+let rec insertion_sort xs =
+  match xs with
+  | [] -> []
+  | hd :: tl -> insert hd (insertion_sort tl)
+"""
+
+QUICKSORT = """
+let rec append xs ys =
+  match xs with [] -> ys | hd :: tl -> hd :: append tl ys
+
+let rec partition pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | hd :: tl ->
+    let lower, upper = partition pivot tl in
+    let _ = Raml.tick 1.0 in
+    if hd <= pivot then (hd :: lower, upper) else (lower, hd :: upper)
+
+let rec quicksort xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let lower, upper = partition hd tl in
+    let ls = quicksort lower in
+    let us = quicksort upper in
+    append ls (hd :: us)
+"""
+
+
+def bound_of(src, fname, degree):
+    return analyze_program(
+        compile_program(src), fname, degree, stat_mode="transparent"
+    ).bound
+
+
+class TestLinearBounds:
+    def test_length_is_exactly_n(self):
+        bound = bound_of(LENGTH, "length", 1)
+        for n in (0, 1, 10, 100):
+            assert bound.evaluate([synthetic_list(n)]) == pytest.approx(n, abs=1e-5)
+
+    def test_append_costs_first_argument(self):
+        bound = bound_of(APPEND, "append", 1)
+        value = bound.evaluate([synthetic_list(7), synthetic_list(100)])
+        assert value == pytest.approx(7.0, abs=1e-5)
+
+    def test_constant_cost_function(self):
+        src = "let f xs = let _ = Raml.tick 2.5 in xs"
+        bound = bound_of(src, "f", 1)
+        assert bound.evaluate([synthetic_list(50)]) == pytest.approx(2.5, abs=1e-5)
+
+    def test_branch_maximum(self):
+        src = """
+let f c xs =
+  if c then (let _ = Raml.tick 3.0 in 0) else (let _ = Raml.tick 1.0 in 1)
+"""
+        bound = bound_of(src, "f", 1)
+        assert bound.evaluate([from_python(True), synthetic_list(0)]) == pytest.approx(3.0, abs=1e-5)
+
+
+class TestPolynomialBounds:
+    def test_insertion_sort_tight_quadratic(self):
+        """Requires cost-free resource-polymorphic recursion (HH'10)."""
+        bound = bound_of(INSERTION_SORT, "insertion_sort", 2)
+        assert bound.evaluate([synthetic_list(10)]) == pytest.approx(45.0, abs=1e-4)
+        assert bound.evaluate([synthetic_list(100)]) == pytest.approx(4950.0, abs=1e-2)
+
+    def test_quicksort_tight_quadratic(self):
+        """The Section 2 example: RaML infers n(n-1)/2."""
+        bound = bound_of(QUICKSORT, "quicksort", 2)
+        assert bound.evaluate([synthetic_list(10)]) == pytest.approx(45.0, abs=1e-4)
+
+    def test_quadratic_infeasible_at_degree_one(self):
+        with pytest.raises((InfeasibleError, StaticAnalysisError)):
+            bound_of(INSERTION_SORT, "insertion_sort", 1)
+
+    def test_nested_list_inner_potential(self):
+        src = """
+let rec inner_len xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in 1 + inner_len t
+let rec total xss = match xss with [] -> 0 | h :: t -> inner_len h + total t
+"""
+        bound = bound_of(src, "total", 1)
+        assert bound.evaluate([synthetic_nested_list(4, 20)]) == pytest.approx(20.0, abs=1e-4)
+
+
+class TestSoundnessAgainstInterpreter:
+    @pytest.mark.parametrize(
+        "src,fname,args",
+        [
+            (LENGTH, "length", [[3, 1, 2]]),
+            (APPEND, "append", [[1, 2, 3], [9]]),
+            (INSERTION_SORT, "insertion_sort", [[5, 4, 3, 2, 1]]),
+            (QUICKSORT, "quicksort", [[9, 8, 7, 6, 5, 4]]),
+        ],
+    )
+    def test_bound_dominates_measured_cost(self, src, fname, args):
+        prog = compile_program(src)
+        degree = 2
+        bound = analyze_program(prog, fname, degree, stat_mode="transparent").bound
+        values = [from_python(a) for a in args]
+        measured = evaluate(prog, fname, values).cost
+        assert bound.evaluate(values) >= measured - 1e-6
+
+
+class TestFailures:
+    def test_opaque_builtin_raises(self):
+        src = """
+let rec member x xs =
+  match xs with
+  | [] -> false
+  | hd :: tl -> let _ = Raml.tick 1.0 in
+    if complex_eq hd x then true else member x tl
+"""
+        with pytest.raises(UnanalyzableError):
+            bound_of(src, "member", 1)
+
+    def test_run_conventional_verdicts(self):
+        verdict = run_conventional(compile_program(INSERTION_SORT), "insertion_sort")
+        assert verdict.status == "bound"
+        assert verdict.degree == 2
+
+    def test_run_conventional_cannot_analyze(self):
+        src = "let f a b = if complex_leq a b then 1 else 0"
+        verdict = run_conventional(compile_program(src), "f")
+        assert verdict.status == "cannot-analyze"
+
+    def test_saturation_recursion_infeasible(self):
+        src = """
+let rec spin xs =
+  match xs with
+  | [] -> []
+  | hd :: tl -> let _ = Raml.tick 1.0 in
+    if hd > 0 then spin (hd - 1 :: tl) else tl
+"""
+        verdict = run_conventional(compile_program(src), "spin", max_degree=2)
+        assert verdict.status == "infeasible"
+
+    def test_stat_without_handler_rejected(self):
+        src = "let f xs = Raml.stat (g xs)\nlet g xs = xs"
+        with pytest.raises(StaticAnalysisError):
+            analyze_program(compile_program(src), "f", 1, stat_mode="handler")
+
+
+class TestSumTypes:
+    def test_sum_constant_potential(self):
+        src = """
+let consume s =
+  match s with
+  | Left xs -> (match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in h)
+  | Right n -> n
+"""
+        bound = bound_of(src, "consume", 1)
+        from repro.lang.values import VInl
+
+        assert bound.evaluate([VInl(from_python([1, 2]))]) >= 1.0 - 1e-6
+
+
+def test_psi_helper():
+    assert psi(4, 1.0, [2.0, 0.5]) == pytest.approx(1.0 + 8.0 + 3.0)

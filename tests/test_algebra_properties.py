@@ -1,0 +1,120 @@
+"""Hypothesis property tests on the core algebraic structures.
+
+These pin down the identities the type system's soundness rests on:
+LinExpr is a module over the rationals, the shift operator telescopes the
+binomial potential, and sharing exactly splits potential.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aara.annot import ABase, AList, binomial, potential_of_value, shift, superpose
+from repro.lang import ast as A
+from repro.lang.values import from_python
+from repro.lp import LPProblem, LinExpr, solve_min
+
+scalar = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+small_nonneg = st.floats(0, 10, allow_nan=False)
+assignment = st.fixed_dictionaries({"x": scalar, "y": scalar, "z": scalar})
+
+
+def expr_from(coeffs, const):
+    e = LinExpr.constant(const)
+    for name, c in coeffs.items():
+        e = e + c * LinExpr.var(name)
+    return e
+
+
+exprs = st.builds(
+    expr_from,
+    st.dictionaries(st.sampled_from(["x", "y", "z"]), scalar, max_size=3),
+    scalar,
+)
+
+
+class TestLinExprModuleLaws:
+    @given(a=exprs, b=exprs, env=assignment)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a, b, env):
+        assert (a + b).evaluate(env) == pytest.approx((b + a).evaluate(env))
+
+    @given(a=exprs, b=exprs, c=exprs, env=assignment)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_associates(self, a, b, c, env):
+        assert ((a + b) + c).evaluate(env) == pytest.approx(
+            (a + (b + c)).evaluate(env), abs=1e-8
+        )
+
+    @given(a=exprs, k=scalar, j=scalar, env=assignment)
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_distributes(self, a, k, j, env):
+        assert ((k + j) * a).evaluate(env) == pytest.approx(
+            (k * a + j * a).evaluate(env), abs=1e-6
+        )
+
+    @given(a=exprs, env=assignment)
+    @settings(max_examples=40, deadline=None)
+    def test_negation_is_additive_inverse(self, a, env):
+        assert (a + (-a)).evaluate(env) == pytest.approx(0.0, abs=1e-9)
+
+    @given(a=exprs, b=exprs, env=assignment)
+    @settings(max_examples=40, deadline=None)
+    def test_subtraction_consistent(self, a, b, env):
+        assert (a - b).evaluate(env) == pytest.approx(
+            a.evaluate(env) - b.evaluate(env), abs=1e-8
+        )
+
+
+coeff_vectors = st.lists(small_nonneg, min_size=1, max_size=4)
+
+
+class TestPotentialAlgebra:
+    @given(coeffs=coeff_vectors, n=st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_telescopes(self, coeffs, n):
+        """Φ([v|vs] : L^q) = q1 + Φ(vs : L^{⊳q}) for every degree vector."""
+        ann = AList(tuple(LinExpr.constant(c) for c in coeffs), ABase(A.INT))
+        shifted = AList(shift(ann.coeffs), ABase(A.INT))
+        whole = potential_of_value(from_python([0] * n), ann).const
+        tail = potential_of_value(from_python([0] * (n - 1)), shifted).const
+        assert whole == pytest.approx(coeffs[0] + tail, rel=1e-9, abs=1e-9)
+
+    @given(coeffs=coeff_vectors, n=st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_potential_is_binomial_sum(self, coeffs, n):
+        ann = AList(tuple(LinExpr.constant(c) for c in coeffs), ABase(A.INT))
+        expected = sum(c * binomial(n, i + 1) for i, c in enumerate(coeffs))
+        assert potential_of_value(from_python([0] * n), ann).const == pytest.approx(expected)
+
+    @given(a=coeff_vectors, n=st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_superpose_is_pointwise_additive_on_potential(self, a, n):
+        ann_a = AList(tuple(LinExpr.constant(c) for c in a), ABase(A.INT))
+        ann_b = AList(tuple(LinExpr.constant(2 * c) for c in a), ABase(A.INT))
+        both = superpose(ann_a, ann_b)
+        value = from_python([0] * n)
+        assert potential_of_value(value, both).const == pytest.approx(
+            potential_of_value(value, ann_a).const + potential_of_value(value, ann_b).const
+        )
+
+    @given(total=st.floats(0.5, 10), n=st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_sharing_conserves_potential(self, total, n):
+        from repro.aara.annot import make_template, sharing
+
+        lp = LPProblem()
+        ann = make_template(A.TList(A.INT), 1, lp)
+        lp.add_eq(next(iter(ann.coefficients())), total)
+        a1, a2 = sharing(ann, lp)
+        solution = solve_min(lp, next(iter(a1.coefficients())))
+        phi_whole = sum(
+            c.evaluate(solution.assignment) * binomial(n, i + 1)
+            for i, c in enumerate(ann.coeffs)
+        )
+        phi_parts = sum(
+            c.evaluate(solution.assignment) * binomial(n, i + 1)
+            for part in (a1, a2)
+            for i, c in enumerate(part.coeffs)
+        )
+        assert phi_whole == pytest.approx(phi_parts, abs=1e-6)

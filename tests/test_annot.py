@@ -1,0 +1,171 @@
+"""Resource-annotated types: potential functions, shift, sharing, subtyping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aara.annot import (
+    ABase,
+    AList,
+    AProd,
+    binomial,
+    coeffs_by_degree,
+    instantiate,
+    make_template,
+    potential_of_env,
+    potential_of_value,
+    sharing,
+    shift,
+    superpose,
+    waive,
+    zero_annotation,
+)
+from repro.errors import StaticAnalysisError
+from repro.lang import ast as A
+from repro.lang.values import from_python
+from repro.lp import LPProblem, LinExpr, solve_min
+
+
+def const_list_ann(*coeffs, elem=None):
+    return AList(tuple(LinExpr.constant(c) for c in coeffs), elem or ABase(A.INT))
+
+
+class TestPotential:
+    def test_base_types_have_zero_potential(self):
+        assert potential_of_value(from_python(5), ABase(A.INT)).const == 0.0
+
+    def test_linear_list_potential(self):
+        ann = const_list_ann(2.0)
+        assert potential_of_value(from_python([1, 2, 3]), ann).const == 6.0
+
+    def test_quadratic_binomial_potential(self):
+        ann = const_list_ann(0.0, 1.0)
+        # C(4,2) = 6
+        assert potential_of_value(from_python([0] * 4), ann).const == 6.0
+
+    def test_nested_list_inner_potential(self):
+        inner = const_list_ann(1.0)
+        ann = AList((LinExpr.constant(0.5),), inner)
+        value = from_python([[1, 2], [3]])
+        # outer: 0.5*2; inner: 1*(2+1)
+        assert potential_of_value(value, ann).const == pytest.approx(4.0)
+
+    def test_tuple_potential_sums(self):
+        ann = AProd((const_list_ann(1.0), const_list_ann(2.0)))
+        value = from_python(([1], [1, 1]))
+        assert potential_of_value(value, ann).const == pytest.approx(5.0)
+
+    def test_mismatched_shape_raises(self):
+        with pytest.raises(StaticAnalysisError):
+            potential_of_value(from_python(5), const_list_ann(1.0))
+
+    def test_env_potential(self):
+        env = {"x": from_python([1, 2]), "y": from_python([3])}
+        ctx = {"x": const_list_ann(1.0), "y": const_list_ann(3.0)}
+        assert potential_of_env(env, ctx).const == pytest.approx(5.0)
+
+    @given(n=st.integers(0, 60), q1=st.floats(0, 5), q2=st.floats(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_potential_matches_binomial_formula(self, n, q1, q2):
+        ann = const_list_ann(q1, q2)
+        expected = q1 * binomial(n, 1) + q2 * binomial(n, 2)
+        got = potential_of_value(from_python([0] * n), ann).const
+        assert got == pytest.approx(expected)
+
+
+class TestShift:
+    def test_shift_definition(self):
+        coeffs = tuple(LinExpr.constant(c) for c in (1.0, 2.0, 3.0))
+        shifted = shift(coeffs)
+        assert [c.const for c in shifted] == [3.0, 5.0, 3.0]
+
+    def test_shift_empty(self):
+        assert shift(()) == ()
+
+    @given(n=st.integers(1, 40), q1=st.floats(0, 3), q2=st.floats(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_telescoping_identity(self, n, q1, q2):
+        """Φ(v::vs : L^q) = q1 + Φ(vs : L^{⊳q}) — the paper's Eq. 4.2."""
+        ann = const_list_ann(q1, q2)
+        shifted_ann = AList(shift(ann.coeffs), ann.elem)
+        whole = potential_of_value(from_python([0] * n), ann).const
+        tail = potential_of_value(from_python([0] * (n - 1)), shifted_ann).const
+        assert whole == pytest.approx(q1 + tail)
+
+
+class TestTemplatesAndRelations:
+    def test_template_has_fresh_coeffs(self):
+        lp = LPProblem()
+        ann = make_template(A.TList(A.TList(A.INT)), 2, lp)
+        assert len(list(ann.coefficients())) == 4
+
+    def test_zero_annotation(self):
+        ann = zero_annotation(A.TList(A.INT), 2)
+        assert all(c.const == 0 and c.is_constant() for c in ann.coefficients())
+
+    def test_superpose_adds(self):
+        a = const_list_ann(1.0, 2.0)
+        b = const_list_ann(3.0, 4.0)
+        s = superpose(a, b)
+        assert [c.const for c in s.coeffs] == [4.0, 6.0]
+
+    def test_superpose_shape_mismatch(self):
+        with pytest.raises(StaticAnalysisError):
+            superpose(const_list_ann(1.0), ABase(A.INT))
+
+    def test_sharing_splits_potential(self):
+        lp = LPProblem()
+        ann = make_template(A.TList(A.INT), 1, lp, hint="orig")
+        a1, a2 = sharing(ann, lp)
+        # pin the original coefficient and minimize one part: the other
+        # must take the remainder
+        orig = next(iter(ann.coefficients()))
+        lp.add_eq(orig, 5.0)
+        part1 = next(iter(a1.coefficients()))
+        sol = solve_min(lp, part1)
+        assert sol.value(part1) + sol.value(next(iter(a2.coefficients()))) == pytest.approx(5.0)
+
+    def test_waive_allows_discard_only(self):
+        lp = LPProblem()
+        frm = make_template(A.TList(A.INT), 1, lp)
+        to = make_template(A.TList(A.INT), 1, lp)
+        waive(frm, to, lp)
+        frm_c = next(iter(frm.coefficients()))
+        to_c = next(iter(to.coefficients()))
+        lp.add_eq(frm_c, 2.0)
+        # maximizing `to` is capped by `frm`
+        lp.add_ge(to_c, 2.0)  # forces equality: feasible
+        solve_min(lp, LinExpr())
+        lp2 = LPProblem()
+        frm2 = make_template(A.TList(A.INT), 1, lp2)
+        to2 = make_template(A.TList(A.INT), 1, lp2)
+        waive(frm2, to2, lp2)
+        lp2.add_eq(next(iter(frm2.coefficients())), 2.0)
+        lp2.add_ge(next(iter(to2.coefficients())), 3.0)  # more than available
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            solve_min(lp2, LinExpr())
+
+    def test_instantiate_substitutes(self):
+        lp = LPProblem()
+        ann = make_template(A.TList(A.INT), 1, lp, hint="k")
+        name = next(iter(ann.coefficients())).variables()[0]
+        concrete = instantiate(ann, {name: 7.0})
+        assert next(iter(concrete.coefficients())).const == 7.0
+
+    def test_coeffs_by_degree_nested(self):
+        lp = LPProblem()
+        ann = make_template(A.TList(A.TList(A.INT)), 2, lp)
+        degrees = sorted(d for d, _ in coeffs_by_degree(ann))
+        # outer degrees 1,2 and inner degrees 2,3 (nested one level)
+        assert degrees == [1, 2, 2, 3]
+
+
+class TestBinomial:
+    @pytest.mark.parametrize("n,k,expected", [(5, 2, 10), (0, 1, 0), (3, 0, 1), (2, 5, 0)])
+    def test_values(self, n, k, expected):
+        assert binomial(n, k) == expected
+
+    def test_negative(self):
+        assert binomial(-1, 1) == 0

@@ -1,0 +1,114 @@
+"""Automatic stat placement tests (Section 3.1's bottom-up procedure)."""
+
+import numpy as np
+import pytest
+
+from repro.aara.autostat import AutoStatResult, insert_stat_annotations
+from repro.config import AnalysisConfig
+from repro.errors import StaticAnalysisError
+from repro.inference import collect_dataset, run_opt
+from repro.lang import compile_program, evaluate, from_python
+
+QUICKSORT_OPAQUE = """
+let rec append xs ys =
+  match xs with [] -> ys | hd :: tl -> hd :: append tl ys
+
+let incur_cost hd =
+  if (hd mod 5) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec partition pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | hd :: tl ->
+    let lower, upper = partition pivot tl in
+    let _ = incur_cost hd in
+    if complex_leq hd pivot then (hd :: lower, upper)
+    else (lower, hd :: upper)
+
+let rec quicksort xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let lower, upper = partition hd tl in
+    let ls = quicksort lower in
+    let us = quicksort upper in
+    append ls (hd :: us)
+"""
+
+
+class TestPlacement:
+    def test_identifies_opaque_leaf(self):
+        program = compile_program(QUICKSORT_OPAQUE)
+        result = insert_stat_annotations(program, "quicksort")
+        assert result.unanalyzable == {"partition"}
+        assert result.inserted == 1
+        assert result.stat_labels() == ["auto#1"]
+
+    def test_analyzable_functions_recorded(self):
+        program = compile_program(QUICKSORT_OPAQUE)
+        result = insert_stat_annotations(program, "quicksort")
+        assert "append" in result.degrees
+
+    def test_fully_analyzable_program_untouched(self):
+        program = compile_program(
+            "let rec len xs = match xs with [] -> 0 | h :: t -> "
+            "let _ = Raml.tick 1.0 in 1 + len t"
+        )
+        result = insert_stat_annotations(program, "len")
+        assert result.inserted == 0
+        assert result.unanalyzable == set()
+
+    def test_transitive_propagation(self):
+        """A caller whose only problem is an opaque callee is NOT marked;
+        only the call is wrapped."""
+        src = """
+let leaf a b = if complex_leq a b then 1 else 0
+let mid x = leaf x 3
+let rec top xs =
+  match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in mid h + top t
+"""
+        program = compile_program(src)
+        result = insert_stat_annotations(program, "top")
+        assert result.unanalyzable == {"leaf"}
+        assert result.inserted == 1  # the leaf call inside mid
+
+    def test_unknown_entry(self):
+        program = compile_program("let f x = x")
+        with pytest.raises(StaticAnalysisError):
+            insert_stat_annotations(program, "ghost")
+
+    def test_existing_stats_preserved(self):
+        src = """
+let opaque a = if complex_leq a 0 then 1 else 2
+let f x = Raml.stat (opaque x)
+"""
+        program = compile_program(src)
+        result = insert_stat_annotations(program, "f")
+        # the existing stat already isolates the opaque call
+        labels = result.stat_labels()
+        assert "f#1" in labels
+
+
+class TestEndToEnd:
+    def test_auto_annotated_program_runs_and_analyzes(self):
+        program = compile_program(QUICKSORT_OPAQUE)
+        result = insert_stat_annotations(program, "quicksort")
+        rng = np.random.default_rng(0)
+        inputs = [
+            [from_python([int(v) for v in rng.integers(0, 1000, n)])]
+            for n in range(2, 31, 2)
+        ]
+        # semantics unchanged by the inserted annotations
+        for args in inputs[:3]:
+            before = evaluate(program, "quicksort", list(args))
+            after = evaluate(result.program, "quicksort", list(args))
+            assert before.value == after.value
+            assert before.cost == pytest.approx(after.cost)
+        dataset = collect_dataset(result.program, "quicksort", inputs)
+        analysis = run_opt(
+            result.program, "quicksort", dataset, AnalysisConfig(degree=2)
+        )
+        bound = analysis.bounds[0]
+        for args in inputs:
+            measured = evaluate(result.program, "quicksort", list(args)).cost
+            assert bound.evaluate(args) >= measured - 1e-5

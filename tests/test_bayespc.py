@@ -1,0 +1,111 @@
+"""BayesPC density tests (Section 5.3): gradients, support, censoring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference.bayespc import BayesPCDensity, LikelihoodRow
+from repro.inference.hyperparams import BayesPCHyperparams
+from repro.lp import LinExpr
+
+
+def make_density(theta0=1.0, theta1=10.0, gamma0=1.0, floor=0.1):
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    rows = [
+        LikelihoodRow(expr=2 * x + y, cost=1.0, count=1),
+        LikelihoodRow(expr=x + 3 * y + 0.5, cost=2.0, count=2),
+    ]
+    hyper = BayesPCHyperparams(gamma0=gamma0, theta0=theta0, theta1=theta1)
+    return BayesPCDensity(["x", "y"], rows, hyper, site_vars=["x"], truncation_floor=floor)
+
+
+class TestDensity:
+    def test_finite_in_interior(self):
+        d = make_density()
+        logp, grad = d.logdensity_and_grad(np.array([2.0, 2.0]))
+        assert np.isfinite(logp) and np.all(np.isfinite(grad))
+
+    def test_negative_gap_has_zero_density(self):
+        d = make_density()
+        # c' = 2x + y = 0.5 < cost 1.0 → eps < 0
+        logp, _ = d.logdensity_and_grad(np.array([0.25, 0.0]))
+        assert logp == -np.inf
+
+    def test_zero_gap_allowed_for_shape_one(self):
+        d = make_density(theta0=1.0)
+        # first row: c' = 2*0 + 1 = 1.0 == cost → eps = 0, finite for k=1
+        logp, _ = d.logdensity_and_grad(np.array([0.0, 1.0]))
+        assert np.isfinite(logp)
+
+    def test_zero_gap_rejected_for_shape_above_one(self):
+        d = make_density(theta0=1.5)
+        logp, _ = d.logdensity_and_grad(np.array([0.0, 1.0]))
+        assert logp == -np.inf
+
+    @pytest.mark.parametrize("theta0", [1.0, 1.5])
+    def test_gradient_matches_finite_differences(self, theta0):
+        d = make_density(theta0=theta0)
+        point = np.array([1.5, 2.5])
+        logp, grad = d.logdensity_and_grad(point)
+        for i in range(2):
+            h = 1e-6
+            pp, pm = point.copy(), point.copy()
+            pp[i] += h
+            pm[i] -= h
+            fd = (d.logdensity_and_grad(pp)[0] - d.logdensity_and_grad(pm)[0]) / (2 * h)
+            assert grad[i] == pytest.approx(fd, rel=1e-4, abs=1e-4)
+
+    def test_site_vars_get_tight_prior(self):
+        d = make_density(gamma0=1.0)
+        # x is a site var (scale 1), y nuisance (scale 20)
+        assert d.prior_inv_var[d.index["x"]] == pytest.approx(1.0)
+        assert d.prior_inv_var[d.index["y"]] == pytest.approx(1.0 / 400.0)
+
+    def test_truncation_floor_caps_singularity(self):
+        # a zero-cost observation lets c' approach 0, where the truncation
+        # normalizer 1/F(c') diverges; the floor censors it
+        hyper = BayesPCHyperparams(gamma0=1.0, theta0=1.0, theta1=10.0)
+        rows = [LikelihoodRow(expr=LinExpr.var("x"), cost=0.0, count=1)]
+
+        def density(floor):
+            return BayesPCDensity(["x"], rows, hyper, site_vars=["x"], truncation_floor=floor)
+
+        point = np.array([1e-4])
+        lp_tight, g_tight = density(1e-12).logdensity_and_grad(point)
+        lp_capped, g_capped = density(0.5).logdensity_and_grad(point)
+        assert np.isfinite(lp_capped)
+        assert np.abs(g_capped).max() < np.abs(g_tight).max()
+        # the capped density is much smaller near the singularity
+        assert lp_tight > lp_capped
+
+    def test_unknown_variable_in_row_rejected(self):
+        hyper = BayesPCHyperparams(gamma0=1.0, theta0=1.0, theta1=1.0)
+        rows = [LikelihoodRow(expr=LinExpr.var("ghost"), cost=0.0)]
+        with pytest.raises(InferenceError):
+            BayesPCDensity(["x"], rows, hyper, site_vars=[])
+
+    def test_worst_case_costs(self):
+        d = make_density()
+        cp = d.worst_case_costs(np.array([1.0, 1.0]))
+        assert cp == pytest.approx([3.0, 4.5])
+
+    def test_counts_scale_likelihood(self):
+        single = make_density()
+        x = np.array([2.0, 2.0])
+        logp1, _ = single.logdensity_and_grad(x)
+        # doubling all counts doubles the likelihood part
+        hyper = BayesPCHyperparams(gamma0=1.0, theta0=1.0, theta1=10.0)
+        doubled = BayesPCDensity(
+            ["x", "y"],
+            [
+                LikelihoodRow(expr=2 * LinExpr.var("x") + LinExpr.var("y"), cost=1.0, count=2),
+                LikelihoodRow(
+                    expr=LinExpr.var("x") + 3 * LinExpr.var("y") + 0.5, cost=2.0, count=4
+                ),
+            ],
+            hyper,
+            site_vars=["x"],
+        )
+        logp2, _ = doubled.logdensity_and_grad(x)
+        prior = -0.5 * float(np.sum(single.prior_inv_var * x * x))
+        assert logp2 - prior == pytest.approx(2 * (logp1 - prior))

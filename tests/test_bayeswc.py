@@ -1,0 +1,107 @@
+"""BayesWC survival-model tests (Section 5.2 / Appendix B.1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig, BayesWCConfig
+from repro.inference import collect_dataset
+from repro.inference.bayeswc import (
+    NOISE_MODELS,
+    build_survival_model,
+    infer_worst_case_samples,
+)
+from repro.lang import compile_program, from_python
+
+SRC = """
+let rec cost_len xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + cost_len tl
+
+let top xs = Raml.stat (cost_len xs)
+"""
+
+
+@pytest.fixture(scope="module")
+def stat_ds():
+    prog = compile_program(SRC)
+    rng = np.random.default_rng(0)
+    inputs = []
+    for n in range(1, 21):
+        for _ in range(3):
+            inputs.append([from_python([int(v) for v in rng.integers(0, 50, n)])])
+    return collect_dataset(prog, "top", inputs)["top#1"]
+
+
+class TestModelConstruction:
+    def test_feature_standardization(self, stat_ds):
+        model = build_survival_model(stat_ds, BayesWCConfig())
+        assert model.features.mean(axis=0) == pytest.approx(np.zeros(1), abs=1e-9)
+
+    def test_zero_cost_supported_via_shift(self):
+        prog = compile_program("let f xs = Raml.stat (g xs)\nlet g xs = xs")
+        ds = collect_dataset(prog, "f", [[from_python([1, 2])]])
+        model = build_survival_model(ds["f#1"], BayesWCConfig())
+        assert np.all(np.isfinite(model.log_costs))
+
+    def test_unknown_noise_rejected(self):
+        prog = compile_program(SRC)
+        ds = collect_dataset(prog, "top", [[from_python([1])]])
+        from repro.errors import InferenceError
+
+        with pytest.raises(InferenceError):
+            build_survival_model(ds["top#1"], BayesWCConfig(noise="cauchy"))
+
+    @pytest.mark.parametrize("noise", sorted(NOISE_MODELS))
+    def test_gradient_matches_finite_differences(self, stat_ds, noise):
+        model = build_survival_model(stat_ds, BayesWCConfig(noise=noise))
+        theta = np.array([1.0, 0.5, 0.8])
+        logp, grad = model.logdensity_and_grad(theta)
+        assert np.isfinite(logp)
+        for i in range(theta.size):
+            h = 1e-6
+            tp, tm = theta.copy(), theta.copy()
+            tp[i] += h
+            tm[i] -= h
+            fd = (model.logdensity_and_grad(tp)[0] - model.logdensity_and_grad(tm)[0]) / (2 * h)
+            assert grad[i] == pytest.approx(fd, rel=1e-4, abs=1e-3)
+
+    def test_degenerate_sigma_rejected(self, stat_ds):
+        model = build_survival_model(stat_ds, BayesWCConfig())
+        logp, _ = model.logdensity_and_grad(np.array([0.0, 0.0, 0.0]))
+        assert logp == -np.inf
+
+
+class TestWorstCaseSimulation:
+    def test_samples_dominate_observed_maxima(self, stat_ds):
+        """The soundness half of Eq. (5.7): μ_n([ĉ_n^max, ∞)) = 1."""
+        config = AnalysisConfig(num_posterior_samples=30)
+        rng = np.random.default_rng(1)
+        wc = infer_worst_case_samples(stat_ds, config, rng)
+        maxima = stat_ds.max_costs()
+        for key, samples in wc.samples.items():
+            assert np.all(samples >= maxima[key] - 1e-9)
+
+    def test_samples_exceed_max_with_positive_probability(self, stat_ds):
+        """The robustness half of Eq. (5.7)."""
+        config = AnalysisConfig(num_posterior_samples=60)
+        rng = np.random.default_rng(2)
+        wc = infer_worst_case_samples(stat_ds, config, rng)
+        maxima = stat_ds.max_costs()
+        exceed = [
+            np.mean(samples > maxima[key] + 1e-9) for key, samples in wc.samples.items()
+        ]
+        assert np.mean(exceed) > 0.2
+
+    def test_batch_view(self, stat_ds):
+        config = AnalysisConfig(num_posterior_samples=10)
+        wc = infer_worst_case_samples(stat_ds, config, np.random.default_rng(3))
+        batch = wc.batch(0)
+        assert set(batch) == set(wc.samples)
+        assert wc.num_samples == 10
+
+    def test_reasonable_extrapolation_scale(self, stat_ds):
+        """Posterior worst cases should be same order as observations."""
+        config = AnalysisConfig(num_posterior_samples=40)
+        wc = infer_worst_case_samples(stat_ds, config, np.random.default_rng(4))
+        for key, samples in wc.samples.items():
+            observed = stat_ds.max_costs()[key]
+            assert np.median(samples) <= 20 * (observed + 1.0)

@@ -1,0 +1,60 @@
+"""Normalization preserves the semantics of every benchmark program.
+
+The interpreter runs both the raw parsed AST and the share-let-normalized
+one; on every benchmark and random input the value and cost must agree —
+a strong end-to-end check of the parser/normalizer/interpreter stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lang.interp import Interpreter
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.types import typecheck_program
+from repro.suite import all_benchmarks
+
+RNG = np.random.default_rng(123)
+
+
+@pytest.mark.parametrize("spec", all_benchmarks(), ids=lambda s: s.name)
+@pytest.mark.parametrize("variant", ["data-driven", "hybrid"])
+def test_normalization_preserves_benchmark_semantics(spec, variant):
+    source = spec.data_driven_source if variant == "data-driven" else spec.hybrid_source
+    if source is None:
+        pytest.skip("no hybrid variant")
+    entry = spec.data_driven_entry if variant == "data-driven" else spec.hybrid_entry
+
+    raw = parse_program(source)
+    normalized = typecheck_program(normalize_program(parse_program(source)))
+
+    for _ in range(3):
+        n = int(RNG.choice(spec.data_sizes[:4]))
+        args = spec.generator(RNG, n)
+        r1 = Interpreter(raw, collect_stats=False).run(entry, list(args))
+        r2 = Interpreter(normalized, collect_stats=False).run(entry, list(args))
+        assert r1.value == r2.value
+        assert r1.cost == pytest.approx(r2.cost)
+
+
+@pytest.mark.parametrize("spec", all_benchmarks(), ids=lambda s: s.name)
+def test_stat_records_cost_partition(spec):
+    """For top-level-stat (data-driven) programs, the single stat record's
+    cost equals the whole run's cost."""
+    from repro.lang import compile_program, evaluate
+    from repro.lang import ast as A
+
+    program = compile_program(spec.data_driven_source)
+    body = program[spec.data_driven_entry].body
+    is_wrapper = isinstance(body, A.Stat) or (
+        isinstance(body, A.Let) and isinstance(body.body, A.Stat)
+    )
+    n = int(spec.data_sizes[2])
+    args = spec.generator(RNG, n)
+    result = evaluate(program, spec.data_driven_entry, args)
+    if is_wrapper and len(result.stat_records) == 1:
+        assert result.stat_records[0].cost == pytest.approx(result.cost)
+    else:
+        # InsertionSort2-style: the stat region carries the entire ticked cost
+        total = sum(r.cost for r in result.stat_records)
+        assert total >= result.cost - 1e-9 or result.cost == 0.0

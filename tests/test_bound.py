@@ -1,0 +1,93 @@
+"""ResourceBound representation, evaluation, and pretty-printing."""
+
+import pytest
+
+from repro.aara.annot import ABase, AList, AProd
+from repro.aara.bound import (
+    ResourceBound,
+    bound_curve,
+    psi,
+    synthetic_list,
+    synthetic_nested_list,
+)
+from repro.errors import StaticAnalysisError
+from repro.lang import ast as A
+from repro.lang.values import VList
+from repro.lp import LinExpr
+
+
+def make_bound(p0=1.0, coeffs=(2.0, 0.5)):
+    ann = AList(tuple(LinExpr.constant(c) for c in coeffs), ABase(A.INT))
+    return ResourceBound("f", (ann,), p0)
+
+
+class TestEvaluate:
+    def test_polynomial_value(self):
+        bound = make_bound()
+        # 1 + 2*10 + 0.5*C(10,2)
+        assert bound.evaluate([synthetic_list(10)]) == pytest.approx(1 + 20 + 22.5)
+
+    def test_evaluate_python(self):
+        bound = make_bound()
+        assert bound.evaluate_python([0, 0, 0]) == pytest.approx(1 + 6 + 1.5)
+
+    def test_arity_check(self):
+        with pytest.raises(StaticAnalysisError):
+            make_bound().evaluate([synthetic_list(1), synthetic_list(1)])
+
+    def test_multi_argument(self):
+        a1 = AList((LinExpr.constant(1.0),), ABase(A.INT))
+        a2 = AList((LinExpr.constant(3.0),), ABase(A.INT))
+        bound = ResourceBound("g", (a1, a2), 0.0)
+        assert bound.evaluate([synthetic_list(2), synthetic_list(5)]) == pytest.approx(17.0)
+
+    def test_tuple_argument(self):
+        ann = AProd((ABase(A.INT), AList((LinExpr.constant(2.0),), ABase(A.INT))))
+        bound = ResourceBound("h", (ann,), 0.0)
+        from repro.lang.values import VTuple
+
+        assert bound.evaluate([VTuple((0, synthetic_list(4)))]) == pytest.approx(8.0)
+
+
+class TestSyntheticShapes:
+    def test_synthetic_list(self):
+        assert len(synthetic_list(7).items) == 7
+
+    def test_synthetic_nested_distributes_evenly(self):
+        nested = synthetic_nested_list(3, 10)
+        assert isinstance(nested, VList)
+        inner_sizes = [len(v.items) for v in nested.items]
+        assert sum(inner_sizes) == 10
+        assert max(inner_sizes) - min(inner_sizes) <= 1
+
+    def test_synthetic_nested_empty(self):
+        assert len(synthetic_nested_list(0, 5).items) == 0
+
+
+class TestReporting:
+    def test_describe_contains_terms(self):
+        text = make_bound().describe()
+        assert "2*n1" in text
+        assert "C(n1,2)" in text
+
+    def test_describe_omits_zero_terms(self):
+        text = make_bound(p0=0.0, coeffs=(1.0, 0.0)).describe()
+        assert "C(" not in text
+
+    def test_describe_custom_names(self):
+        text = make_bound().describe(["m"])
+        assert "2*m" in text
+
+    def test_coefficients_order(self):
+        assert make_bound().coefficients() == [1.0, 2.0, 0.5]
+
+    def test_bound_curve(self):
+        values = bound_curve(make_bound(), [1, 2, 3])
+        assert values == pytest.approx([3.0, 5.5, 8.5])
+
+    def test_psi_matches_bound(self):
+        bound = make_bound()
+        for n in (0, 5, 12):
+            assert bound.evaluate([synthetic_list(n)]) == pytest.approx(
+                psi(n, 1.0, [2.0, 0.5])
+            )

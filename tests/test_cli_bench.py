@@ -1,0 +1,60 @@
+"""CLI `bench` subcommand and collect/analyze file workflow."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("method", ["opt"])
+def test_cli_bench_runs_one_benchmark(capsys, method):
+    code = main(["bench", "Round", "--method", method, "--samples", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Round" in out
+    assert "Relative estimation gaps" in out
+
+
+def test_cli_collect_then_analyze_roundtrip(tmp_path, capsys):
+    src = tmp_path / "p.ml"
+    src.write_text(
+        "let rec len xs = match xs with [] -> 0 | h :: t -> "
+        "let _ = Raml.tick 1.0 in 1 + len t\n"
+        "let len2 xs = Raml.stat (len xs)\n"
+    )
+    data = tmp_path / "data.json"
+    out = tmp_path / "result.json"
+
+    assert main(["collect", str(src), "--entry", "len2", "--sizes", "2:12:2", "--out", str(data)]) == 0
+    assert data.exists()
+    payload = json.loads(data.read_text())
+    assert payload["version"] == 1 and "len2#1" in payload["labels"]
+
+    code = main(
+        [
+            "analyze",
+            str(src),
+            "--entry",
+            "len2",
+            "--method",
+            "opt",
+            "--degree",
+            "1",
+            "--data",
+            str(data),
+            "--save-result",
+            str(out),
+        ]
+    )
+    assert code == 0
+    saved = json.loads(out.read_text())
+    assert saved["method"] == "opt"
+    assert len(saved["bounds"]) == 1
+    text = capsys.readouterr().out
+    assert "bound[0]" in text
+
+
+def test_cli_bench_unknown_benchmark_errors(capsys):
+    with pytest.raises(KeyError):
+        main(["bench", "NoSuchBenchmark", "--samples", "2"])

@@ -1,0 +1,158 @@
+"""Distribution library tests: densities, CDFs, inverses, truncation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InferenceError
+from repro.stats.distributions import (
+    GumbelMin,
+    HalfNormal,
+    Logistic,
+    Normal,
+    Weibull,
+    sample_truncated,
+    truncated_logpdf,
+)
+
+RNG = np.random.default_rng(12345)
+
+pos = st.floats(0.2, 5.0, allow_nan=False)
+
+
+def numeric_gradient(f, x, h=1e-6):
+    return (f(x + h) - f(x - h)) / (2 * h)
+
+
+class TestNormal:
+    def test_logpdf_standard(self):
+        assert Normal().logpdf(0.0) == pytest.approx(-0.5 * math.log(2 * math.pi))
+
+    def test_cdf_median(self):
+        assert Normal(2.0, 3.0).cdf(2.0) == pytest.approx(0.5)
+
+    @given(x=st.floats(-4, 4), loc=st.floats(-2, 2), scale=pos)
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_consistent(self, x, loc, scale):
+        d = Normal(loc, scale)
+        assert d.grad_logpdf(x) == pytest.approx(
+            numeric_gradient(lambda t: float(d.logpdf(t)), x), abs=1e-4
+        )
+
+    def test_sample_moments(self):
+        xs = Normal(1.0, 2.0).sample(RNG, size=20000)
+        assert xs.mean() == pytest.approx(1.0, abs=0.1)
+        assert xs.std() == pytest.approx(2.0, abs=0.1)
+
+
+class TestHalfNormal:
+    def test_negative_support_zero(self):
+        assert HalfNormal(1.0).logpdf(-0.5) == -np.inf
+
+    def test_samples_nonnegative(self):
+        xs = HalfNormal(2.0).sample(RNG, size=1000)
+        assert np.all(xs >= 0)
+
+    def test_density_integrates_to_one(self):
+        xs = np.linspace(0, 20, 40001)
+        pdf = np.exp(HalfNormal(2.0).logpdf(xs))
+        assert np.trapezoid(pdf, xs) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestGumbelMin:
+    def test_cdf_matches_definition(self):
+        d = GumbelMin()
+        z = 0.3
+        assert d.cdf(z) == pytest.approx(1 - math.exp(-math.exp(z)))
+
+    @given(u=st.floats(0.01, 0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_ppf_inverts_cdf(self, u):
+        d = GumbelMin(1.0, 2.0)
+        assert d.cdf(d.ppf(u)) == pytest.approx(u, abs=1e-9)
+
+    @given(x=st.floats(-3, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_consistent(self, x):
+        d = GumbelMin()
+        assert d.grad_logpdf(x) == pytest.approx(
+            numeric_gradient(lambda t: float(d.logpdf(t)), x), abs=1e-4
+        )
+
+    def test_exp_of_gumbel_min_is_weibull(self):
+        """The survival-analysis identity behind Eq. 5.12."""
+        sigma = 0.7
+        d = GumbelMin()
+        zs = d.sample(RNG, size=40000)
+        cs = np.exp(sigma * zs)  # scale exp(mu)=1, shape 1/sigma
+        w = Weibull(shape=1 / sigma, scale=1.0)
+        # compare empirical CDF with Weibull CDF at a few quantiles
+        for q in (0.25, 0.5, 0.75):
+            empirical = np.quantile(cs, q)
+            assert w.cdf(empirical) == pytest.approx(q, abs=0.02)
+
+
+class TestLogistic:
+    @given(u=st.floats(0.01, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_ppf_inverts_cdf(self, u):
+        d = Logistic(0.5, 1.5)
+        assert d.cdf(d.ppf(u)) == pytest.approx(u, abs=1e-9)
+
+
+class TestWeibull:
+    def test_invalid_params(self):
+        with pytest.raises(InferenceError):
+            Weibull(0.0, 1.0)
+
+    def test_exponential_special_case(self):
+        d = Weibull(1.0, 2.0)
+        assert float(d.logpdf(1.0)) == pytest.approx(math.log(0.5) - 0.5)
+
+    @given(u=st.floats(0.01, 0.99), k=pos, lam=pos)
+    @settings(max_examples=40, deadline=None)
+    def test_ppf_inverts_cdf(self, u, k, lam):
+        d = Weibull(k, lam)
+        assert float(d.cdf(d.ppf(u))) == pytest.approx(u, abs=1e-9)
+
+    @given(x=st.floats(0.1, 10), k=st.floats(1.0, 3.0), lam=pos)
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_consistent(self, x, k, lam):
+        d = Weibull(k, lam)
+        assert float(d.grad_logpdf(x)) == pytest.approx(
+            numeric_gradient(lambda t: float(d.logpdf(t)), x), rel=1e-3, abs=1e-4
+        )
+
+    def test_logcdf_matches_cdf(self):
+        d = Weibull(1.5, 2.0)
+        for x in (0.5, 1.0, 4.0):
+            assert float(d.logcdf(x)) == pytest.approx(math.log(float(d.cdf(x))))
+
+
+class TestTruncation:
+    def test_samples_respect_interval(self):
+        d = Weibull(1.0, 1.0)
+        xs = sample_truncated(d, 0.5, 2.0, RNG, size=500)
+        assert np.all((xs >= 0.5) & (xs <= 2.0))
+
+    def test_unbounded_above(self):
+        d = GumbelMin()
+        xs = np.array([sample_truncated(d, 1.0, np.inf, RNG) for _ in range(200)])
+        assert np.all(xs >= 1.0)
+
+    def test_degenerate_interval_returns_endpoint(self):
+        d = Weibull(1.0, 1.0)
+        assert sample_truncated(d, 1e9, 1e9 + 1, RNG) >= 1e9
+
+    def test_truncated_logpdf_normalizes(self):
+        d = Normal()
+        xs = np.linspace(-1, 1, 20001)
+        pdf = np.exp(truncated_logpdf(d, xs, -1, 1))
+        assert np.trapezoid(pdf, xs) == pytest.approx(1.0, abs=1e-3)
+
+    def test_truncated_logpdf_outside_is_minus_inf(self):
+        d = Normal()
+        assert truncated_logpdf(d, np.array([5.0]), -1, 1)[0] == -np.inf

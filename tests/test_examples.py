@@ -1,0 +1,44 @@
+"""Opt-in smoke tests for the runnable examples.
+
+The examples each take one to a few minutes, so they only run when
+``REPRO_RUN_EXAMPLES=1`` is set — e.g. in a nightly job.  The default test
+run still verifies that every example imports cleanly and exposes a
+``main`` entry point.
+"""
+
+import importlib.util
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+RUN_FULL = bool(os.environ.get("REPRO_RUN_EXAMPLES"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None))
+    assert module.__doc__ and "Run:" in module.__doc__
+
+
+@pytest.mark.skipif(not RUN_FULL, reason="set REPRO_RUN_EXAMPLES=1 to run examples")
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_to_completion(path):
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=1200
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

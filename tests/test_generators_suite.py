@@ -1,0 +1,102 @@
+"""Input-generator and benchmark-spec plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.lang.values import VList, to_python
+from repro.suite import all_benchmarks, get_benchmark
+from repro.suite.generators import (
+    MixedGenerator,
+    all_equal_expensive,
+    multiples_list,
+    random_int_list,
+    random_nested_list,
+    random_small_alphabet_list,
+    sorted_ascending_expensive,
+    sorted_descending_list,
+)
+
+RNG = np.random.default_rng(5)
+
+
+class TestGenerators:
+    def test_random_int_list_shape(self):
+        value = random_int_list(RNG, 12, lo=5, hi=9)
+        data = to_python(value)
+        assert len(data) == 12
+        assert all(5 <= v < 9 for v in data)
+
+    def test_random_nested_totals(self):
+        value = random_nested_list(RNG, 4, 17)
+        data = to_python(value)
+        assert len(data) == 4
+        assert sum(len(inner) for inner in data) == 17
+
+    def test_nested_zero_outer(self):
+        assert to_python(random_nested_list(RNG, 0, 10)) == []
+
+    def test_sorted_descending(self):
+        data = to_python(sorted_descending_list(5, 10))
+        assert data == [50, 40, 30, 20, 10]
+        assert all(v % 10 == 0 for v in data)
+
+    def test_sorted_ascending_expensive(self):
+        data = to_python(sorted_ascending_expensive(4, 5))
+        assert data == [5, 10, 15, 20]
+
+    def test_all_equal(self):
+        data = to_python(all_equal_expensive(3, 7))
+        assert data == [7, 7, 7]
+
+    def test_multiples(self):
+        data = to_python(multiples_list(4, 3))
+        assert sorted(data) == [3, 6, 9, 12]
+
+    def test_small_alphabet_bounded(self):
+        data = to_python(random_small_alphabet_list(RNG, 50, alphabet=4))
+        assert len(set(data)) <= 4
+
+    def test_mixed_generator_dispatches(self):
+        calls = {"random": 0, "adv": 0}
+
+        def random_fn(rng, n):
+            calls["random"] += 1
+            return [n]
+
+        def adv_fn(rng, n):
+            calls["adv"] += 1
+            return [n]
+
+        mixed = MixedGenerator(random_fn, adv_fn, p=0.5)
+        for _ in range(60):
+            mixed(RNG, 3)
+        assert calls["random"] > 5 and calls["adv"] > 5
+
+
+class TestSpecPlumbing:
+    def test_inputs_cover_sizes_times_reps(self):
+        spec = get_benchmark("QuickSort")
+        rng = np.random.default_rng(0)
+        inputs = spec.inputs(rng)
+        assert len(inputs) == len(spec.data_sizes) * spec.repetitions
+
+    @pytest.mark.parametrize("spec", all_benchmarks(), ids=lambda s: s.name)
+    def test_generator_sizes_match_request(self, spec):
+        rng = np.random.default_rng(1)
+        n = int(spec.data_sizes[1])
+        args = spec.generator(rng, n)
+        lists = [a for a in args if isinstance(a, VList)]
+        assert lists, "every benchmark takes at least one list argument"
+        primary = lists[0]
+        assert len(primary.items) == n
+
+    @pytest.mark.parametrize("spec", all_benchmarks(), ids=lambda s: s.name)
+    def test_truth_zero_at_zero(self, spec):
+        assert spec.truth(0) == pytest.approx(0.0)
+
+    def test_median_of_medians_values_distinct(self):
+        spec = get_benchmark("MedianOfMedians")
+        rng = np.random.default_rng(2)
+        _idx, values = spec.generator(rng, 40)
+        data = to_python(values)
+        assert len(set(data)) == len(data)

@@ -1,0 +1,117 @@
+"""Evaluation-harness tests on a fast benchmark subset."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.evalharness import (
+    BenchmarkRun,
+    conventional_label,
+    fig6_curves,
+    mapappend_surface,
+    posterior_curve,
+    render_curve,
+    render_gap_table,
+    render_table1,
+    run_benchmark,
+    scatter_from_dataset,
+)
+from repro.evalharness.gaps import benchmark_gaps, soundness_by_gap
+from repro.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def round_run():
+    """Round is data-driven-only and cheap: ideal for harness tests."""
+    spec = get_benchmark("Round")
+    config = AnalysisConfig(num_posterior_samples=8, seed=0)
+    return run_benchmark(spec, config, seed=0, methods=("opt", "bayeswc"))
+
+
+class TestRunBenchmark:
+    def test_results_present(self, round_run):
+        assert ("data-driven", "opt") in round_run.results
+        assert ("data-driven", "bayeswc") in round_run.results
+
+    def test_no_hybrid_for_round(self, round_run):
+        assert not any(mode == "hybrid" for mode, _ in round_run.results)
+
+    def test_conventional_verdict(self, round_run):
+        assert round_run.conventional_label == "Cannot Analyze"
+
+    def test_soundness_accessor(self, round_run):
+        value = round_run.soundness("data-driven", "opt")
+        assert 0.0 <= value <= 1.0
+        assert round_run.soundness("hybrid", "opt") is None
+
+    def test_runtime_accessor(self, round_run):
+        assert round_run.runtime("data-driven", "bayeswc") > 0
+
+
+class TestRendering:
+    def test_table1_renders(self, round_run):
+        text = render_table1([round_run])
+        assert "Round" in text and "Cannot Analyze" in text
+        assert "BayesWC" in text
+
+    def test_gap_table_renders(self, round_run):
+        text = render_gap_table(round_run)
+        assert "Round" in text
+        assert "∅" in text  # hybrid column empty
+
+    def test_gap_cells(self, round_run):
+        cells = benchmark_gaps(round_run)
+        assert all(5 in c.percentiles and 95 in c.percentiles for c in cells)
+        assert {c.size for c in cells} == {10, 100, 1000}
+
+    def test_soundness_by_gap(self, round_run):
+        value = soundness_by_gap(round_run, 100, "data-driven", "bayeswc")
+        assert 0.0 <= value <= 1.0
+        assert soundness_by_gap(round_run, 100, "hybrid", "opt") is None
+
+
+class TestCurves:
+    def test_posterior_curve(self, round_run):
+        series = posterior_curve(round_run, "data-driven", "bayeswc", [10, 50, 100])
+        assert len(series.median) == 3
+        assert series.band_low[0] <= series.median[0] <= series.band_high[0]
+        assert series.scatter  # runtime data attached
+
+    def test_missing_combination_returns_none(self, round_run):
+        assert posterior_curve(round_run, "hybrid", "opt", [10]) is None
+
+    def test_fig6_bundle(self, round_run):
+        series_list = fig6_curves(round_run, [10, 100])
+        assert len(series_list) == 2  # opt + bayeswc, data-driven only
+
+    def test_render_curve_text(self, round_run):
+        series = posterior_curve(round_run, "data-driven", "opt", [10, 100])
+        text = render_curve(series)
+        assert "truth" in text and "median" in text
+
+    def test_scatter_from_dataset(self, round_run):
+        points = scatter_from_dataset(round_run.datasets["data-driven"])
+        assert all(len(p) == 2 for p in points)
+
+
+class TestConventionalLabel:
+    def test_wrong_degree_label(self):
+        from repro.aara.analyze import ConventionalVerdict
+
+        spec = get_benchmark("InsertionSort2")
+        verdict = ConventionalVerdict("bound", degree=2)
+        assert conventional_label(spec, verdict) == "Wrong Degree"
+
+    def test_right_degree_label(self):
+        from repro.aara.analyze import ConventionalVerdict
+
+        spec = get_benchmark("QuickSort")  # truth degree 2
+        verdict = ConventionalVerdict("bound", degree=2)
+        assert conventional_label(spec, verdict).startswith("Bound")
+
+    def test_infeasible_maps_to_cannot_analyze(self):
+        from repro.aara.analyze import ConventionalVerdict
+
+        spec = get_benchmark("BubbleSort")
+        verdict = ConventionalVerdict("infeasible")
+        assert conventional_label(spec, verdict) == "Cannot Analyze"

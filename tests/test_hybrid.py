@@ -1,0 +1,181 @@
+"""Hybrid AARA integration tests: H:Opt, H:BayesWC, H:BayesPC (Section 6),
+including the Theorem 6.1 property (bounds sound w.r.t. the runtime data)."""
+
+import numpy as np
+import pytest
+
+from repro.aara.bound import synthetic_list
+from repro.config import AnalysisConfig
+from repro.inference import (
+    classify_mode,
+    collect_dataset,
+    run_analysis,
+    run_bayespc,
+    run_bayeswc,
+    run_opt,
+)
+from repro.lang import compile_program, evaluate, from_python
+
+HYBRID_SRC = """
+let incur_cost hd =
+  if (hd mod 5) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec helper xs =
+  match xs with
+  | [] -> []
+  | hd :: tl ->
+    let _ = incur_cost hd in
+    if complex_leq hd 500 then hd :: helper tl else helper tl
+
+let rec driver xs =
+  match xs with
+  | [] -> 0
+  | hd :: tl ->
+    let kept = Raml.stat (helper xs) in
+    driver tl
+"""
+
+DD_SRC = """
+let incur_cost hd =
+  if (hd mod 5) = 0 then Raml.tick 1.0 else Raml.tick 0.5
+
+let rec work xs =
+  match xs with
+  | [] -> 0
+  | hd :: tl -> let _ = incur_cost hd in 1 + work tl
+
+let work2 xs = Raml.stat (work xs)
+"""
+
+
+@pytest.fixture(scope="module")
+def dd_setup():
+    prog = compile_program(DD_SRC)
+    rng = np.random.default_rng(0)
+    inputs = [
+        [from_python([int(v) for v in rng.integers(0, 100, n)])]
+        for n in range(1, 31)
+        for _ in range(2)
+    ]
+    dataset = collect_dataset(prog, "work2", inputs)
+    return prog, dataset, inputs
+
+
+@pytest.fixture(scope="module")
+def hybrid_setup():
+    prog = compile_program(HYBRID_SRC)
+    rng = np.random.default_rng(1)
+    inputs = [
+        [from_python([int(v) for v in rng.integers(0, 1000, n)])]
+        for n in range(1, 25)
+        for _ in range(2)
+    ]
+    dataset = collect_dataset(prog, "driver", inputs)
+    return prog, dataset, inputs
+
+
+CFG = AnalysisConfig(degree=1, num_posterior_samples=12)
+CFG2 = AnalysisConfig(degree=2, num_posterior_samples=12)
+
+
+class TestModeClassification:
+    def test_data_driven(self, dd_setup):
+        prog, _, _ = dd_setup
+        assert classify_mode(prog, "work2") == "data-driven"
+
+    def test_hybrid(self, hybrid_setup):
+        prog, _, _ = hybrid_setup
+        assert classify_mode(prog, "driver") == "hybrid"
+
+
+class TestOpt:
+    def test_dd_bound_dominates_all_observed_costs(self, dd_setup):
+        """Theorem 6.1 for H:Opt: sound w.r.t. every measurement."""
+        prog, dataset, inputs = dd_setup
+        result = run_opt(prog, "work2", dataset, CFG)
+        bound = result.bounds[0]
+        for args in inputs:
+            measured = evaluate(prog, "work2", list(args)).cost
+            assert bound.evaluate(args) >= measured - 1e-6
+
+    def test_hybrid_bound_dominates_top_level_costs(self, hybrid_setup):
+        prog, dataset, inputs = hybrid_setup
+        result = run_opt(prog, "driver", dataset, CFG2)
+        bound = result.bounds[0]
+        for args in inputs:
+            measured = evaluate(prog, "driver", list(args)).cost
+            assert bound.evaluate(args) >= measured - 1e-4
+
+    def test_opt_is_single_bound(self, dd_setup):
+        prog, dataset, _ = dd_setup
+        result = run_opt(prog, "work2", dataset, CFG)
+        assert result.num_bounds == 1 and result.method == "opt"
+
+
+class TestBayesWC:
+    def test_posterior_bounds_dominate_data(self, dd_setup):
+        prog, dataset, inputs = dd_setup
+        result = run_bayeswc(prog, "work2", dataset, CFG)
+        assert result.failures == 0
+        assert len(result.bounds) == CFG.num_posterior_samples
+        for bound in result.bounds[:4]:
+            for args in inputs[::7]:
+                measured = evaluate(prog, "work2", list(args)).cost
+                assert bound.evaluate(args) >= measured - 1e-6
+
+    def test_bounds_vary_across_posterior(self, dd_setup):
+        prog, dataset, _ = dd_setup
+        result = run_bayeswc(prog, "work2", dataset, CFG)
+        values = {round(b.evaluate([synthetic_list(40)]), 6) for b in result.bounds}
+        assert len(values) > 1
+
+    def test_bayeswc_at_least_opt(self, dd_setup):
+        """Sampled worst-case costs are >= observed maxima, so every BayesWC
+        bound dominates the Opt bound at the observed sizes."""
+        prog, dataset, _ = dd_setup
+        opt = run_opt(prog, "work2", dataset, CFG).bounds[0]
+        wc = run_bayeswc(prog, "work2", dataset, CFG)
+        n = 30
+        opt_val = opt.evaluate([synthetic_list(n)])
+        assert min(b.evaluate([synthetic_list(n)]) for b in wc.bounds) >= opt_val - 1e-4
+
+
+class TestBayesPC:
+    def test_dd_posterior_dominates_data(self, dd_setup):
+        prog, dataset, inputs = dd_setup
+        result = run_bayespc(prog, "work2", dataset, CFG)
+        assert result.failures == 0
+        for bound in result.bounds[:4]:
+            for args in inputs[::7]:
+                measured = evaluate(prog, "work2", list(args)).cost
+                assert bound.evaluate(args) >= measured - 1e-4
+
+    def test_hybrid_runs_and_is_sound_on_data(self, hybrid_setup):
+        prog, dataset, inputs = hybrid_setup
+        result = run_bayespc(prog, "driver", dataset, CFG2)
+        assert len(result.bounds) > 0
+        bound = result.bounds[0]
+        for args in inputs[::5]:
+            measured = evaluate(prog, "driver", list(args)).cost
+            assert bound.evaluate(args) >= measured - 1e-3
+
+    def test_diagnostics_present(self, dd_setup):
+        prog, dataset, _ = dd_setup
+        result = run_bayespc(prog, "work2", dataset, CFG)
+        assert "accept_rate" in result.diagnostics
+        assert result.diagnostics["polytope_dim"] >= 1
+
+
+class TestDispatcher:
+    def test_run_analysis_dispatch(self, dd_setup):
+        prog, dataset, _ = dd_setup
+        for method in ("opt", "bayeswc", "bayespc"):
+            result = run_analysis(prog, "work2", dataset, CFG, method)
+            assert result.method == method
+
+    def test_unknown_method(self, dd_setup):
+        prog, dataset, _ = dd_setup
+        from repro.errors import InferenceError
+
+        with pytest.raises(InferenceError):
+            run_analysis(prog, "work2", dataset, CFG, "magic")

@@ -1,0 +1,76 @@
+"""Empirical-Bayes hyperparameter tests (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.config import BayesPCConfig
+from repro.inference.hyperparams import (
+    gamma0_from_opt,
+    resolve_bayespc_hyperparams,
+    theta1_from_gaps,
+)
+
+
+class TestTheta1:
+    def test_formula(self):
+        """θ1 = (1100/188.7)·ε90 + 100 (Eq. B.9)."""
+        gaps = [10.0] * 100
+        assert theta1_from_gaps(gaps) == pytest.approx(1100 / 188.7 * 10 + 100)
+
+    def test_empty_gaps(self):
+        assert theta1_from_gaps([]) == pytest.approx(100.0)
+
+    def test_negative_gaps_clamped(self):
+        assert theta1_from_gaps([-5.0] * 10) == pytest.approx(100.0)
+
+    def test_percentile_selects_tail(self):
+        gaps = [0.0] * 95 + [100.0] * 5
+        high = theta1_from_gaps(gaps, alpha=99)
+        low = theta1_from_gaps(gaps, alpha=50)
+        assert high > low
+
+
+class TestGamma0:
+    def _opt_setup(self):
+        from repro.aara.analyze import build_analysis
+        from repro.lang import compile_program
+        from repro.lp import solve_lexicographic
+
+        prog = compile_program(
+            """
+let rec insert x xs =
+  match xs with
+  | [] -> [ x ]
+  | hd :: tl ->
+    let _ = Raml.tick 3.0 in
+    if x <= hd then x :: hd :: tl else hd :: insert x tl
+
+let rec isort xs =
+  match xs with [] -> [] | hd :: tl -> insert hd (isort tl)
+"""
+        )
+        analysis = build_analysis(prog, "isort", 2, stat_mode="transparent")
+        solution = solve_lexicographic(analysis.lp, analysis.root_objectives())
+        return analysis, solution
+
+    def test_formula_uses_top_degree_coefficient(self):
+        """γ0 = (8/15)·max(top coeffs) + 4/5 (Eq. B.5): isort with tick 3
+        has top (quadratic) coefficient 3."""
+        analysis, solution = self._opt_setup()
+        gamma0 = gamma0_from_opt(analysis, solution)
+        assert gamma0 == pytest.approx((8 / 15) * 3.0 + 0.8, abs=1e-3)
+
+
+class TestResolve:
+    def test_explicit_values_pass_through(self):
+        analysis, solution = TestGamma0()._opt_setup()
+        config = BayesPCConfig(gamma0=2.5, theta0=1.5, theta1=42.0)
+        hyper = resolve_bayespc_hyperparams(config, analysis, solution, [1.0])
+        assert (hyper.gamma0, hyper.theta0, hyper.theta1) == (2.5, 1.5, 42.0)
+
+    def test_empirical_fallback(self):
+        analysis, solution = TestGamma0()._opt_setup()
+        config = BayesPCConfig()  # gamma0/theta1 None
+        hyper = resolve_bayespc_hyperparams(config, analysis, solution, [10.0] * 10)
+        assert hyper.gamma0 > 0.8
+        assert hyper.theta1 > 100.0 - 1e-9

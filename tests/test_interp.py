@@ -1,0 +1,180 @@
+"""Cost-semantics interpreter tests (Section 3.2–3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvalError
+from repro.lang import compile_program, evaluate, from_python, run_on_inputs
+from repro.lang.interp import _trunc_div, _trunc_mod
+
+
+def run(src, fname, *args):
+    prog = compile_program(src)
+    return evaluate(prog, fname, [from_python(a) for a in args])
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run("let f x = x * 3 + 2", "f", 5).value == 17
+
+    def test_comparison_chain(self):
+        assert run("let f x = if x <= 3 then 1 else 0", "f", 3).value == 1
+
+    def test_boolean_short_circuit(self):
+        # (1/0) is never evaluated thanks to && short-circuiting
+        src = "let f x = if x > 0 && (10 / x) > 1 then 1 else 0"
+        assert run(src, "f", 0).value == 0
+
+    def test_list_construction(self):
+        result = run("let f x = x :: [ 1; 2 ]", "f", 0)
+        assert str(result.value) == "[0; 1; 2]"
+
+    def test_tuple_projection(self):
+        src = "let f p = match p with (a, b) -> a + b"
+        assert run(src, "f", (3, 4)).value == 7
+
+    def test_sum_dispatch(self):
+        src = "let f x = match x with | Left a -> a | Right b -> 0 - b\nlet g y = f (Left y)"
+        assert run(src, "g", 5).value == 5
+
+    def test_unit(self):
+        assert str(run("let f x = ()", "f", 1).value) == "()"
+
+
+class TestCostAccounting:
+    def test_tick_accumulates(self):
+        src = "let f x = let _ = Raml.tick 1.5 in let _ = Raml.tick 2.0 in x"
+        assert run(src, "f", 0).cost == 3.5
+
+    def test_negative_tick(self):
+        src = "let f x = let _ = Raml.tick 2.0 in let _ = Raml.tick (-0.5) in x"
+        assert run(src, "f", 0).cost == 1.5
+
+    def test_cost_zero_without_ticks(self):
+        assert run("let f x = x + 1", "f", 1).cost == 0.0
+
+    def test_cost_in_untaken_branch_not_counted(self):
+        src = "let f x = if x > 0 then x else (let _ = Raml.tick 9.0 in x)"
+        assert run(src, "f", 5).cost == 0.0
+
+    def test_recursive_cost(self):
+        src = """
+let rec count xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + count tl
+"""
+        assert run(src, "count", [1, 2, 3, 4, 5]).cost == 5.0
+
+    @given(st.lists(st.integers(0, 100), max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_cost_equals_length(self, xs):
+        src = """
+let rec count xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + count tl
+"""
+        result = run(src, "count", xs)
+        assert result.cost == float(len(xs))
+        assert result.value == len(xs)
+
+
+class TestDivMod:
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1), (6, 3, 2, 0)],
+    )
+    def test_ocaml_truncating_semantics(self, a, b, q, r):
+        assert _trunc_div(a, b) == q
+        assert _trunc_mod(a, b) == r
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            run("let f x = x / 0", "f", 1)
+
+    def test_mod_by_zero(self):
+        with pytest.raises(EvalError):
+            run("let f x = x mod 0", "f", 1)
+
+    @given(st.integers(-1000, 1000), st.integers(-50, 50).filter(lambda b: b != 0))
+    @settings(max_examples=50, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        assert _trunc_div(a, b) * b + _trunc_mod(a, b) == a
+
+
+class TestStatRecords:
+    SRC = """
+let helper xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in hd
+
+let rec walk xs =
+  match xs with
+  | [] -> 0
+  | hd :: tl -> Raml.stat (helper xs) + walk tl
+"""
+
+    def test_one_record_per_dynamic_evaluation(self):
+        prog = compile_program(self.SRC)
+        result = evaluate(prog, "walk", [from_python([5, 6, 7])])
+        assert len(result.stat_records) == 3
+
+    def test_record_costs(self):
+        prog = compile_program(self.SRC)
+        result = evaluate(prog, "walk", [from_python([5, 6])])
+        assert [r.cost for r in result.stat_records] == [1.0, 1.0]
+
+    def test_record_env_restricted_to_free_vars(self):
+        prog = compile_program(self.SRC)
+        result = evaluate(prog, "walk", [from_python([5])])
+        record = result.stat_records[0]
+        assert len(record.env) == 1  # just the xs share
+
+    def test_collect_stats_disabled(self):
+        prog = compile_program(self.SRC)
+        result = evaluate(prog, "walk", [from_python([5, 6])], collect_stats=False)
+        assert result.stat_records == []
+        assert result.cost == 2.0
+
+    def test_nested_stat_cost_includes_inner(self):
+        src = """
+let inner x = let _ = Raml.tick 1.0 in x
+let outer x = Raml.stat (inner x) + (let _ = Raml.tick 0.5 in 0)
+let top x = Raml.stat (outer x)
+"""
+        prog = compile_program(src)
+        result = evaluate(prog, "top", [from_python(1)])
+        by_label = {r.label: r.cost for r in result.stat_records}
+        assert by_label["outer#1"] == 1.0
+        assert by_label["top#1"] == 1.5
+
+
+class TestErrorsAndEdges:
+    def test_error_expr_raises(self):
+        with pytest.raises(EvalError, match="Invalid_input"):
+            run("let f xs = match xs with [] -> raise Invalid_input | h :: t -> h", "f", [])
+
+    def test_unknown_function(self):
+        prog = compile_program("let f x = x")
+        with pytest.raises(EvalError):
+            evaluate(prog, "nope", [from_python(1)])
+
+    def test_wrong_arity(self):
+        prog = compile_program("let f x = x")
+        with pytest.raises(EvalError):
+            evaluate(prog, "f", [from_python(1), from_python(2)])
+
+    def test_run_on_inputs_sweeps(self):
+        prog = compile_program(
+            "let rec len xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in 1 + len t"
+        )
+        results = run_on_inputs(prog, "len", [[from_python([1])], [from_python([1, 2])]])
+        assert [r.cost for r in results] == [1.0, 2.0]
+
+    def test_builtin_complex_leq_behaves_as_leq(self):
+        src = "let f a b = if complex_leq a b then 1 else 0"
+        assert run(src, "f", 2, 3).value == 1
+        assert run(src, "f", 4, 3).value == 0
+
+    def test_deep_recursion_does_not_overflow(self):
+        src = """
+let rec len xs = match xs with [] -> 0 | h :: t -> 1 + len t
+"""
+        assert run(src, "len", list(range(3000))).value == 3000

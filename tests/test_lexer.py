@@ -1,0 +1,119 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_integer(self):
+        (tok,) = tokenize("42")[:-1]
+        assert tok.kind == "int" and tok.text == "42"
+
+    def test_float(self):
+        (tok,) = tokenize("0.5")[:-1]
+        assert tok.kind == "float" and tok.text == "0.5"
+
+    def test_int_and_float_distinguished(self):
+        assert kinds("3 0.5") == ["int", "float"]
+
+    def test_identifier(self):
+        (tok,) = tokenize("foo_bar'")[:-1]
+        assert tok.kind == "ident" and tok.text == "foo_bar'"
+
+    def test_dotted_identifier(self):
+        (tok,) = tokenize("Raml.tick")[:-1]
+        assert tok.kind == "ident" and tok.text == "Raml.tick"
+
+    def test_keyword(self):
+        (tok,) = tokenize("match")[:-1]
+        assert tok.kind == "keyword"
+
+    def test_underscore_is_symbol(self):
+        (tok,) = tokenize("_")[:-1]
+        assert tok.kind == "symbol" and tok.text == "_"
+
+    def test_underscore_prefixed_identifier(self):
+        (tok,) = tokenize("_foo")[:-1]
+        assert tok.kind == "ident" and tok.text == "_foo"
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"hello"')[:-1]
+        assert tok.kind == "string" and tok.text == "hello"
+
+    def test_string_with_escape(self):
+        (tok,) = tokenize(r'"a\"b"')[:-1]
+        assert tok.text == 'a"b'
+
+
+class TestSymbols:
+    @pytest.mark.parametrize(
+        "symbol",
+        ["->", "::", "<=", ">=", "<>", "&&", "||", "(", ")", "[", "]", ";", ",", "|", "=", "<", ">", "+", "-", "*", "/"],
+    )
+    def test_symbol_roundtrip(self, symbol):
+        (tok,) = tokenize(symbol)[:-1]
+        assert tok.kind == "symbol" and tok.text == symbol
+
+    def test_maximal_munch_arrow(self):
+        assert texts("x->y") == ["x", "->", "y"]
+
+    def test_maximal_munch_cons(self):
+        assert texts("x::y") == ["x", "::", "y"]
+
+    def test_le_not_lt_eq(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+
+class TestCommentsAndPositions:
+    def test_comment_is_skipped(self):
+        assert texts("a (* comment *) b") == ["a", "b"]
+
+    def test_nested_comment(self):
+        assert texts("a (* x (* y *) z *) b") == ["a", "b"]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a (* b")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].col == 1
+        assert tokens[1].line == 2 and tokens[1].col == 3
+
+    def test_invalid_character_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a\n  ?")
+        assert "2:" in str(exc.value)
+
+
+class TestRealisticInput:
+    def test_quicksort_snippet(self):
+        src = "let rec partition pivot xs =\n  match xs with\n  | [] -> ([], [])"
+        toks = texts(src)
+        assert toks[:4] == ["let", "rec", "partition", "pivot"]
+        assert "match" in toks and "->" in toks
+
+    def test_tick_annotation(self):
+        assert texts("Raml.tick 0.5") == ["Raml.tick", "0.5"]
+
+    def test_negative_handled_as_separate_tokens(self):
+        assert texts("-1") == ["-", "1"]

@@ -1,0 +1,88 @@
+"""No-U-Turn sampler tests."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.errors import InferenceError
+from repro.stats.hmc import HMCConfig
+from repro.stats.nuts import nuts_sample, nuts_sample_chains
+
+RNG = np.random.default_rng(11)
+
+
+def std_normal(x):
+    return -0.5 * float(x @ x), -x
+
+
+def correlated_gaussian(rho=0.95):
+    cov = np.array([[1.0, rho], [rho, 1.0]])
+    prec = np.linalg.inv(cov)
+
+    def logp(x):
+        return -0.5 * float(x @ prec @ x), -(prec @ x)
+
+    return logp, cov
+
+
+class TestNuts:
+    def test_standard_normal_moments(self):
+        result = nuts_sample(
+            std_normal, np.zeros(3), HMCConfig(n_samples=2500, n_warmup=500), RNG
+        )
+        assert result.samples.mean(axis=0) == pytest.approx(np.zeros(3), abs=0.1)
+        assert result.samples.std(axis=0) == pytest.approx(np.ones(3), abs=0.12)
+
+    def test_correlated_gaussian_covariance(self):
+        logp, cov = correlated_gaussian()
+        result = nuts_sample(
+            logp, np.zeros(2), HMCConfig(n_samples=4000, n_warmup=600), RNG
+        )
+        est = np.cov(result.samples.T)
+        assert est == pytest.approx(cov, abs=0.15)
+
+    def test_rejects_bad_start(self):
+        def bad(x):
+            return -np.inf, x
+
+        with pytest.raises(InferenceError):
+            nuts_sample(bad, np.zeros(1), HMCConfig(n_samples=10), RNG)
+
+    def test_chains_concatenate(self):
+        cfg = HMCConfig(n_samples=50, n_warmup=50)
+        result = nuts_sample_chains(std_normal, [np.zeros(2), np.ones(2)], cfg, RNG)
+        assert result.samples.shape == (100, 2)
+
+    def test_logdensities_recorded(self):
+        result = nuts_sample(
+            std_normal, np.zeros(1), HMCConfig(n_samples=100, n_warmup=100), RNG
+        )
+        assert np.all(np.isfinite(result.logdensities))
+
+
+class TestBayesWCWithNuts:
+    def test_nuts_backend_produces_sound_samples(self):
+        from repro.config import AnalysisConfig
+        from repro.inference import collect_dataset
+        from repro.inference.bayeswc import infer_worst_case_samples
+        from repro.lang import compile_program, from_python
+
+        src = """
+let rec work xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + work tl
+let work2 xs = Raml.stat (work xs)
+"""
+        prog = compile_program(src)
+        rng = np.random.default_rng(0)
+        inputs = [
+            [from_python([int(v) for v in rng.integers(0, 50, n)])]
+            for n in range(1, 16)
+            for _ in range(2)
+        ]
+        ds = collect_dataset(prog, "work2", inputs)["work2#1"]
+        config = AnalysisConfig(num_posterior_samples=20)
+        config = config.with_(sampler=replace(config.sampler, algorithm="nuts"))
+        wc = infer_worst_case_samples(ds, config, np.random.default_rng(1))
+        maxima = ds.max_costs()
+        for key, samples in wc.samples.items():
+            assert np.all(samples >= maxima[key] - 1e-9)

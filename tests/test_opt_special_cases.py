@@ -1,0 +1,117 @@
+"""Additional Hybrid-engine edge cases: the Opt-LP objective semantics,
+grouped observations, w-variable sharing, and cost-free data constraints."""
+
+import numpy as np
+import pytest
+
+from repro.aara.analyze import build_analysis
+from repro.config import AnalysisConfig
+from repro.inference import SiteCollector, collect_dataset, make_data_handler, run_opt
+from repro.inference.hybrid import METHODS
+from repro.lang import compile_program, from_python
+from repro.lp import solve_lexicographic
+
+DD_SRC = """
+let rec work xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + work tl
+let work2 xs = Raml.stat (work xs)
+"""
+
+HY_SRC = """
+let rec helper xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + helper tl
+let rec walk xs =
+  match xs with
+  | [] -> 0
+  | hd :: tl -> Raml.stat (helper xs) + walk tl
+"""
+
+
+def make_dd():
+    prog = compile_program(DD_SRC)
+    inputs = [[from_python(list(range(n)))] for n in (1, 2, 3, 3, 3, 5)]
+    return prog, collect_dataset(prog, "work2", inputs)
+
+
+class TestHandlerMechanics:
+    def test_observations_grouped_with_multiplicity(self):
+        prog, dataset = make_dd()
+        collector = SiteCollector()
+        handler = make_data_handler(dataset, collector, cost_mode="const")
+        build_analysis(prog, "work2", 1, stat_handler=handler)
+        (occ,) = collector.occurrences
+        # 6 observations collapse into 4 distinct (size, potential) groups
+        assert len(occ.rows) == 4
+        counts = {row.cost: row.count for row in occ.rows}
+        assert counts[3.0] == 3  # the three size-3 runs share one group
+
+    def test_gap_objective_weighted_by_count(self):
+        prog, dataset = make_dd()
+        collector = SiteCollector()
+        handler = make_data_handler(dataset, collector, cost_mode="const")
+        analysis = build_analysis(prog, "work2", 1, stat_handler=handler)
+        solution = solve_lexicographic(
+            analysis.lp, [collector.gap_objective] + analysis.root_objectives()
+        )
+        # the data is exactly linear: gap optimum is 0
+        assert solution.objective_values[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_wvar_mode_creates_one_var_per_size_key(self):
+        prog, dataset = make_dd()
+        collector = SiteCollector()
+        handler = make_data_handler(dataset, collector, cost_mode="wvar")
+        build_analysis(prog, "work2", 1, stat_handler=handler)
+        # unique size keys: |xs| in {1,2,3,5} with their outputs
+        assert len(collector.wvars) == 4
+
+    def test_wvar_shared_across_costful_and_not_duplicated(self):
+        prog = compile_program(HY_SRC)
+        inputs = [[from_python(list(range(n)))] for n in (2, 3)]
+        dataset = collect_dataset(prog, "walk", inputs)
+        collector = SiteCollector()
+        handler = make_data_handler(dataset, collector, cost_mode="wvar")
+        build_analysis(prog, "walk", 1, stat_handler=handler)
+        # multiple site occurrences (levels) but one wvar per (label, key)
+        labels = {label for (label, _key) in collector.wvars}
+        assert labels == {"walk#1"}
+        costful_occurrences = [o for o in collector.occurrences if o.costful]
+        costfree_occurrences = [o for o in collector.occurrences if not o.costful]
+        assert costful_occurrences and costfree_occurrences
+
+    def test_cost_free_occurrences_contribute_no_rows(self):
+        prog = compile_program(HY_SRC)
+        inputs = [[from_python(list(range(n)))] for n in (2, 3)]
+        dataset = collect_dataset(prog, "walk", inputs)
+        collector = SiteCollector()
+        handler = make_data_handler(dataset, collector, cost_mode="const")
+        build_analysis(prog, "walk", 1, stat_handler=handler)
+        for occ in collector.occurrences:
+            if not occ.costful:
+                assert occ.rows == []
+
+    def test_unknown_cost_mode_rejected(self):
+        from repro.errors import InferenceError
+
+        with pytest.raises(InferenceError):
+            make_data_handler(None, SiteCollector(), cost_mode="exotic")
+
+    def test_site_vars_cover_judgment(self):
+        prog, dataset = make_dd()
+        collector = SiteCollector()
+        handler = make_data_handler(dataset, collector, cost_mode="const")
+        build_analysis(prog, "work2", 1, stat_handler=handler)
+        names = collector.site_vars()
+        assert any(name.startswith("st.work2#1") for name in names)
+        assert any("q0" in name for name in names)
+
+
+class TestOptExactness:
+    def test_linear_data_yields_exact_linear_bound(self):
+        prog, dataset = make_dd()
+        result = run_opt(prog, "work2", dataset, AnalysisConfig(degree=1))
+        bound = result.bounds[0]
+        # data is cost = n exactly, so Opt recovers slope 1 with no constant
+        assert bound.evaluate_python([0] * 50) == pytest.approx(50.0, abs=1e-5)
+
+    def test_methods_registry(self):
+        assert set(METHODS) == {"opt", "bayeswc", "bayespc"}

@@ -1,0 +1,231 @@
+"""Parser unit tests: expressions, patterns, match compilation, programs."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast as A
+from repro.lang.parser import parse_expr, parse_program
+
+
+class TestAtoms:
+    def test_int(self):
+        assert parse_expr("42") == A.IntLit(42)
+
+    def test_negative_int(self):
+        assert parse_expr("-7") == A.IntLit(-7)
+
+    def test_bools(self):
+        assert parse_expr("true") == A.BoolLit(True)
+        assert parse_expr("false") == A.BoolLit(False)
+
+    def test_unit(self):
+        assert parse_expr("()") == A.UnitLit()
+
+    def test_var(self):
+        assert parse_expr("x") == A.Var("x")
+
+    def test_empty_list(self):
+        assert parse_expr("[]") == A.Nil()
+
+    def test_list_literal_desugars_to_cons(self):
+        expr = parse_expr("[1; 2]")
+        assert expr == A.Cons(A.IntLit(1), A.Cons(A.IntLit(2), A.Nil()))
+
+    def test_tuple(self):
+        expr = parse_expr("(1, 2, 3)")
+        assert isinstance(expr, A.TupleExpr) and len(expr.items) == 3
+
+    def test_parenthesized_single_is_not_tuple(self):
+        assert parse_expr("(5)") == A.IntLit(5)
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, A.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, A.BinOp) and expr.right.op == "*"
+
+    def test_mod_keyword(self):
+        expr = parse_expr("x mod 5")
+        assert isinstance(expr, A.BinOp) and expr.op == "mod"
+
+    def test_comparison(self):
+        expr = parse_expr("x <= y + 1")
+        assert isinstance(expr, A.BinOp) and expr.op == "<="
+
+    def test_cons_right_associative(self):
+        expr = parse_expr("1 :: 2 :: []")
+        assert isinstance(expr, A.Cons)
+        assert isinstance(expr.tail, A.Cons)
+
+    def test_cons_binds_tighter_than_comparison(self):
+        expr = parse_expr("x :: xs = ys")
+        assert isinstance(expr, A.BinOp) and expr.op == "="
+
+    def test_boolean_connectives_desugar_to_if(self):
+        # && / || desugar to conditionals to preserve short-circuiting
+        expr = parse_expr("a && b || c")
+        assert isinstance(expr, A.If)
+        assert expr.then_branch == A.BoolLit(True)
+        inner = expr.cond
+        assert isinstance(inner, A.If) and inner.else_branch == A.BoolLit(False)
+
+    def test_not(self):
+        expr = parse_expr("not b")
+        assert isinstance(expr, A.Neg) and expr.op == "not"
+
+    def test_unary_minus_on_var(self):
+        expr = parse_expr("- x")
+        assert isinstance(expr, A.Neg) and expr.op == "-"
+
+
+class TestApplicationAndAnnotations:
+    def test_application_collects_atom_args(self):
+        expr = parse_expr("f x 1 (g y)")
+        assert isinstance(expr, A.App) and expr.fname == "f"
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], A.App)
+
+    def test_application_stops_at_operator(self):
+        expr = parse_expr("f x + 1")
+        assert isinstance(expr, A.BinOp) and expr.op == "+"
+
+    def test_tick(self):
+        assert parse_expr("Raml.tick 0.5") == A.Tick(0.5)
+        assert parse_expr("tick 1.0") == A.Tick(1.0)
+
+    def test_tick_integer_literal(self):
+        assert parse_expr("Raml.tick 2") == A.Tick(2.0)
+
+    def test_tick_negative(self):
+        assert parse_expr("Raml.tick (-1.5)") == A.Tick(-1.5)
+
+    def test_stat_label_assignment(self):
+        expr = parse_expr("Raml.stat (f x)")
+        assert isinstance(expr, A.Stat)
+        assert expr.label == "main#1"
+
+    def test_left_right_constructors(self):
+        assert isinstance(parse_expr("Left 1"), A.Inl)
+        assert isinstance(parse_expr("Right x"), A.Inr)
+
+    def test_raise(self):
+        expr = parse_expr("raise Invalid_input")
+        assert expr == A.ErrorExpr("Invalid_input")
+
+
+class TestLetAndIf:
+    def test_let(self):
+        expr = parse_expr("let x = 1 in x")
+        assert isinstance(expr, A.Let) and expr.name == "x"
+
+    def test_let_wildcard(self):
+        expr = parse_expr("let _ = tick 1.0 in 2")
+        assert isinstance(expr, A.Let)
+        assert expr.name.startswith("$")
+
+    def test_let_tuple_pattern_unparenthesized(self):
+        expr = parse_expr("let a, b = p in a")
+        # compiled to a let + tuple match
+        assert isinstance(expr, A.Let)
+        assert isinstance(expr.body, A.MatchTuple)
+
+    def test_let_tuple_pattern_parenthesized(self):
+        expr = parse_expr("let (a, b) = p in b")
+        assert isinstance(expr, A.Let)
+        assert isinstance(expr.body, A.MatchTuple)
+
+    def test_if(self):
+        expr = parse_expr("if x <= 0 then 1 else 2")
+        assert isinstance(expr, A.If)
+
+
+class TestMatchCompilation:
+    def test_simple_list_match(self):
+        expr = parse_expr("match xs with | [] -> 0 | hd :: tl -> 1")
+        assert isinstance(expr, A.MatchList)
+        assert expr.nil_branch == A.IntLit(0)
+
+    def test_match_without_leading_bar(self):
+        expr = parse_expr("match xs with [] -> 0 | hd :: tl -> 1")
+        assert isinstance(expr, A.MatchList)
+
+    def test_singleton_list_pattern_compiles_to_nested_match(self):
+        expr = parse_expr("match xs with | [] -> 0 | [ x ] -> 1 | a :: b :: t -> 2")
+        assert isinstance(expr, A.MatchList)
+        assert isinstance(expr.cons_branch, A.MatchList)
+
+    def test_wildcard_fallthrough(self):
+        expr = parse_expr("match xs with | [ a; b ] -> a | _ -> 0")
+        assert isinstance(expr, A.MatchList)
+
+    def test_tuple_pattern_match(self):
+        expr = parse_expr("match p with | (a, b) -> a")
+        assert isinstance(expr, A.MatchTuple)
+
+    def test_sum_pattern_match(self):
+        expr = parse_expr("match s with | Left x -> x | Right y -> y")
+        assert isinstance(expr, A.MatchSum)
+
+    def test_non_variable_scrutinee_bound_first(self):
+        expr = parse_expr("match f x with | [] -> 0 | h :: t -> 1")
+        assert isinstance(expr, A.Let)
+        assert isinstance(expr.body, A.MatchList)
+
+    def test_nested_cons_binds_inner_names(self):
+        expr = parse_expr("match xs with | [] -> 0 | x1 :: x2 :: t -> x2")
+        inner = expr.cons_branch
+        assert isinstance(inner, A.MatchList)
+
+
+class TestPrograms:
+    def test_single_function(self):
+        prog = parse_program("let f x = x + 1")
+        assert prog["f"].params == ("x",)
+        assert not prog["f"].recursive
+
+    def test_recursive_function(self):
+        prog = parse_program("let rec f x = f x")
+        assert prog["f"].recursive
+
+    def test_annotated_params(self):
+        prog = parse_program("let f (x : int) (ys : int list) = x")
+        assert prog["f"].params == ("x", "ys")
+
+    def test_return_type_annotation(self):
+        prog = parse_program("let f (x : int) : int = x")
+        assert prog["f"].params == ("x",)
+
+    def test_exception_declaration_ignored(self):
+        prog = parse_program("exception Bad\nlet f x = x")
+        assert "f" in prog
+
+    def test_multiple_functions(self):
+        prog = parse_program("let f x = x\nlet g y = f y")
+        assert prog.function_names() == ["f", "g"]
+
+    def test_stat_labels_unique_per_function(self):
+        prog = parse_program(
+            "let f x = Raml.stat (g x)\nlet g y = Raml.stat (h y)\nlet h z = z"
+        )
+        assert prog.stat_labels() == ["f#1", "g#1"]
+
+    def test_zero_param_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("let f = 1")
+
+    def test_redefining_builtin_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("let complex_leq a b = true")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("   ")
+
+    def test_local_let_rec_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("let f x = let rec g y = y in g x")
+
+    def test_trailing_garbage_in_expr(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 2 3")

@@ -1,0 +1,132 @@
+"""Polytope utilities: H-representation, facial reduction, interior points."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.lp import LPProblem
+from repro.stats.polytope import (
+    Polytope,
+    chebyshev_center,
+    find_implied_equalities,
+    low_norm_interior_point,
+    max_min_slack,
+    polytope_from_lp,
+)
+
+
+def unit_box(n=2):
+    A = np.vstack([np.eye(n), -np.eye(n)])
+    b = np.concatenate([np.ones(n), np.zeros(n)])
+    return Polytope(A, b, [f"x{i}" for i in range(n)])
+
+
+class TestPolytopeBasics:
+    def test_contains(self):
+        box = unit_box()
+        assert box.contains(np.array([0.5, 0.5]))
+        assert not box.contains(np.array([1.5, 0.5]))
+
+    def test_slack(self):
+        box = unit_box()
+        slack = box.slack(np.array([0.25, 0.75]))
+        assert slack == pytest.approx([0.75, 0.25, 0.25, 0.75])
+
+    def test_chebyshev_center_of_box(self):
+        center, radius = chebyshev_center(unit_box())
+        assert center == pytest.approx([0.5, 0.5])
+        assert radius == pytest.approx(0.5)
+
+    def test_chebyshev_empty_interior_raises(self):
+        A = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        b = np.array([0.0, 0.0])  # x = 0 plane: no interior
+        with pytest.raises(InferenceError):
+            chebyshev_center(Polytope(A, b, ["x", "y"]))
+
+    def test_max_min_slack_absolute(self):
+        t, point = max_min_slack(unit_box(), cap=10.0, absolute=True)
+        assert t == pytest.approx(0.5)
+        assert unit_box().contains(point)
+
+
+class TestFromLP:
+    def test_simple_inequalities(self):
+        lp = LPProblem()
+        x = lp.fresh("x")
+        lp.add_le(x, 5)
+        reduced = polytope_from_lp(lp)
+        assert reduced.polytope.dim == 1
+        assert reduced.assignment(np.array([2.0]))  # maps back
+
+    def test_equalities_are_eliminated(self):
+        lp = LPProblem()
+        x, y = lp.fresh("x"), lp.fresh("y")
+        lp.add_eq(x + y, 4)
+        lp.add_le(x, 3)
+        reduced = polytope_from_lp(lp)
+        assert reduced.polytope.dim == 1
+        # any point in the reduced space satisfies the equality exactly
+        xvals = reduced.assignment(np.array([0.1]))
+        assert xvals["x.0"] + xvals["y.1"] == pytest.approx(4.0)
+
+    def test_implied_equalities_promoted(self):
+        lp = LPProblem()
+        x, y = lp.fresh("x"), lp.fresh("y")
+        # x <= 0 with x >= 0 implicit: x is an implied equality
+        lp.add_le(x, 0)
+        lp.add_le(y, 2)
+        reduced = polytope_from_lp(lp)
+        assert reduced.polytope.dim == 1  # only y remains free
+        xvals = reduced.assignment(np.zeros(1))
+        assert xvals["x.0"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_chained_implied_equalities(self):
+        lp = LPProblem()
+        x, y, z = lp.fresh("x"), lp.fresh("y"), lp.fresh("z")
+        lp.add_le(x, 0)  # x = 0
+        lp.add_le(y, x)  # y <= x = 0 => y = 0
+        lp.add_le(z, 1)
+        reduced = polytope_from_lp(lp)
+        assert reduced.polytope.dim == 1
+
+    def test_inconsistent_equalities_raise(self):
+        lp = LPProblem()
+        x = lp.fresh("x")
+        lp.add_eq(x, 1)
+        lp.add_eq(x, 2)
+        with pytest.raises(InferenceError):
+            polytope_from_lp(lp)
+
+    def test_zero_dimensional(self):
+        lp = LPProblem()
+        x = lp.fresh("x")
+        lp.add_eq(x, 3)
+        reduced = polytope_from_lp(lp)
+        assert reduced.polytope.dim == 0
+        assert reduced.assignment(np.zeros(0))["x.0"] == pytest.approx(3.0)
+
+
+class TestFindImpliedEqualities:
+    def test_none_in_full_dimensional(self):
+        box = unit_box()
+        implied, interior = find_implied_equalities(box.A, box.b)
+        assert implied == []
+        assert interior is not None and box.contains(interior)
+
+    def test_detects_pinned_direction(self):
+        A = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([0.0, 0.0, 1.0, 0.0])
+        implied, _ = find_implied_equalities(A, b)
+        assert set(implied) == {0, 1}
+
+
+class TestInteriorPoints:
+    def test_low_norm_interior_is_interior_and_small(self):
+        lp = LPProblem()
+        x, y = lp.fresh("x"), lp.fresh("y")
+        lp.add_ge(x + y, 2)
+        reduced = polytope_from_lp(lp)
+        z = low_norm_interior_point(reduced)
+        assert reduced.polytope.contains(z, tol=-1e-12)
+        values = reduced.assignment(z)
+        assert values["x.0"] + values["y.1"] <= 3.0  # near the constraint

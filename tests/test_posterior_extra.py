@@ -1,0 +1,159 @@
+"""PosteriorResult summary helpers and additional surface-syntax coverage."""
+
+import numpy as np
+import pytest
+
+from repro.aara.annot import ABase, AList
+from repro.aara.bound import ResourceBound
+from repro.errors import ParseError
+from repro.inference.posterior import PosteriorResult, default_shape
+from repro.lang import ast as A
+from repro.lang import compile_program, evaluate, from_python
+from repro.lang.parser import parse_expr, parse_program
+from repro.lp import LinExpr
+
+
+def linear_bound(slope, const=0.0):
+    ann = AList((LinExpr.constant(slope),), ABase(A.INT))
+    return ResourceBound("f", (ann,), const)
+
+
+def make_posterior(slopes):
+    return PosteriorResult(
+        method="bayeswc",
+        mode="data-driven",
+        bounds=[linear_bound(s) for s in slopes],
+        runtime_seconds=1.0,
+    )
+
+
+class TestPosteriorHelpers:
+    def test_curves_shape(self):
+        post = make_posterior([1.0, 2.0, 3.0])
+        curves = post.curves([10, 20])
+        assert curves.shape == (3, 2)
+        assert curves[1, 1] == pytest.approx(40.0)
+
+    def test_soundness_fraction(self):
+        post = make_posterior([0.5, 1.0, 1.5, 2.0])
+        truth = lambda n: float(n)  # noqa: E731
+        assert post.soundness_fraction(truth, [5, 50]) == pytest.approx(0.75)
+
+    def test_soundness_empty(self):
+        post = make_posterior([])
+        assert post.soundness_fraction(lambda n: 1.0, [5]) == 0.0
+
+    def test_relative_gaps(self):
+        post = make_posterior([2.0])
+        gaps = post.relative_gaps(lambda n: float(n), 10)
+        assert gaps[0] == pytest.approx(1.0)
+
+    def test_gap_percentiles_empty(self):
+        post = make_posterior([])
+        pct = post.gap_percentiles(lambda n: 1.0, 10)
+        assert all(np.isnan(v) for v in pct.values())
+
+    def test_gaps_guard_against_zero_truth(self):
+        post = make_posterior([1.0])
+        gaps = post.relative_gaps(lambda n: 0.0, 10)
+        assert np.isfinite(gaps[0])
+
+    def test_percentile_curves_ordered(self):
+        post = make_posterior([1.0, 2.0, 3.0, 4.0])
+        bands = post.percentile_curves([10], percentiles=(10, 50, 90))
+        assert bands[10][0] <= bands[50][0] <= bands[90][0]
+
+    def test_median_coefficients(self):
+        post = make_posterior([1.0, 3.0, 5.0])
+        assert post.median_coefficients() == pytest.approx([0.0, 3.0])
+
+    def test_default_shape(self):
+        (shape,) = default_shape(7)
+        assert len(shape.items) == 7
+
+    def test_num_bounds(self):
+        assert make_posterior([1.0, 2.0]).num_bounds == 2
+
+
+class TestSurfaceSyntaxExtras:
+    def test_comment_inside_function(self):
+        prog = compile_program(
+            "let f x = (* the identity, plus one *) x + 1"
+        )
+        assert evaluate(prog, "f", [from_python(1)]).value == 2
+
+    def test_nested_match_with_parens(self):
+        src = """
+let f xs =
+  match xs with
+  | [] -> 0
+  | h :: t -> (match t with [] -> h | a :: b -> a)
+"""
+        prog = compile_program(src)
+        assert evaluate(prog, "f", [from_python([4, 9])]).value == 9
+
+    def test_deeply_nested_list_pattern(self):
+        src = """
+let f xs =
+  match xs with
+  | a :: b :: c :: rest -> c
+  | _ -> 0 - 1
+"""
+        prog = compile_program(src)
+        assert evaluate(prog, "f", [from_python([1, 2, 3, 4])]).value == 3
+        assert evaluate(prog, "f", [from_python([1])]).value == -1
+
+    def test_tuple_in_list(self):
+        src = """
+let f ps =
+  match ps with
+  | [] -> 0
+  | (a, b) :: t -> a + b
+"""
+        prog = compile_program(src)
+        assert evaluate(prog, "f", [from_python([(3, 4), (5, 6)])]).value == 7
+
+    def test_arithmetic_precedence_with_unary(self):
+        prog = compile_program("let f x = 0 - x * 2 + 1")
+        assert evaluate(prog, "f", [from_python(3)]).value == -5
+
+    def test_annotated_list_list_param_parses(self):
+        # parameter type annotations are parsed (and discarded: inference
+        # recomputes them from usage)
+        src = """
+let f (xss : int list list) =
+  match xss with
+  | [] -> 0
+  | h :: t -> (match h with [] -> 0 | a :: b -> a)
+"""
+        prog = compile_program(src)
+        assert prog["f"].fun_type.params == (A.TList(A.TList(A.INT)),)
+
+    def test_stat_of_nonapplication_expression(self):
+        src = "let f xs = Raml.stat (match xs with [] -> 0 | h :: t -> h)"
+        prog = compile_program(src)
+        result = evaluate(prog, "f", [from_python([9])])
+        assert result.value == 9
+        assert result.stat_records[0].label == "f#1"
+
+    def test_two_stats_same_function_distinct_labels(self):
+        src = "let f x y = Raml.stat (g x) + Raml.stat (g y)\nlet g v = v"
+        prog = compile_program(src)
+        result = evaluate(prog, "f", [from_python(1), from_python(2)])
+        assert {r.label for r in result.stat_records} == {"f#1", "f#2"}
+
+    def test_match_failure_at_runtime(self):
+        from repro.errors import EvalError
+
+        src = "let f xs = match xs with | [ a ] -> a | a :: b :: t -> b"
+        prog = compile_program(src)
+        with pytest.raises(EvalError, match="match failure"):
+            evaluate(prog, "f", [from_python([])])
+
+    def test_parse_expr_rejects_fun(self):
+        with pytest.raises(ParseError):
+            parse_expr("fun x -> x")
+
+    def test_program_with_only_exception_decl_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("exception Foo")

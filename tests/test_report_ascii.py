@@ -1,0 +1,115 @@
+"""Tests for the markdown report and ASCII plotting harness pieces."""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.evalharness import (
+    PAPER_CONVENTIONAL,
+    PAPER_GAPS,
+    PAPER_TABLE1,
+    gaps_markdown,
+    markdown_report,
+    posterior_curve,
+    render_ascii_curve,
+    render_panels,
+    run_benchmark,
+    table1_markdown,
+)
+from repro.evalharness.report import _agreement
+from repro.suite import benchmark_names, get_benchmark
+
+
+@pytest.fixture(scope="module")
+def round_run():
+    spec = get_benchmark("Round")
+    config = AnalysisConfig(num_posterior_samples=6, seed=0)
+    return run_benchmark(spec, config, seed=0, methods=("opt", "bayeswc"))
+
+
+class TestPaperReference:
+    def test_all_benchmarks_covered(self):
+        assert set(PAPER_TABLE1) == set(benchmark_names())
+        assert set(PAPER_CONVENTIONAL) == set(benchmark_names())
+
+    def test_methods_per_benchmark(self):
+        for rows in PAPER_TABLE1.values():
+            assert set(rows) == {"opt", "bayeswc", "bayespc"}
+
+    def test_hybrid_none_matches_suite(self):
+        for name, rows in PAPER_TABLE1.items():
+            spec = get_benchmark(name)
+            hybrid_missing = rows["opt"][1] is None
+            assert hybrid_missing == (spec.hybrid_source is None)
+
+    def test_opt_always_unsound_in_paper(self):
+        for rows in PAPER_TABLE1.values():
+            assert rows["opt"][0] == 0.0
+
+    def test_gap_reference_shapes(self):
+        for per_size in PAPER_GAPS.values():
+            for per_method in per_size.values():
+                for dd, hy in per_method.values():
+                    if dd is not None:
+                        assert len(dd) == 3 and dd[0] <= dd[1] <= dd[2]
+                    if hy is not None:
+                        assert len(hy) == 3
+
+
+class TestAgreement:
+    def test_same_regime(self):
+        assert _agreement(0.0, 2.0) == "✓"
+        assert _agreement(96.0, 100.0) == "✓"
+
+    def test_both_missing(self):
+        assert _agreement(None, None) == "—"
+
+    def test_one_missing(self):
+        assert _agreement(None, 50.0) == "✗"
+
+    def test_disagreement(self):
+        assert _agreement(98.0, 0.0) == "✗"
+
+    def test_close_mixed(self):
+        assert _agreement(40.0, 70.0) == "≈"
+
+
+class TestMarkdown:
+    def test_table1_markdown(self, round_run):
+        text = table1_markdown([round_run])
+        assert "| Round |" in text
+        assert "Cannot Analyze / Cannot Analyze" in text
+
+    def test_gaps_markdown(self, round_run):
+        text = gaps_markdown(round_run)
+        assert "Round" in text and "| 1000 |" in text
+
+    def test_full_report(self, round_run):
+        text = markdown_report([round_run], samples=6, seed=0)
+        assert "## Table 1" in text
+        assert "M = 6" in text
+
+
+class TestAsciiPlot:
+    def test_renders_grid_with_markers(self, round_run):
+        series = posterior_curve(round_run, "data-driven", "bayeswc", [10, 50, 100, 150])
+        art = render_ascii_curve(series, width=40, height=10)
+        assert "T" in art or "#" in art
+        assert "m" in art or "#" in art
+        assert art.count("\n") >= 12  # header + borders + rows + legend
+
+    def test_log_scale(self, round_run):
+        series = posterior_curve(round_run, "data-driven", "opt", [10, 100])
+        art = render_ascii_curve(series, width=30, height=8, log_y=True)
+        assert "(log)" in art
+
+    def test_panels(self, round_run):
+        series = posterior_curve(round_run, "data-driven", "opt", [10, 100])
+        text = render_panels([("panel A", series), ("panel B", series)])
+        assert text.count("=== panel") == 2
+
+    def test_grid_dimensions(self, round_run):
+        series = posterior_curve(round_run, "data-driven", "opt", [10, 100])
+        art = render_ascii_curve(series, width=25, height=7)
+        rows = [line for line in art.splitlines() if line.startswith("|")]
+        assert len(rows) == 7
+        assert all(len(row) == 27 for row in rows)

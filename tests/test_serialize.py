@@ -1,0 +1,143 @@
+"""Serialization round-trip tests for datasets, bounds, and results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig
+from repro.errors import DatasetError
+from repro.inference import collect_dataset, run_opt
+from repro.inference.serialize import (
+    bound_from_json,
+    bound_to_json,
+    dataset_from_json,
+    dataset_to_json,
+    load_dataset,
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_dataset,
+    save_result,
+    value_from_json,
+    value_to_json,
+)
+from repro.lang import compile_program, from_python
+from repro.lang.values import VInl, VTuple, VUnit
+
+SRC = """
+let rec work xs =
+  match xs with [] -> 0 | hd :: tl -> let _ = Raml.tick 1.0 in 1 + work tl
+let work2 xs = Raml.stat (work xs)
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    prog = compile_program(SRC)
+    rng = np.random.default_rng(0)
+    inputs = [
+        [from_python([int(v) for v in rng.integers(0, 100, n)])] for n in range(1, 15)
+    ]
+    dataset = collect_dataset(prog, "work2", inputs)
+    result = run_opt(prog, "work2", dataset, AnalysisConfig(degree=1))
+    return prog, dataset, result
+
+
+nested_values = st.recursive(
+    st.integers(-1000, 1000) | st.booleans(),
+    lambda inner: st.lists(inner, max_size=4),
+    max_leaves=15,
+)
+
+
+class TestValues:
+    @given(data=nested_values)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, data):
+        value = from_python(data)
+        assert value_from_json(value_to_json(value)) == value
+
+    def test_special_values(self):
+        for value in (VUnit(), VTuple((1, from_python([2]))), VInl(5)):
+            assert value_from_json(value_to_json(value)) == value
+
+    def test_bool_int_distinction(self):
+        assert value_from_json(value_to_json(True)) is True
+        assert value_from_json(value_to_json(1)) == 1
+        assert value_from_json(value_to_json(1)) is not True
+
+    def test_bad_payload(self):
+        with pytest.raises(DatasetError):
+            value_from_json({"weird": 1})
+
+
+class TestDatasets:
+    def test_roundtrip_in_memory(self, setup):
+        _prog, dataset, _result = setup
+        restored = dataset_from_json(dataset_to_json(dataset))
+        assert restored.labels() == dataset.labels()
+        assert restored.total_observations() == dataset.total_observations()
+        assert restored.num_runs == dataset.num_runs
+        original = dataset["work2#1"].observations[0]
+        copy = restored["work2#1"].observations[0]
+        assert copy == original
+
+    def test_roundtrip_via_file(self, setup, tmp_path):
+        _prog, dataset, _result = setup
+        path = tmp_path / "data.json"
+        save_dataset(dataset, str(path))
+        restored = load_dataset(str(path))
+        assert restored["work2#1"].max_costs() == dataset["work2#1"].max_costs()
+
+    def test_restored_dataset_analyzes_identically(self, setup, tmp_path):
+        prog, dataset, result = setup
+        path = tmp_path / "data.json"
+        save_dataset(dataset, str(path))
+        restored = load_dataset(str(path))
+        again = run_opt(prog, "work2", restored, AnalysisConfig(degree=1))
+        assert again.bounds[0].coefficients() == pytest.approx(
+            result.bounds[0].coefficients()
+        )
+
+    def test_version_check(self):
+        with pytest.raises(DatasetError):
+            dataset_from_json({"version": 99, "labels": {}})
+
+
+class TestBoundsAndResults:
+    def test_bound_roundtrip(self, setup):
+        _prog, _dataset, result = setup
+        bound = result.bounds[0]
+        restored = bound_from_json(bound_to_json(bound))
+        assert restored.fname == bound.fname
+        assert restored.coefficients() == pytest.approx(bound.coefficients())
+        assert restored.evaluate_python([0] * 9) == pytest.approx(
+            bound.evaluate_python([0] * 9)
+        )
+
+    def test_result_roundtrip(self, setup, tmp_path):
+        _prog, _dataset, result = setup
+        path = tmp_path / "result.json"
+        save_result(result, str(path))
+        restored = load_result(str(path))
+        assert restored.method == result.method
+        assert restored.mode == result.mode
+        assert len(restored.bounds) == len(result.bounds)
+        assert restored.runtime_seconds == pytest.approx(result.runtime_seconds)
+
+    def test_result_version_check(self):
+        with pytest.raises(DatasetError):
+            result_from_json({"version": 0})
+
+    def test_nested_annotation_roundtrip(self):
+        from repro.aara.annot import ABase, AList, AProd
+        from repro.aara.bound import ResourceBound
+        from repro.lang import ast as A
+        from repro.lp import LinExpr
+
+        inner = AList((LinExpr.constant(0.25),), ABase(A.INT))
+        ann = AProd((ABase(A.BOOL), AList((LinExpr.constant(1.5), LinExpr.constant(2.0)), inner)))
+        bound = ResourceBound("g", (ann,), 3.5)
+        restored = bound_from_json(bound_to_json(bound))
+        assert restored.coefficients() == pytest.approx(bound.coefficients())

@@ -1,0 +1,134 @@
+"""Call-graph/SCC, pretty-printer, diagnostics, and error-hierarchy tests."""
+
+import numpy as np
+import pytest
+
+from repro.aara.signatures import call_graph, dependency_order, is_self_recursive, scc_of
+from repro.errors import (
+    DatasetError,
+    EvalError,
+    InferenceError,
+    InfeasibleError,
+    LexError,
+    LPError,
+    ParseError,
+    ReproError,
+    SourceError,
+    StaticAnalysisError,
+    TypeMismatchError,
+    UnanalyzableError,
+)
+from repro.lang import compile_program
+from repro.lang.pretty import pretty_expr, pretty_program
+from repro.stats.diagnostics import effective_sample_size, percentile_bands, split_rhat
+
+PROGRAM = compile_program(
+    """
+let rec even n = if n = 0 then true else odd (n - 1)
+let rec odd n = if n = 0 then false else even (n - 1)
+let rec length xs = match xs with [] -> 0 | h :: t -> 1 + length t
+let top xs = if even (length xs) then 1 else 0
+"""
+)
+
+
+class TestCallGraph:
+    def test_edges(self):
+        graph = call_graph(PROGRAM)
+        assert graph.has_edge("even", "odd")
+        assert graph.has_edge("top", "length")
+        assert not graph.has_edge("length", "top")
+
+    def test_mutual_recursion_scc(self):
+        sccs = scc_of(PROGRAM)
+        assert sccs["even"] == sccs["odd"] == frozenset({"even", "odd"})
+        assert sccs["length"] == frozenset({"length"})
+
+    def test_self_recursion_detection(self):
+        sccs = scc_of(PROGRAM)
+        assert is_self_recursive(PROGRAM, "length", sccs)
+        assert is_self_recursive(PROGRAM, "even", sccs)
+        assert not is_self_recursive(PROGRAM, "top", sccs)
+
+    def test_dependency_order_callees_first(self):
+        order = dependency_order(PROGRAM)
+        assert order.index("length") < order.index("top")
+        assert order.index("even") < order.index("top")
+
+
+class TestPretty:
+    def test_expr_roundtrips_syntax_elements(self):
+        fdef = PROGRAM["length"]
+        text = pretty_expr(fdef.body)
+        assert "match" in text and "::" in text
+
+    def test_program_includes_types(self):
+        text = pretty_program(PROGRAM)
+        assert "let rec length" in text
+        assert "int list" in text
+
+    def test_stat_and_tick_render(self):
+        prog = compile_program(
+            "let f xs = Raml.stat (g xs)\nlet g xs = let _ = Raml.tick 1.5 in xs"
+        )
+        text = pretty_program(prog)
+        assert "stat[f#1]" in text
+        assert "tick 1.5" in text
+
+
+class TestDiagnostics:
+    def test_ess_iid_close_to_n(self):
+        rng = np.random.default_rng(0)
+        chain = rng.normal(size=4000)
+        assert effective_sample_size(chain) > 2500
+
+    def test_ess_correlated_much_smaller(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=4000)
+        chain = np.cumsum(noise) * 0.05 + noise  # strongly autocorrelated
+        assert effective_sample_size(chain) < 1000
+
+    def test_ess_tiny_chain(self):
+        assert effective_sample_size(np.array([1.0, 2.0])) == 2.0
+
+    def test_rhat_converged_chains(self):
+        rng = np.random.default_rng(1)
+        chains = rng.normal(size=(4, 500))
+        assert split_rhat(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_rhat_diverged_chains(self):
+        rng = np.random.default_rng(2)
+        chains = rng.normal(size=(2, 500))
+        chains[1] += 10.0
+        assert split_rhat(chains) > 1.5
+
+    def test_percentile_bands(self):
+        bands = percentile_bands(np.arange(101.0))
+        assert bands["p50"] == pytest.approx(50.0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            LexError,
+            ParseError,
+            TypeMismatchError,
+            EvalError,
+            StaticAnalysisError,
+            UnanalyzableError,
+            InfeasibleError,
+            LPError,
+            InferenceError,
+            DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_source_error_formats_position(self):
+        err = SourceError("bad", line=3, col=7)
+        assert "3:7" in str(err)
+
+    def test_unanalyzable_is_static_analysis_error(self):
+        assert issubclass(UnanalyzableError, StaticAnalysisError)

@@ -1,0 +1,69 @@
+"""Cross-benchmark statistical-soundness checks (Theorems 6.1 and 6.2).
+
+Theorem 6.1: every inferred bound dominates every top-level measurement in
+the runtime data used to infer it.  We verify this on real benchmarks for
+all three methods.
+
+Theorem 6.2: as the dataset grows (with worst-case inputs appearing with
+positive probability), the probability of inferring a sound bound
+converges to one.  We verify the mechanism on QuickSort.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.inference import collect_dataset, run_analysis
+from repro.lang import compile_program, evaluate
+from repro.suite import get_benchmark
+from repro.suite.generators import sorted_ascending_expensive
+
+FAST_BENCHMARKS = ["MapAppend", "Concat", "InsertionSort2", "Round", "EvenOddTail"]
+
+
+@pytest.mark.parametrize("name", FAST_BENCHMARKS)
+@pytest.mark.parametrize("method", ["opt", "bayeswc"])
+def test_theorem61_bounds_dominate_data(name, method):
+    spec = get_benchmark(name)
+    program = compile_program(spec.data_driven_source)
+    rng = np.random.default_rng(0)
+    sizes = list(spec.data_sizes)[::3]
+    inputs = [spec.generator(rng, n) for n in sizes]
+    dataset = collect_dataset(program, spec.data_driven_entry, inputs)
+    config = spec.config(AnalysisConfig(num_posterior_samples=6, seed=0))
+    result = run_analysis(program, spec.data_driven_entry, dataset, config, method)
+    assert result.bounds, f"{name}/{method} returned no bounds"
+    for args in inputs:
+        measured = evaluate(program, spec.data_driven_entry, list(args)).cost
+        for bound in result.bounds:
+            assert bound.evaluate(args) >= measured - 1e-4, (name, method)
+
+
+def test_theorem62_worst_case_data_makes_opt_sound_up_to_size_limit():
+    """With worst-case inputs in the dataset, even Opt becomes sound *up to
+    the input-size limit m present in the data* — exactly the statement of
+    Theorem 6.2 (soundness for all V with φ(V) ≤ m)."""
+    spec = get_benchmark("QuickSort")
+    program = compile_program(spec.hybrid_source)
+    rng = np.random.default_rng(1)
+    inputs = [spec.generator(rng, n) for n in range(5, 61, 5)]
+    inputs += [[sorted_ascending_expensive(n, 5)] for n in range(5, 61, 5)]
+    dataset = collect_dataset(program, spec.hybrid_entry, inputs)
+    config = AnalysisConfig(degree=2, num_posterior_samples=3, seed=0)
+    result = run_analysis(program, spec.hybrid_entry, dataset, config, "opt")
+    assert result.soundness_fraction(spec.truth, range(1, 61), spec.shape_fn) == 1.0
+    # and the bound is within a whisker of the truth even beyond m
+    gaps = result.relative_gaps(spec.truth, 1000, spec.shape_fn)
+    assert gaps[0] > -0.01
+
+
+def test_random_data_leaves_opt_unsound():
+    """The complementary fact that motivates the whole paper."""
+    spec = get_benchmark("QuickSort")
+    program = compile_program(spec.hybrid_source)
+    rng = np.random.default_rng(2)
+    inputs = [spec.generator(rng, n) for n in range(5, 61, 5)]
+    dataset = collect_dataset(program, spec.hybrid_entry, inputs)
+    config = AnalysisConfig(degree=2, num_posterior_samples=3, seed=0)
+    result = run_analysis(program, spec.hybrid_entry, dataset, config, "opt")
+    assert result.soundness_fraction(spec.truth, range(1, 1001), spec.shape_fn) == 0.0

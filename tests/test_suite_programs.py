@@ -1,0 +1,215 @@
+"""Benchmark-suite tests: all 10 programs compile, run correctly, stay under
+their analytic ground truths, and attain them on adversarial inputs."""
+
+import numpy as np
+import pytest
+
+from repro.lang import compile_program, evaluate, from_python
+from repro.suite import all_benchmarks, benchmark_names, get_benchmark
+from repro.suite.generators import (
+    all_equal_expensive,
+    multiples_list,
+    sorted_ascending_expensive,
+    sorted_descending_list,
+)
+
+RNG = np.random.default_rng(42)
+SPECS = all_benchmarks()
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    out = {}
+    for spec in SPECS:
+        out[(spec.name, "data-driven")] = compile_program(spec.data_driven_source)
+        if spec.hybrid_source:
+            out[(spec.name, "hybrid")] = compile_program(spec.hybrid_source)
+    return out
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        assert len(benchmark_names()) == 10
+
+    def test_expected_names(self):
+        expected = {
+            "MapAppend",
+            "Concat",
+            "InsertionSort2",
+            "QuickSort",
+            "QuickSelect",
+            "MedianOfMedians",
+            "ZAlgorithm",
+            "BubbleSort",
+            "Round",
+            "EvenOddTail",
+        }
+        assert set(benchmark_names()) == expected
+
+    def test_hybrid_unavailable_matches_paper(self):
+        # Table 1 marks BubbleSort, Round, EvenOddTail hybrid as ∅
+        no_hybrid = {s.name for s in SPECS if s.hybrid_source is None}
+        assert no_hybrid == {"BubbleSort", "Round", "EvenOddTail"}
+
+    def test_conventional_expectations_recorded(self):
+        wrong_degree = {s.name for s in SPECS if s.expected_conventional == "wrong-degree"}
+        assert wrong_degree == {"InsertionSort2", "ZAlgorithm", "EvenOddTail"}
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestPrograms:
+    def test_data_driven_compiles_with_stat(self, spec, compiled):
+        prog = compiled[(spec.name, "data-driven")]
+        assert prog.has_stat()
+
+    def test_cost_below_truth_on_random_inputs(self, spec, compiled):
+        prog = compiled[(spec.name, "data-driven")]
+        for _ in range(4):
+            n = int(RNG.choice(spec.data_sizes))
+            args = spec.generator(RNG, n)
+            result = evaluate(prog, spec.data_driven_entry, args)
+            assert result.cost <= spec.truth(n) + 1e-6
+
+    def test_hybrid_variant_same_cost_semantics(self, spec, compiled):
+        if spec.hybrid_source is None:
+            pytest.skip("no hybrid variant")
+        dd = compiled[(spec.name, "data-driven")]
+        hy = compiled[(spec.name, "hybrid")]
+        n = int(spec.data_sizes[2])
+        args = spec.generator(RNG, n)
+        # strip the data-driven wrapper: run the underlying function
+        cost_h = evaluate(hy, spec.hybrid_entry, list(args)).cost
+        cost_d = evaluate(dd, spec.data_driven_entry, list(args)).cost
+        assert cost_h == pytest.approx(cost_d)
+
+    def test_truth_monotone_enough(self, spec):
+        values = [spec.truth(n) for n in (10, 100, 1000)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_shape_fn_matches_arity(self, spec, compiled):
+        prog = compiled[(spec.name, "data-driven")]
+        params = prog[spec.data_driven_entry].params
+        assert len(spec.shape_fn(10)) == len(params)
+
+
+class TestAdversarialTightness:
+    """The analytic ground truths are attained (or safely dominate)."""
+
+    def test_quicksort(self):
+        spec = get_benchmark("QuickSort")
+        prog = compile_program(spec.data_driven_source)
+        n = 30
+        cost = evaluate(prog, spec.data_driven_entry, [sorted_ascending_expensive(n, 5)]).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_quickselect(self):
+        spec = get_benchmark("QuickSelect")
+        prog = compile_program(spec.data_driven_source)
+        n = 30
+        cost = evaluate(
+            prog, spec.data_driven_entry, [n - 1, sorted_ascending_expensive(n, 10)]
+        ).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_bubble_sort(self):
+        spec = get_benchmark("BubbleSort")
+        prog = compile_program(spec.data_driven_source)
+        n = 20
+        cost = evaluate(prog, spec.data_driven_entry, [sorted_descending_list(n, 10)]).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_z_algorithm(self):
+        spec = get_benchmark("ZAlgorithm")
+        prog = compile_program(spec.data_driven_source)
+        n = 25
+        cost = evaluate(prog, spec.data_driven_entry, [all_equal_expensive(n)]).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_insertion_sort2(self):
+        spec = get_benchmark("InsertionSort2")
+        prog = compile_program(spec.data_driven_source)
+        n = 25
+        cost = evaluate(prog, spec.data_driven_entry, [multiples_list(n, 200)]).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_even_odd_tail(self):
+        spec = get_benchmark("EvenOddTail")
+        prog = compile_program(spec.data_driven_source)
+        n = 24
+        cost = evaluate(prog, spec.data_driven_entry, [multiples_list(n, 10)]).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_round(self):
+        spec = get_benchmark("Round")
+        prog = compile_program(spec.data_driven_source)
+        n = 16
+        cost = evaluate(prog, spec.data_driven_entry, [multiples_list(n, 10)]).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_map_append(self):
+        spec = get_benchmark("MapAppend")
+        prog = compile_program(spec.data_driven_source)
+        n = 20
+        cost = evaluate(
+            prog, spec.data_driven_entry, [multiples_list(n, 100), multiples_list(n, 100)]
+        ).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_concat(self):
+        spec = get_benchmark("Concat")
+        prog = compile_program(spec.data_driven_source)
+        n = 6
+        nested = from_python([[5 * (j + 1) for j in range(5)] for _ in range(n)])
+        cost = evaluate(prog, spec.data_driven_entry, [nested]).cost
+        assert cost == pytest.approx(spec.truth(n))
+
+    def test_median_of_medians_upper_bound(self):
+        # the recurrence is an upper bound; no input should exceed it
+        spec = get_benchmark("MedianOfMedians")
+        prog = compile_program(spec.data_driven_source)
+        for n in (25, 50):
+            for _ in range(3):
+                args = spec.generator(RNG, n)
+                cost = evaluate(prog, spec.data_driven_entry, args).cost
+                assert cost <= spec.truth(n)
+
+
+class TestFunctionalCorrectness:
+    def test_quicksort_sorts(self):
+        spec = get_benchmark("QuickSort")
+        prog = compile_program(spec.data_driven_source)
+        from repro.lang import to_python
+
+        result = evaluate(prog, spec.data_driven_entry, [from_python([3, 1, 2])])
+        assert to_python(result.value) == [1, 2, 3]
+
+    def test_quickselect_selects(self):
+        spec = get_benchmark("QuickSelect")
+        prog = compile_program(spec.data_driven_source)
+        result = evaluate(prog, spec.data_driven_entry, [1, from_python([30, 10, 20])])
+        assert result.value == 20
+
+    def test_median_of_medians_selects(self):
+        spec = get_benchmark("MedianOfMedians")
+        prog = compile_program(spec.data_driven_source)
+        values = [7, 1, 9, 3, 5, 2, 8, 4, 6, 0]
+        for idx in (0, 4, 9):
+            result = evaluate(prog, spec.data_driven_entry, [idx, from_python(values)])
+            assert result.value == sorted(values)[idx]
+
+    def test_bubble_sort_sorts(self):
+        spec = get_benchmark("BubbleSort")
+        prog = compile_program(spec.data_driven_source)
+        from repro.lang import to_python
+
+        result = evaluate(prog, spec.data_driven_entry, [from_python([4, 2, 3, 1])])
+        assert to_python(result.value) == [1, 2, 3, 4]
+
+    def test_z_algorithm_values(self):
+        spec = get_benchmark("ZAlgorithm")
+        prog = compile_program(spec.data_driven_source)
+        from repro.lang import to_python
+
+        # classic example: z of "aaab"-like list
+        result = evaluate(prog, spec.data_driven_entry, [from_python([1, 1, 1, 2])])
+        assert to_python(result.value) == [0, 2, 1, 0]

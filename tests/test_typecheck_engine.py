@@ -1,0 +1,207 @@
+"""Unit tests for the AARA constraint generator internals."""
+
+import pytest
+
+from repro.aara.analyze import build_analysis, solve_analysis
+from repro.aara.annot import make_template
+from repro.aara.bound import synthetic_list
+from repro.aara.typecheck import ConstraintGenerator, StatSite
+from repro.errors import StaticAnalysisError
+from repro.lang import compile_program
+from repro.lp import LinExpr
+
+
+def gen_for(src, degree=1, **kwargs):
+    return ConstraintGenerator(compile_program(src), degree, **kwargs)
+
+
+class TestInstantiation:
+    def test_fresh_signatures_per_call_site(self):
+        """Non-recursive callees are re-derived per call site (resource
+        polymorphism across SCCs)."""
+        src = """
+let helper xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in h
+let caller xs =
+  match xs with
+  | [] -> 0
+  | h :: t -> helper t + (match t with [] -> 0 | a :: b -> helper b)
+"""
+        generator = gen_for(src, stat_mode="transparent")
+        generator.instantiate("caller")
+        assert generator.stats.instantiations.get("helper", 0) == 2
+
+    def test_recursive_scc_derived_once_per_level(self):
+        src = """
+let rec len xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in 1 + len t
+"""
+        generator = gen_for(src, degree=2, stat_mode="transparent")
+        generator.instantiate("len")
+        # one instantiation covering degree+1 levels (3 body derivations)
+        assert generator.stats.instantiations["len"] == 1
+        assert generator.stats.derivations == 3
+
+    def test_mutual_recursion_shares_signatures(self):
+        src = """
+let rec ping xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in pong t
+let rec pong xs = match xs with [] -> 0 | h :: t -> ping t
+"""
+        generator = gen_for(src, degree=1, stat_mode="transparent")
+        sig = generator.instantiate("ping")
+        assert sig.fname == "ping"
+        # SCC {ping, pong} derived together: 2 functions x 2 levels
+        assert generator.stats.derivations == 4
+
+    def test_derivation_budget_guard(self):
+        src = """
+let f0 x = x + 1
+let f1 x = f0 (f0 x)
+let f2 x = f1 (f1 x)
+let f3 x = f2 (f2 x)
+let f4 x = f3 (f3 x)
+"""
+        generator = gen_for(src, stat_mode="transparent", max_derivations=8)
+        with pytest.raises(StaticAnalysisError, match="budget"):
+            generator.instantiate("f4")
+
+    def test_unknown_function(self):
+        generator = gen_for("let f x = x", stat_mode="transparent")
+        with pytest.raises(StaticAnalysisError):
+            generator.instantiate("ghost")
+
+
+class TestStatSites:
+    SRC = """
+let helper xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in h
+let top xs ys = Raml.stat (helper xs) + (match ys with [] -> 0 | h :: t -> h)
+"""
+
+    def test_site_context_restricted_to_free_vars(self):
+        seen = {}
+
+        def handler(site: StatSite):
+            seen["ctx"] = sorted(site.ctx)
+            seen["label"] = site.label
+            result = make_template(site.result_type, site.degree, site.lp)
+            return result, site.lp.fresh("q0")
+
+        generator = gen_for(self.SRC, stat_handler=handler)
+        generator.instantiate("top")
+        assert seen["label"] == "top#1"
+        # only xs (not ys) is free in the stat body
+        assert len(seen["ctx"]) == 1
+
+    def test_costful_flag_reaches_handler(self):
+        flags = []
+
+        def handler(site: StatSite):
+            flags.append(site.costful)
+            result = make_template(site.result_type, site.degree, site.lp)
+            return result, site.lp.fresh("q0")
+
+        src = """
+let helper xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in h
+let rec walk xs =
+  match xs with
+  | [] -> 0
+  | h :: t -> Raml.stat (helper xs) + walk t
+"""
+        generator = gen_for(src, degree=1, stat_handler=handler)
+        generator.instantiate("walk")
+        # level 0 costful, level 1 cost-free
+        assert True in flags and False in flags
+
+    def test_missing_handler_rejected(self):
+        with pytest.raises(StaticAnalysisError, match="handler"):
+            gen_for(self.SRC)
+
+    def test_transparent_mode_ignores_stat(self):
+        result = solve_analysis(
+            build_analysis(compile_program(self.SRC), "top", 1, stat_mode="transparent")
+        )
+        # bound = 1 per element of xs
+        assert result.bound.evaluate([synthetic_list(5), synthetic_list(9)]) == pytest.approx(
+            5.0, abs=1e-5
+        )
+
+    def test_unknown_stat_mode(self):
+        with pytest.raises(StaticAnalysisError):
+            gen_for(self.SRC, stat_mode="wat")
+
+
+class TestPotentialFlow:
+    def test_branch_join_takes_maximum(self):
+        src = """
+let f c xs =
+  if c then (let _ = Raml.tick 5.0 in 0)
+  else (match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in h)
+"""
+        result = solve_analysis(
+            build_analysis(compile_program(src), "f", 1, stat_mode="transparent")
+        )
+        from repro.lang.values import from_python
+
+        value = result.bound.evaluate([from_python(True), synthetic_list(0)])
+        assert value == pytest.approx(5.0, abs=1e-5)
+
+    def test_share_splits_cost_across_uses(self):
+        src = """
+let rec count xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in 1 + count t
+let twice xs = count xs + count xs
+"""
+        result = solve_analysis(
+            build_analysis(compile_program(src), "twice", 1, stat_mode="transparent")
+        )
+        assert result.bound.evaluate([synthetic_list(10)]) == pytest.approx(20.0, abs=1e-4)
+
+    def test_sum_injection_and_match_roundtrip_potential(self):
+        src = """
+let wrap xs = Left xs
+let consume s =
+  match s with
+  | Left xs -> (match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in h)
+  | Right n -> n
+let go xs = consume (wrap xs)
+"""
+        result = solve_analysis(
+            build_analysis(compile_program(src), "go", 1, stat_mode="transparent")
+        )
+        # potential flows through the sum constructor: cost <= 1 (one tick max)
+        assert result.bound.evaluate([synthetic_list(4)]) <= 4.0 + 1e-6
+
+    def test_nil_carries_free_potential(self):
+        src = """
+let rec count xs = match xs with [] -> 0 | h :: t -> let _ = Raml.tick 1.0 in 1 + count t
+let fresh x = count []
+"""
+        result = solve_analysis(
+            build_analysis(compile_program(src), "fresh", 1, stat_mode="transparent")
+        )
+        from repro.lang.values import from_python
+
+        assert result.bound.evaluate([from_python(0)]) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestCostFreeLevels:
+    def test_levels_match_degree(self):
+        src = "let rec len xs = match xs with [] -> 0 | h :: t -> 1 + len t"
+        for degree, expected in ((1, 2), (2, 3), (3, 4)):
+            generator = gen_for(src, degree=degree, stat_mode="transparent")
+            generator.instantiate("len")
+            assert generator.stats.derivations == expected
+
+    def test_superposition_allows_quadratic_accumulation(self):
+        """Insertion sort needs the cost-free chain; without it the analysis
+        would be infeasible at degree 2 (regression for HH'10 support)."""
+        src = """
+let rec insert x xs =
+  match xs with
+  | [] -> [ x ]
+  | h :: t -> let _ = Raml.tick 1.0 in
+    if x <= h then x :: h :: t else h :: insert x t
+
+let rec isort xs = match xs with [] -> [] | h :: t -> insert h (isort t)
+"""
+        result = solve_analysis(
+            build_analysis(compile_program(src), "isort", 2, stat_mode="transparent")
+        )
+        assert result.bound.evaluate([synthetic_list(8)]) == pytest.approx(28.0, abs=1e-4)

@@ -1,0 +1,105 @@
+"""Simple type inference tests."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.lang import ast as A
+from repro.lang import compile_program
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.types import typecheck_program
+
+
+def infer(src):
+    return typecheck_program(normalize_program(parse_program(src)))
+
+
+class TestInference:
+    def test_identity_defaults_to_int(self):
+        prog = infer("let f x = x")
+        assert prog["f"].fun_type == A.FunType((A.INT,), A.INT)
+
+    def test_arithmetic_forces_int(self):
+        prog = infer("let f x = x + 1")
+        assert prog["f"].fun_type.params == (A.INT,)
+
+    def test_list_type(self):
+        prog = infer("let f xs = match xs with [] -> 0 | h :: t -> h")
+        assert prog["f"].fun_type.params == (A.TList(A.INT),)
+
+    def test_nested_list(self):
+        prog = infer(
+            "let rec f xss = match xss with [] -> 0 | h :: t -> (match h with [] -> 0 | a :: b -> a) + f t"
+        )
+        assert prog["f"].fun_type.params == (A.TList(A.TList(A.INT)),)
+
+    def test_bool_result(self):
+        prog = infer("let f x = x <= 3")
+        assert prog["f"].fun_type.result == A.BOOL
+
+    def test_tuple_result(self):
+        prog = infer("let f x = (x, x + 1)")
+        assert prog["f"].fun_type.result == A.TProd((A.INT, A.INT))
+
+    def test_sum_types(self):
+        prog = infer(
+            "let f s = match s with | Left x -> x + 1 | Right b -> if b then 1 else 0"
+        )
+        assert prog["f"].fun_type.params == (A.TSum(A.INT, A.BOOL),)
+
+    def test_recursive_function(self):
+        prog = infer(
+            "let rec length xs = match xs with [] -> 0 | h :: t -> 1 + length t"
+        )
+        assert prog["length"].fun_type == A.FunType((A.TList(A.INT),), A.INT)
+
+    def test_mutual_reference_forward(self):
+        prog = infer("let f x = g x\nlet g y = y + 1")
+        assert prog["f"].fun_type.result == A.INT
+
+    def test_builtin_application(self):
+        prog = infer("let f a b = complex_leq a b")
+        assert prog["f"].fun_type == A.FunType((A.INT, A.INT), A.BOOL)
+
+    def test_error_expr_types_at_anything(self):
+        prog = infer("let f xs = match xs with [] -> raise Bad | h :: t -> h")
+        assert prog["f"].fun_type.result == A.INT
+
+    def test_stat_is_transparent_to_types(self):
+        prog = infer("let f xs = Raml.stat (g xs)\nlet g xs = match xs with [] -> 0 | h :: t -> h")
+        assert prog["f"].fun_type.result == A.INT
+
+    def test_nodes_are_annotated(self):
+        prog = infer("let f x = x + 1")
+        for node in prog["f"].body.walk():
+            assert node.type is not None
+
+
+class TestErrors:
+    def test_branch_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            infer("let f c = if c then 1 else []")
+
+    def test_condition_not_bool(self):
+        with pytest.raises(TypeMismatchError):
+            infer("let f x = if x then 1 else 2\nlet g y = f (y + 1)")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            infer("let f x = x\nlet g y = f y y")
+
+    def test_unknown_function(self):
+        with pytest.raises(TypeMismatchError):
+            infer("let f x = mystery x")
+
+    def test_occurs_check(self):
+        with pytest.raises(TypeMismatchError):
+            infer("let rec f xs = f (xs :: [])")
+
+    def test_cons_of_mismatched_element(self):
+        with pytest.raises(TypeMismatchError):
+            infer("let f b = (b && true) :: [ 1 ]")
+
+    def test_compile_program_raises(self):
+        with pytest.raises(TypeMismatchError):
+            compile_program("let f x = x + true")

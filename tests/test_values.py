@@ -1,0 +1,85 @@
+"""Value representation and size-projection tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang.values import (
+    VList,
+    VTuple,
+    from_python,
+    sizes_of,
+    to_python,
+    type_of_value,
+)
+
+nested_data = st.recursive(
+    st.integers(-100, 100) | st.booleans(),
+    lambda inner: st.lists(inner, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestConversion:
+    def test_int(self):
+        assert from_python(5) == 5
+
+    def test_bool_stays_bool(self):
+        assert from_python(True) is True
+
+    def test_list(self):
+        v = from_python([1, 2])
+        assert isinstance(v, VList) and len(v) == 2
+
+    def test_tuple(self):
+        v = from_python((1, [2]))
+        assert isinstance(v, VTuple)
+
+    @given(st.lists(st.lists(st.integers(-5, 5), max_size=3), max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_nested_lists(self, data):
+        assert to_python(from_python(data)) == data
+
+    def test_rejects_unconvertible(self):
+        from repro.errors import EvalError
+
+        with pytest.raises(EvalError):
+            from_python({"a": 1})
+
+
+class TestTypeOfValue:
+    def test_int_list(self):
+        assert type_of_value(from_python([1, 2])) == A.TList(A.INT)
+
+    def test_empty_list_defaults_to_int(self):
+        assert type_of_value(from_python([])) == A.TList(A.INT)
+
+    def test_tuple(self):
+        assert type_of_value(from_python((1, True))) == A.TProd((A.INT, A.BOOL))
+
+
+class TestSizeProjection:
+    """φ(V, v) flattening (Section 5.4)."""
+
+    def test_scalar_contributes_nothing(self):
+        assert sizes_of(from_python(7)) == ()
+
+    def test_flat_list_gives_length(self):
+        assert sizes_of(from_python([1, 2, 3])) == (3,)
+
+    def test_nested_list_gives_outer_and_total(self):
+        assert sizes_of(from_python([[1, 2], [3], []])) == (3, 3)
+
+    def test_tuple_concatenates(self):
+        assert sizes_of(from_python(([1, 2], [3]))) == (2, 1)
+
+    def test_tuple_of_scalar_and_list(self):
+        assert sizes_of(from_python((5, [1, 2, 3, 4]))) == (4,)
+
+    @given(st.lists(st.lists(st.integers(0, 5), max_size=5), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_nested_totals(self, data):
+        outer, total = sizes_of(from_python(data))[:2]
+        assert outer == len(data)
+        assert total == sum(len(inner) for inner in data)
