@@ -4,6 +4,11 @@ all 10 benchmark programs × {Opt, BayesWC, BayesPC} × {data-driven, hybrid}.
 Each bench runs one benchmark's full protocol once (pedantic mode) and
 prints the Table 1 rows; the module-level summary bench renders the whole
 table from the cached runs.
+
+Execution goes through the ``repro.evalharness.runner`` task graph: set
+``REPRO_BENCH_JOBS=4`` to fan each benchmark's method × mode cells out
+over 4 worker processes, and ``REPRO_BENCH_CACHE=DIR`` to memoize
+completed cells on disk (see ``conftest.py``).
 """
 
 import pytest

@@ -5,6 +5,16 @@ are expensive, so a session-scoped cache shares them between benches; the
 first bench touching a benchmark pays its cost (and reports it via
 pytest-benchmark), later benches reuse the result.
 
+Execution goes through ``repro.evalharness.runner``:
+
+* ``REPRO_BENCH_JOBS=N`` fans the benchmark × method × mode grid out on
+  ``N`` worker processes (one persistent pool for the whole session);
+* ``REPRO_BENCH_CACHE=DIR`` memoizes completed tasks on disk, so a
+  second run of e.g. ``bench_table1.py`` only recomputes rows whose
+  program source, config, or seed changed;
+* ``REPRO_BENCH_METRICS=PATH`` writes the per-task structured metrics
+  report (timing, RSS, retries, cache hits) at session end.
+
 The posterior sample count M defaults to a laptop-friendly value; set
 ``REPRO_BENCH_SAMPLES`` (and optionally ``REPRO_BENCH_SEED``) to scale up
 towards the paper's M = 1000.
@@ -15,29 +25,51 @@ import os
 import pytest
 
 from repro.config import AnalysisConfig
-from repro.evalharness import run_benchmark
+from repro.evalharness import EvalRunner, RunnerReport, run_benchmark
 from repro.suite import get_benchmark
 
 BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "15"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+BENCH_METRICS = os.environ.get("REPRO_BENCH_METRICS") or None
 
 
 class RunCache:
     def __init__(self):
         self._runs = {}
+        self.runner = EvalRunner(jobs=BENCH_JOBS, cache_dir=BENCH_CACHE)
 
     def get(self, name, methods=("opt", "bayeswc", "bayespc"), samples=None):
         samples = samples or BENCH_SAMPLES
         key = (name, tuple(sorted(methods)), samples)
         if key not in self._runs:
             spec = get_benchmark(name)
-            config = AnalysisConfig(num_posterior_samples=samples, seed=BENCH_SEED)
+            config = AnalysisConfig(
+                num_posterior_samples=samples,
+                seed=BENCH_SEED,
+                jobs=BENCH_JOBS,
+                cache_dir=BENCH_CACHE,
+            )
             self._runs[key] = run_benchmark(
-                spec, config, seed=BENCH_SEED, methods=methods
+                spec, config, seed=BENCH_SEED, methods=methods, runner=self.runner
             )
         return self._runs[key]
+
+    def close(self):
+        if BENCH_METRICS:
+            report = RunnerReport(
+                tasks=[],
+                outcomes=self.runner.history,
+                jobs=self.runner.jobs,
+                wall_seconds=0.0,
+            )
+            report.write_metrics(BENCH_METRICS)
+        self.runner.close()
 
 
 @pytest.fixture(scope="session")
 def runs():
-    return RunCache()
+    cache = RunCache()
+    yield cache
+    cache.close()

@@ -25,6 +25,7 @@ from .aara import run_conventional
 from .config import AnalysisConfig
 from .errors import ReproError
 from .inference import collect_dataset, run_analysis
+from .lang import ast as A
 from .lang import compile_program, from_python
 from .suite import get_benchmark
 
@@ -38,16 +39,34 @@ def _parse_sizes(spec: str):
     return list(range(parts[0], parts[1] + 1, parts[2]))
 
 
+def _random_value(rng, typ, n):
+    """Draw one random argument of type ``typ`` at size parameter ``n``."""
+    if isinstance(typ, A.TList):
+        if isinstance(typ.elem, (A.TInt, A.TBool, A.TUnit)):
+            return from_python([_random_value(rng, typ.elem, n) for _ in range(n)])
+        # structured elements (nested lists, tuples): keep totals near n
+        inner = max(1, n // 2)
+        return from_python([_random_value(rng, typ.elem, inner) for _ in range(n)])
+    if isinstance(typ, A.TProd):
+        return from_python(tuple(_random_value(rng, item, n) for item in typ.items))
+    if isinstance(typ, A.TInt):
+        return int(rng.integers(0, 1000))
+    if isinstance(typ, A.TBool):
+        return bool(rng.integers(0, 2))
+    if isinstance(typ, A.TUnit):
+        return from_python(None)
+    raise ReproError(f"cannot generate random inputs for parameter type {typ}")
+
+
 def _random_inputs(program, entry, sizes, reps, seed):
     rng = np.random.default_rng(seed)
-    params = program[entry].params
+    fun = program[entry]
+    if fun.fun_type is None:
+        raise ReproError(f"function {entry!r} has no inferred type")
     inputs = []
     for _ in range(reps):
         for n in sizes:
-            args = []
-            for _p in params:
-                args.append(from_python([int(v) for v in rng.integers(0, 1000, n)]))
-            inputs.append(args)
+            inputs.append([_random_value(rng, typ, n) for typ in fun.fun_type.params])
     return inputs
 
 
@@ -124,17 +143,53 @@ def cmd_static(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .evalharness import render_gap_table, render_table1, run_benchmark
+    from .evalharness import EvalRunner, RunnerReport, render_gap_table, render_table1, run_table1
+    from .suite import all_benchmarks
 
-    spec = get_benchmark(args.benchmark)
-    config = AnalysisConfig(num_posterior_samples=args.samples, seed=args.seed)
+    if args.benchmark == "all":
+        specs = all_benchmarks()
+    else:
+        specs = [get_benchmark(args.benchmark)]
+    config = AnalysisConfig(
+        num_posterior_samples=args.samples,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+    )
     methods = [args.method] if args.method != "all" else ("opt", "bayeswc", "bayespc")
-    run = run_benchmark(spec, config, seed=args.seed, methods=methods)
-    print(render_table1([run]))
-    print()
-    print(render_gap_table(run))
-    for key, message in run.errors.items():
-        print(f"error {key}: {message}")
+    with EvalRunner(jobs=args.jobs, cache_dir=args.cache) as runner:
+        runs = run_table1(specs, config, seed=args.seed, methods=methods, runner=runner)
+        print(render_table1(runs))
+        for run in runs:
+            print()
+            print(render_gap_table(run))
+            for key, message in run.errors.items():
+                print(f"error {key}: {message}")
+        if runner.history:
+            metrics = {
+                "tasks": len(runner.history),
+                "cache_hits": sum(
+                    1 for o in runner.history if o["metrics"].get("cache_hit")
+                ),
+                "task_wall_seconds": round(
+                    sum(o["metrics"].get("wall_seconds", 0.0) for o in runner.history), 3
+                ),
+            }
+            print()
+            print(
+                f"runner: {metrics['tasks']} task(s), jobs={runner.jobs}, "
+                f"{metrics['cache_hits']} cache hit(s), "
+                f"{metrics['task_wall_seconds']}s task time"
+            )
+        if args.metrics:
+            report_json = RunnerReport(
+                tasks=[], outcomes=runner.history, jobs=runner.jobs, wall_seconds=0.0
+            )
+            try:
+                report_json.write_metrics(args.metrics)
+            except OSError as exc:
+                raise ReproError(f"cannot write metrics to {args.metrics}: {exc}")
+            print(f"per-task metrics -> {args.metrics}")
     return 0
 
 
@@ -175,11 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
     static.add_argument("--degree", type=int, default=3, help="max degree to try")
     static.set_defaults(func=cmd_static)
 
-    bench = sub.add_parser("bench", help="run one paper benchmark end to end")
-    bench.add_argument("benchmark", help="benchmark name, e.g. QuickSort")
+    bench = sub.add_parser("bench", help="run one paper benchmark (or 'all') end to end")
+    bench.add_argument("benchmark", help="benchmark name, e.g. QuickSort, or 'all'")
     bench.add_argument("--method", default="all")
     bench.add_argument("--samples", type=int, default=25)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
+    bench.add_argument("--cache", default=None, help="on-disk result cache directory")
+    bench.add_argument("--metrics", default=None, help="write per-task metrics JSON here")
     bench.set_defaults(func=cmd_bench)
 
     return parser

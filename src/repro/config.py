@@ -66,6 +66,12 @@ class AnalysisConfig:
     sampler: SamplerConfig = field(default_factory=SamplerConfig)
     bayeswc: BayesWCConfig = field(default_factory=BayesWCConfig)
     bayespc: BayesPCConfig = field(default_factory=BayesPCConfig)
+    #: execution knobs for the evaluation harness (never part of the
+    #: result-cache key — they cannot change what an analysis computes):
+    #: worker processes for the task runner (1 = in-process)
+    jobs: int = 1
+    #: on-disk result cache directory for the task runner (None = off)
+    cache_dir: Optional[str] = None
 
     def with_(self, **kwargs) -> "AnalysisConfig":
         return replace(self, **kwargs)

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .runner import METHODS, MODES
 from .table1 import BenchmarkRun
 from ..aara.bound import synthetic_list
 from ..inference import PosteriorResult
@@ -89,8 +90,8 @@ def posterior_curve(
 def fig6_curves(run: BenchmarkRun, sizes: Sequence[int]) -> List[CurveSeries]:
     """All six panels (3 methods × up to 2 modes) for one benchmark."""
     out = []
-    for mode in ("data-driven", "hybrid"):
-        for method in ("opt", "bayeswc", "bayespc"):
+    for mode in MODES:
+        for method in METHODS:
             series = posterior_curve(run, mode, method, sizes)
             if series is not None:
                 out.append(series)

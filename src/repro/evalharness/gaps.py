@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .table1 import MODES, METHODS, BenchmarkRun, _METHOD_LABEL
+from .runner import METHODS, MODES
+from .table1 import BenchmarkRun, _METHOD_LABEL
 
 GAP_SIZES = (10, 100, 1000)
 GAP_PERCENTILES = (5, 50, 95)

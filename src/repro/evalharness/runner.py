@@ -1,0 +1,639 @@
+"""Task-graph executor for the Section 7 evaluation grid.
+
+The paper's evaluation is a benchmark × method × mode grid (Table 1:
+10 programs × {Opt, BayesWC, BayesPC} × {data-driven, hybrid}).  Every
+cell is an independent :class:`EvalTask`; this module expands the grid,
+derives a deterministic per-task seed from ``(root_seed, benchmark,
+method, mode)``, executes the tasks — in-process for ``jobs=1``, on a
+``ProcessPoolExecutor`` otherwise — memoizes completed tasks in a
+content-addressed on-disk cache, and records per-task timing/RSS/retry
+metadata in a structured metrics report.
+
+Layering: this module knows nothing about :class:`BenchmarkRun`
+assembly or rendering; ``table1.py`` builds runs from the JSON-safe
+task outcomes returned here, and ``curves.py`` / ``gaps.py`` consume
+the canonical grid constants (:data:`METHODS`, :data:`MODES`) below.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import resource
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import AnalysisConfig, DEFAULT_CONFIG
+from ..errors import ReproError
+
+#: the canonical Table 1 grid axes — the single source of truth for the
+#: whole evalharness (table1/curves/gaps import these)
+METHODS = ("opt", "bayeswc", "bayespc")
+MODES = ("data-driven", "hybrid")
+
+#: bump whenever an analysis-affecting code change should invalidate the
+#: on-disk result cache
+CACHE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Deterministic seed derivation
+# ---------------------------------------------------------------------------
+
+
+def derive_seed(root_seed: int, *parts: object) -> int:
+    """A stable 63-bit seed from ``(root_seed, *parts)``.
+
+    Uses SHA-256 rather than Python's ``hash()`` so the derivation is
+    identical across interpreter sessions and worker processes
+    (``hash()`` of strings is salted per-process by PYTHONHASHSEED).
+    """
+    payload = json.dumps([int(root_seed), *[str(p) for p in parts]]).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def input_seed(root_seed: int, benchmark: str) -> int:
+    """Seed for a benchmark's runtime-data inputs (shared by all modes)."""
+    return derive_seed(root_seed, benchmark, "inputs")
+
+
+def method_seed(root_seed: int, benchmark: str, mode: str, method: str) -> int:
+    """Seed for one (benchmark, mode, method) sampler."""
+    return derive_seed(root_seed, benchmark, mode, method)
+
+
+# ---------------------------------------------------------------------------
+# Tasks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One independent unit of the evaluation grid.
+
+    Tasks reference benchmarks by registry name (the specs themselves
+    hold lambdas and cannot cross a process boundary) and carry the
+    *base* config; the per-mode config (degree, theta0) is derived in
+    the worker via ``spec.config``.
+    """
+
+    kind: str  # 'conventional' | 'analysis'
+    benchmark: str
+    root_seed: int
+    config: AnalysisConfig = DEFAULT_CONFIG
+    mode: Optional[str] = None  # analysis tasks only
+    method: Optional[str] = None  # analysis tasks only
+    conventional_max_degree: int = 3
+
+    @property
+    def task_id(self) -> str:
+        if self.kind == "conventional":
+            return f"{self.benchmark}/static/aara"
+        return f"{self.benchmark}/{self.mode}/{self.method}"
+
+    @property
+    def seed(self) -> int:
+        if self.kind == "conventional":
+            return 0  # static analysis consumes no randomness
+        return method_seed(self.root_seed, self.benchmark, self.mode, self.method)
+
+
+def expand_grid(
+    specs: Sequence[object],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    seed: int = 0,
+    methods: Sequence[str] = METHODS,
+    modes: Sequence[str] = MODES,
+    conventional_max_degree: int = 3,
+) -> List[EvalTask]:
+    """All tasks for a benchmark subset: one conventional verdict per
+    spec plus one analysis task per available (mode, method) cell."""
+    tasks: List[EvalTask] = []
+    for spec in specs:
+        tasks.append(
+            EvalTask(
+                kind="conventional",
+                benchmark=spec.name,
+                root_seed=seed,
+                config=config,
+                conventional_max_degree=conventional_max_degree,
+            )
+        )
+        for mode in modes:
+            if mode == "hybrid" and spec.hybrid_source is None:
+                continue
+            for method in methods:
+                tasks.append(
+                    EvalTask(
+                        kind="analysis",
+                        benchmark=spec.name,
+                        root_seed=seed,
+                        config=config,
+                        mode=mode,
+                        method=method,
+                        conventional_max_degree=conventional_max_degree,
+                    )
+                )
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (must stay module-level: it crosses the pool)
+# ---------------------------------------------------------------------------
+
+#: worker-local memoization so the 3 methods sharing one (benchmark, mode)
+#: don't recompile the program / re-interpret the runtime-data runs
+_PROGRAM_CACHE: Dict[Tuple[str, str], object] = {}
+_DATASET_CACHE: Dict[Tuple[str, str, int], object] = {}
+
+
+def _mode_variant(spec, mode: str) -> Tuple[str, str]:
+    if mode == "hybrid":
+        if spec.hybrid_source is None:
+            raise ReproError(f"benchmark {spec.name} has no hybrid variant")
+        return spec.hybrid_source, spec.hybrid_entry
+    return spec.data_driven_source, spec.data_driven_entry
+
+
+def _compiled_program(spec, mode: str):
+    from ..lang import compile_program
+
+    key = (spec.name, mode)
+    if key not in _PROGRAM_CACHE:
+        source, _entry = _mode_variant(spec, mode)
+        _PROGRAM_CACHE[key] = compile_program(source)
+    return _PROGRAM_CACHE[key]
+
+
+def _mode_dataset(spec, mode: str, root_seed: int):
+    from ..inference import collect_dataset
+
+    key = (spec.name, mode, root_seed)
+    if key not in _DATASET_CACHE:
+        rng = np.random.default_rng(input_seed(root_seed, spec.name))
+        inputs = spec.inputs(rng)
+        program = _compiled_program(spec, mode)
+        _source, entry = _mode_variant(spec, mode)
+        _DATASET_CACHE[key] = collect_dataset(program, entry, inputs)
+    return _DATASET_CACHE[key]
+
+
+def _verdict_to_json(verdict) -> Dict[str, Any]:
+    from ..inference.serialize import bound_to_json
+
+    return {
+        "status": verdict.status,
+        "degree": verdict.degree,
+        "detail": verdict.detail,
+        "runtime_seconds": verdict.runtime_seconds,
+        "feasible_degrees": list(verdict.feasible_degrees),
+        "bound": None if verdict.bound is None else bound_to_json(verdict.bound),
+    }
+
+
+def verdict_from_json(data: Dict[str, Any]):
+    from ..aara.analyze import ConventionalVerdict
+    from ..inference.serialize import bound_from_json
+
+    return ConventionalVerdict(
+        status=data["status"],
+        bound=None if data.get("bound") is None else bound_from_json(data["bound"]),
+        degree=int(data.get("degree", 0)),
+        detail=data.get("detail", ""),
+        runtime_seconds=float(data.get("runtime_seconds", 0.0)),
+        feasible_degrees=tuple(data.get("feasible_degrees", ())),
+    )
+
+
+def execute_task(task: EvalTask) -> Dict[str, Any]:
+    """Run one task and return a JSON-safe outcome (runs in a worker).
+
+    ``ReproError`` (infeasible LPs, sampler failures, …) is an expected
+    per-cell outcome and is recorded, not raised; any other exception is
+    captured as an error outcome so a deterministic bug in one cell
+    cannot poison the pool or trigger pointless retries.
+    """
+    from ..suite import get_benchmark
+
+    started = time.perf_counter()
+    outcome: Dict[str, Any] = {
+        "task": task.task_id,
+        "kind": task.kind,
+        "benchmark": task.benchmark,
+        "mode": task.mode,
+        "method": task.method,
+        "seed": task.seed,
+        "ok": False,
+        "error": None,
+        "result": None,
+        "verdict": None,
+    }
+    try:
+        spec = get_benchmark(task.benchmark)
+        if task.kind == "conventional":
+            from ..aara.analyze import run_conventional
+            from ..lang import compile_program
+
+            program = _compiled_program(spec, "data-driven")
+            verdict = run_conventional(
+                program, spec.data_driven_entry, max_degree=task.conventional_max_degree
+            )
+            outcome["verdict"] = _verdict_to_json(verdict)
+            outcome["ok"] = True
+        else:
+            from ..inference import run_analysis
+            from ..inference.serialize import result_to_json
+
+            program = _compiled_program(spec, task.mode)
+            dataset = _mode_dataset(spec, task.mode, task.root_seed)
+            _source, entry = _mode_variant(spec, task.mode)
+            mode_config = spec.config(task.config, hybrid=(task.mode == "hybrid"))
+            rng = np.random.default_rng(task.seed)
+            result = run_analysis(program, entry, dataset, mode_config, task.method, rng=rng)
+            outcome["result"] = result_to_json(result)
+            outcome["ok"] = True
+    except ReproError as exc:
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # deterministic crash: report, don't retry
+        outcome["error"] = f"crash {type(exc).__name__}: {exc}"
+    outcome["metrics"] = {
+        "wall_seconds": time.perf_counter() - started,
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "pid": os.getpid(),
+    }
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed result cache
+# ---------------------------------------------------------------------------
+
+
+def _config_signature(config: AnalysisConfig) -> Dict[str, Any]:
+    """Result-affecting config fields (execution knobs excluded)."""
+    signature = dataclasses.asdict(config)
+    signature.pop("jobs", None)
+    signature.pop("cache_dir", None)
+    return signature
+
+
+class ResultCache:
+    """On-disk memo of completed tasks, keyed by content hash.
+
+    The key covers everything that determines a task's output: program
+    source, entry point, effective (per-mode) configuration, data-
+    collection protocol, derived seeds, and a code-version constant.
+    Editing one benchmark's source therefore invalidates exactly that
+    benchmark's rows.  Corrupted entries are deleted and recomputed.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def key(self, task: EvalTask) -> str:
+        from ..suite import get_benchmark
+
+        spec = get_benchmark(task.benchmark)
+        payload: Dict[str, Any] = {
+            "cache_version": CACHE_VERSION,
+            "kind": task.kind,
+            "benchmark": task.benchmark,
+        }
+        if task.kind == "conventional":
+            payload.update(
+                source=spec.data_driven_source,
+                entry=spec.data_driven_entry,
+                max_degree=task.conventional_max_degree,
+            )
+        else:
+            source, entry = _mode_variant(spec, task.mode)
+            mode_config = spec.config(task.config, hybrid=(task.mode == "hybrid"))
+            payload.update(
+                mode=task.mode,
+                method=task.method,
+                source=source,
+                entry=entry,
+                degree=spec.degree,
+                config=_config_signature(mode_config),
+                data_sizes=list(spec.data_sizes),
+                repetitions=spec.repetitions,
+                input_seed=input_seed(task.root_seed, task.benchmark),
+                method_seed=task.seed,
+            )
+        blob = json.dumps(payload, sort_keys=True, default=str).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, task: EvalTask) -> Optional[Dict[str, Any]]:
+        key = self.key(task)
+        path = self.path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("cache_version") != CACHE_VERSION or payload.get("key") != key:
+                raise ValueError("stale or mismatched cache entry")
+            outcome = payload["outcome"]
+            if not isinstance(outcome, dict) or "task" not in outcome:
+                raise ValueError("malformed cache entry")
+            return outcome
+        except Exception:
+            # corrupted entry: delete and let the caller recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, task: EvalTask, outcome: Dict[str, Any]) -> None:
+        key = self.key(task)
+        payload = {"cache_version": CACHE_VERSION, "key": key, "outcome": outcome}
+        tmp = self.path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path(key))
+
+    def wipe(self) -> int:
+        """Delete all entries; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunnerReport:
+    """Ordered task outcomes plus the structured metrics report."""
+
+    tasks: List[EvalTask]
+    outcomes: List[Dict[str, Any]]
+    jobs: int
+    wall_seconds: float
+
+    def outcome_by_id(self) -> Dict[str, Dict[str, Any]]:
+        return {o["task"]: o for o in self.outcomes}
+
+    def metrics_json(self) -> Dict[str, Any]:
+        entries = []
+        for outcome in self.outcomes:
+            metrics = dict(outcome.get("metrics", {}))
+            metrics.update(
+                task=outcome["task"],
+                kind=outcome["kind"],
+                benchmark=outcome["benchmark"],
+                mode=outcome["mode"],
+                method=outcome["method"],
+                seed=outcome["seed"],
+                ok=outcome["ok"],
+                error=outcome["error"],
+            )
+            entries.append(metrics)
+        hits = sum(1 for e in entries if e.get("cache_hit"))
+        return {
+            "version": 1,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "tasks": entries,
+            "summary": {
+                "total_tasks": len(entries),
+                "errors": sum(1 for e in entries if not e["ok"]),
+                "cache_hits": hits,
+                "cache_misses": len(entries) - hits,
+                # cache hits have attempts == 0: they ran nothing, so they
+                # contribute no retries
+                "retries": sum(max(0, e.get("attempts", 1) - 1) for e in entries),
+                "task_wall_seconds": sum(e.get("wall_seconds", 0.0) for e in entries),
+            },
+        }
+
+    def write_metrics(self, path: os.PathLike) -> None:
+        Path(path).write_text(json.dumps(self.metrics_json(), indent=2))
+
+
+class EvalRunner:
+    """Executes :class:`EvalTask` grids with caching, retries and metrics.
+
+    ``jobs=1`` (the default) runs every task in the calling process —
+    no pickling, plain tracebacks — so tests stay debuggable; ``jobs>1``
+    fans tasks out on a ``ProcessPoolExecutor`` that persists across
+    :meth:`run_tasks` calls.  Transient worker failures (a killed
+    worker, a poisoned pool) are retried with exponential backoff up to
+    ``max_retries`` times; deterministic analysis failures are captured
+    inside the worker and never retried.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.05,
+        task_fn: Callable[[EvalTask], Dict[str, Any]] = execute_task,
+    ) -> None:
+        self.jobs = max(1, int(jobs or 1))
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_seconds = backoff_seconds
+        self.task_fn = task_fn
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.history: List[Dict[str, Any]] = []  # all outcomes ever run
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "EvalRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def _reset_executor(self) -> None:
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._executor = None
+
+    # -- execution ----------------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[EvalTask]) -> RunnerReport:
+        started = time.perf_counter()
+        outcomes: Dict[EvalTask, Dict[str, Any]] = {}
+        pending: List[EvalTask] = []
+        for task in tasks:
+            cached = self.cache.load(task) if self.cache else None
+            if cached is not None:
+                cached.setdefault("metrics", {})
+                cached["metrics"]["cache_hit"] = True
+                cached["metrics"]["attempts"] = 0
+                outcomes[task] = cached
+            else:
+                pending.append(task)
+
+        if pending:
+            if self.jobs == 1:
+                fresh = self._run_serial(pending)
+            else:
+                fresh = self._run_pool(pending)
+            for task, outcome in fresh.items():
+                outcome["metrics"]["cache_hit"] = False
+                if self.cache and outcome["ok"]:
+                    outcome["metrics"]["cache_key"] = self.cache.key(task)
+                    self.cache.store(task, outcome)
+                outcomes[task] = outcome
+
+        ordered = [outcomes[task] for task in tasks]
+        self.history.extend(ordered)
+        report = RunnerReport(
+            tasks=list(tasks),
+            outcomes=ordered,
+            jobs=self.jobs,
+            wall_seconds=time.perf_counter() - started,
+        )
+        return report
+
+    def _failure_outcome(self, task: EvalTask, exc: BaseException, attempts: int) -> Dict[str, Any]:
+        return {
+            "task": task.task_id,
+            "kind": task.kind,
+            "benchmark": task.benchmark,
+            "mode": task.mode,
+            "method": task.method,
+            "seed": task.seed,
+            "ok": False,
+            "error": f"task failed after {attempts} attempt(s): {type(exc).__name__}: {exc}",
+            "result": None,
+            "verdict": None,
+            "metrics": {"wall_seconds": 0.0, "max_rss_kb": 0, "pid": os.getpid()},
+        }
+
+    def _backoff(self, attempt: int) -> None:
+        if self.backoff_seconds > 0:
+            time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+
+    def _run_serial(self, tasks: Sequence[EvalTask]) -> Dict[EvalTask, Dict[str, Any]]:
+        results: Dict[EvalTask, Dict[str, Any]] = {}
+        for task in tasks:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    outcome = self.task_fn(task)
+                    break
+                except Exception as exc:
+                    if attempts > self.max_retries:
+                        outcome = self._failure_outcome(task, exc, attempts)
+                        break
+                    self._backoff(attempts)
+            outcome.setdefault("metrics", {})["attempts"] = attempts
+            results[task] = outcome
+        return results
+
+    def _run_pool(self, tasks: Sequence[EvalTask]) -> Dict[EvalTask, Dict[str, Any]]:
+        results: Dict[EvalTask, Dict[str, Any]] = {}
+        attempts: Dict[EvalTask, int] = {task: 0 for task in tasks}
+        queue = list(tasks)
+        while queue:
+            executor = self._ensure_executor()
+            futures = {}
+            broken = False
+            for task in queue:
+                attempts[task] += 1
+                try:
+                    futures[executor.submit(self.task_fn, task)] = task
+                except Exception:  # pool already broken: resubmit next round
+                    broken = True
+                    attempts[task] -= 1
+                    break
+            submitted = set(futures.values())
+            retry: List[EvalTask] = [t for t in queue if t not in submitted]
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures[future]
+                    try:
+                        outcome = future.result()
+                        outcome.setdefault("metrics", {})["attempts"] = attempts[task]
+                        results[task] = outcome
+                    except Exception as exc:
+                        broken = True
+                        if attempts[task] > self.max_retries:
+                            results[task] = self._failure_outcome(task, exc, attempts[task])
+                            results[task]["metrics"]["attempts"] = attempts[task]
+                        else:
+                            retry.append(task)
+            queue = retry
+            if queue:
+                if broken:
+                    self._reset_executor()
+                self._backoff(max(attempts[t] for t in queue))
+        return results
+
+
+# ---------------------------------------------------------------------------
+# One-call convenience: expand + run
+# ---------------------------------------------------------------------------
+
+
+def run_grid(
+    specs: Sequence[object],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    seed: int = 0,
+    methods: Sequence[str] = METHODS,
+    modes: Sequence[str] = MODES,
+    conventional_max_degree: int = 3,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    runner: Optional[EvalRunner] = None,
+) -> RunnerReport:
+    """Expand the grid for ``specs`` and execute it.
+
+    ``jobs``/``cache_dir`` default to the config's execution knobs; an
+    explicit ``runner`` (e.g. a session-scoped one with a warm pool)
+    overrides both.
+    """
+    tasks = expand_grid(
+        specs,
+        config=config,
+        seed=seed,
+        methods=methods,
+        modes=modes,
+        conventional_max_degree=conventional_max_degree,
+    )
+    if runner is not None:
+        return runner.run_tasks(tasks)
+    with EvalRunner(
+        jobs=jobs if jobs is not None else config.jobs,
+        cache_dir=cache_dir if cache_dir is not None else config.cache_dir,
+    ) as owned:
+        return owned.run_tasks(tasks)

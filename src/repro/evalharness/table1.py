@@ -4,30 +4,81 @@ Runs, for each benchmark, the conventional-AARA verdict and the six
 analysis configurations {Opt, BayesWC, BayesPC} × {data-driven, hybrid}
 (hybrid where applicable), then checks each posterior bound against the
 benchmark's analytic ground truth on a size sweep.
+
+Execution is delegated to :mod:`repro.evalharness.runner`: the grid is
+expanded into independent ``EvalTask``s with deterministic per-task
+seeds, optionally fanned out over worker processes and memoized in an
+on-disk cache; this module assembles the task outcomes back into
+:class:`BenchmarkRun` values and renders them.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..aara.analyze import ConventionalVerdict, run_conventional
+from .runner import (
+    METHODS,
+    MODES,
+    EvalRunner,
+    RunnerReport,
+    input_seed,
+    run_grid,
+    verdict_from_json,
+)
+from ..aara.analyze import ConventionalVerdict
 from ..config import AnalysisConfig, DEFAULT_CONFIG
 from ..errors import ReproError
-from ..inference import PosteriorResult, collect_dataset, run_analysis
-from ..lang import ast as A
-from ..lang import compile_program
+from ..inference import PosteriorResult
+from ..inference.serialize import result_from_json
 from ..suite.registry import BenchmarkSpec
 
 #: sizes on which soundness is checked — a dense sweep, since several
 #: ground truths are wiggly (e.g. Round peaks at n = 2^k − 1) and the paper
 #: requires soundness "for all input sizes" up to 1000
 SOUNDNESS_SIZES = tuple(range(1, 1001))
-METHODS = ("opt", "bayeswc", "bayespc")
-MODES = ("data-driven", "hybrid")
+
+
+class LazyMapping:
+    """Dict-compatible mapping whose values materialize on first access.
+
+    Benchmark programs and runtime datasets are only needed by a few
+    consumers (curve scatter, REPL poking); recomputing them eagerly
+    would defeat the warm-cache fast path, so assembly defers them.
+    """
+
+    def __init__(self, factories: Dict[str, Callable[[], object]]) -> None:
+        self._factories = dict(factories)
+        self._values: Dict[str, object] = {}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._factories
+
+    def __getitem__(self, key: str):
+        if key not in self._values:
+            self._values[key] = self._factories[key]()
+        return self._values[key]
+
+    def get(self, key: str, default=None):
+        return self[key] if key in self._factories else default
+
+    def __setitem__(self, key: str, value) -> None:
+        self._factories[key] = lambda: value
+        self._values[key] = value
+
+    def __iter__(self):
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def keys(self):
+        return self._factories.keys()
+
+    def items(self):
+        return [(key, self[key]) for key in self._factories]
 
 
 @dataclass
@@ -39,16 +90,42 @@ class BenchmarkRun:
     conventional_label: str
     results: Dict[Tuple[str, str], PosteriorResult] = field(default_factory=dict)
     errors: Dict[Tuple[str, str], str] = field(default_factory=dict)
-    programs: Dict[str, A.Program] = field(default_factory=dict)
+    programs: Dict[str, object] = field(default_factory=dict)
     datasets: Dict[str, object] = field(default_factory=dict)
+    _soundness_cache: Dict[Tuple[str, str], float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _shape_cache: Dict[int, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _shared_shape_fn(self):
+        """spec.shape_fn memoized per size — the synthetic shapes for the
+        soundness sweep are identical across the six table cells."""
+        spec_shape = self.spec.shape_fn
+        if spec_shape is None:
+            from ..inference.posterior import default_shape
+
+            spec_shape = default_shape
+        cache = self._shape_cache
+
+        def shape_fn(n: int):
+            if n not in cache:
+                cache[n] = spec_shape(n)
+            return cache[n]
+
+        return shape_fn
 
     def soundness(self, mode: str, method: str) -> Optional[float]:
         result = self.results.get((mode, method))
         if result is None:
             return None
-        return result.soundness_fraction(
-            self.spec.truth, SOUNDNESS_SIZES, self.spec.shape_fn
-        )
+        key = (mode, method)
+        if key not in self._soundness_cache:
+            self._soundness_cache[key] = result.soundness_fraction(
+                self.spec.truth, SOUNDNESS_SIZES, self._shared_shape_fn()
+            )
+        return self._soundness_cache[key]
 
     def runtime(self, mode: str, method: str) -> Optional[float]:
         result = self.results.get((mode, method))
@@ -68,6 +145,66 @@ def conventional_label(spec: BenchmarkSpec, verdict: ConventionalVerdict) -> str
     return f"Bound (degree {verdict.degree})"
 
 
+# ---------------------------------------------------------------------------
+# Assembly: runner outcomes -> BenchmarkRun
+# ---------------------------------------------------------------------------
+
+
+def _lazy_program(spec: BenchmarkSpec, mode: str) -> Callable[[], object]:
+    def build():
+        from ..lang import compile_program
+
+        source = spec.hybrid_source if mode == "hybrid" else spec.data_driven_source
+        return compile_program(source)
+
+    return build
+
+
+def _lazy_dataset(run: BenchmarkRun, spec: BenchmarkSpec, mode: str, seed: int):
+    def build():
+        from ..inference import collect_dataset
+
+        rng = np.random.default_rng(input_seed(seed, spec.name))
+        entry = spec.hybrid_entry if mode == "hybrid" else spec.data_driven_entry
+        return collect_dataset(run.programs[mode], entry, spec.inputs(rng))
+
+    return build
+
+
+def assemble_run(spec: BenchmarkSpec, report: RunnerReport, seed: int) -> BenchmarkRun:
+    """Build one benchmark's :class:`BenchmarkRun` from task outcomes."""
+    by_id = report.outcome_by_id()
+    conv = by_id.get(f"{spec.name}/static/aara")
+    if conv is None or not conv["ok"]:
+        detail = "conventional task missing" if conv is None else conv["error"]
+        raise ReproError(f"conventional AARA failed for {spec.name}: {detail}")
+    verdict = verdict_from_json(conv["verdict"])
+    run = BenchmarkRun(spec, verdict, conventional_label(spec, verdict))
+
+    modes_seen = set()
+    for outcome in report.outcomes:
+        if outcome["benchmark"] != spec.name or outcome["kind"] != "analysis":
+            continue
+        key = (outcome["mode"], outcome["method"])
+        if outcome["ok"]:
+            run.results[key] = result_from_json(outcome["result"])
+        else:
+            run.errors[key] = outcome["error"]
+        modes_seen.add(outcome["mode"])
+
+    programs = LazyMapping({mode: _lazy_program(spec, mode) for mode in modes_seen})
+    run.programs = programs
+    run.datasets = LazyMapping(
+        {mode: _lazy_dataset(run, spec, mode, seed) for mode in modes_seen}
+    )
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
 def run_benchmark(
     spec: BenchmarkSpec,
     config: AnalysisConfig = DEFAULT_CONFIG,
@@ -75,40 +212,23 @@ def run_benchmark(
     methods: Sequence[str] = METHODS,
     modes: Sequence[str] = MODES,
     conventional_max_degree: int = 3,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    runner: Optional[EvalRunner] = None,
 ) -> BenchmarkRun:
     """Run the full Table 1 protocol for one benchmark."""
-    rng = np.random.default_rng(seed)
-    variants = {}
-    variants["data-driven"] = (spec.data_driven_source, spec.data_driven_entry)
-    if spec.hybrid_source is not None:
-        variants["hybrid"] = (spec.hybrid_source, spec.hybrid_entry)
-
-    dd_program = compile_program(spec.data_driven_source)
-    verdict = run_conventional(
-        dd_program, spec.data_driven_entry, max_degree=conventional_max_degree
+    report = run_grid(
+        [spec],
+        config=config,
+        seed=seed,
+        methods=methods,
+        modes=modes,
+        conventional_max_degree=conventional_max_degree,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        runner=runner,
     )
-    run = BenchmarkRun(spec, verdict, conventional_label(spec, verdict))
-    run.programs["data-driven"] = dd_program
-
-    inputs = spec.inputs(rng)
-    for mode in modes:
-        if mode not in variants:
-            continue
-        source, entry = variants[mode]
-        program = run.programs.get(mode) or compile_program(source)
-        run.programs[mode] = program
-        dataset = collect_dataset(program, entry, inputs)
-        run.datasets[mode] = dataset
-        mode_config = spec.config(config, hybrid=(mode == "hybrid"))
-        for method in methods:
-            method_rng = np.random.default_rng(seed + 1000 + hash((mode, method)) % 1000)
-            try:
-                result = run_analysis(program, entry, dataset, mode_config, method, rng=method_rng)
-            except ReproError as exc:
-                run.errors[(mode, method)] = f"{type(exc).__name__}: {exc}"
-                continue
-            run.results[(mode, method)] = result
-    return run
+    return assemble_run(spec, report, seed)
 
 
 def run_table1(
@@ -116,8 +236,26 @@ def run_table1(
     config: AnalysisConfig = DEFAULT_CONFIG,
     seed: int = 0,
     methods: Sequence[str] = METHODS,
+    modes: Sequence[str] = MODES,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    runner: Optional[EvalRunner] = None,
+    metrics_path: Optional[str] = None,
 ) -> List[BenchmarkRun]:
-    return [run_benchmark(spec, config, seed=seed, methods=methods) for spec in specs]
+    """The whole grid in one runner invocation (one shared worker pool)."""
+    report = run_grid(
+        specs,
+        config=config,
+        seed=seed,
+        methods=methods,
+        modes=modes,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        runner=runner,
+    )
+    if metrics_path is not None:
+        report.write_metrics(metrics_path)
+    return [assemble_run(spec, report, seed) for spec in specs]
 
 
 _METHOD_LABEL = {"opt": "Opt", "bayeswc": "BayesWC", "bayespc": "BayesPC"}

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..aara.bound import ResourceBound, synthetic_list
+from ..aara.bound import ResourceBound, shape_features, synthetic_list
 from ..lang.values import Value
 
 ShapeFn = Callable[[int], List[Value]]
@@ -45,11 +45,41 @@ class PosteriorResult:
         """Matrix of bound values, shape (num_bounds, len(sizes))."""
         shape_fn = shape_fn or default_shape
         out = np.empty((len(self.bounds), len(sizes)))
+        coeffs = self._coefficient_matrix()
         for j, n in enumerate(sizes):
             shape = shape_fn(n)  # build the synthetic arguments once per size
-            for i, bound in enumerate(self.bounds):
-                out[i, j] = bound.evaluate(shape)
+            features = (
+                shape_features(shape, self.bounds[0].params)
+                if coeffs is not None
+                else None
+            )
+            if features is not None and features.shape[0] == coeffs.shape[1]:
+                # Φ is linear in the annotation coefficients: one structure
+                # walk per size, a dot product per bound.
+                out[:, j] = coeffs @ features
+            else:
+                for i, bound in enumerate(self.bounds):
+                    out[i, j] = bound.evaluate(shape)
         return out
+
+    def _coefficient_matrix(self) -> Optional[np.ndarray]:
+        """(num_bounds, 1 + num_coeffs) matrix, or None if the bounds do
+        not share one annotation template (they always do in practice —
+        one posterior comes from one program at one degree)."""
+        if not self.bounds:
+            return None
+        reference = self.bounds[0]
+        signature = tuple(ann.simple() for ann in reference.params)
+        width = len(reference.coefficients())
+        rows = []
+        for bound in self.bounds:
+            if (
+                tuple(ann.simple() for ann in bound.params) != signature
+                or len(coeffs := bound.coefficients()) != width
+            ):
+                return None
+            rows.append(coeffs)
+        return np.array(rows)
 
     def soundness_fraction(
         self,

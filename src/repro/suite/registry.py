@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..config import AnalysisConfig
+from ..errors import ReproError
 from ..lang.values import Value
 
 
@@ -80,7 +81,12 @@ def register(spec: BenchmarkSpec) -> BenchmarkSpec:
 
 def get_benchmark(name: str) -> BenchmarkSpec:
     _ensure_loaded()
-    return _REGISTRY[name]
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
 
 
 def benchmark_names() -> List[str]:

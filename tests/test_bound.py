@@ -2,11 +2,12 @@
 
 import pytest
 
-from repro.aara.annot import ABase, AList, AProd
+from repro.aara.annot import ABase, AList, AProd, ASum
 from repro.aara.bound import (
     ResourceBound,
     bound_curve,
     psi,
+    shape_features,
     synthetic_list,
     synthetic_nested_list,
 )
@@ -62,6 +63,58 @@ class TestSyntheticShapes:
 
     def test_synthetic_nested_empty(self):
         assert len(synthetic_nested_list(0, 5).items) == 0
+
+
+class TestShapeFeatures:
+    """The vectorized-evaluation contract: coeffs · features == evaluate."""
+
+    def _check(self, bound, args):
+        features = shape_features(args, bound.params)
+        assert features is not None
+        import numpy as np
+
+        dot = float(np.dot(bound.coefficients(), features))
+        assert dot == pytest.approx(bound.evaluate(args), abs=1e-12)
+
+    def test_flat_list(self):
+        self._check(make_bound(), [synthetic_list(9)])
+
+    def test_multi_argument(self):
+        a1 = AList((LinExpr.constant(1.0),), ABase(A.INT))
+        a2 = AList((LinExpr.constant(3.0), LinExpr.constant(0.25)), ABase(A.INT))
+        bound = ResourceBound("g", (a1, a2), 2.0)
+        self._check(bound, [synthetic_list(2), synthetic_list(5)])
+
+    def test_nested_list_sums_elem_features(self):
+        elem = AList((LinExpr.constant(0.5),), ABase(A.INT))
+        ann = AList((LinExpr.constant(2.0),), elem)
+        bound = ResourceBound("h", (ann,), 0.0)
+        self._check(bound, [synthetic_nested_list(3, 10)])
+
+    def test_empty_nested_list_keeps_layout(self):
+        elem = AList((LinExpr.constant(0.5),), ABase(A.INT))
+        ann = AList((LinExpr.constant(2.0),), elem)
+        bound = ResourceBound("h", (ann,), 1.5)
+        features = shape_features([VList(())], bound.params)
+        assert features is not None
+        assert len(features) == len(bound.coefficients())
+        self._check(bound, [VList(())])
+
+    def test_tuple_argument(self):
+        ann = AProd((ABase(A.INT), AList((LinExpr.constant(2.0),), ABase(A.INT))))
+        bound = ResourceBound("h", (ann,), 0.0)
+        from repro.lang.values import VTuple
+
+        self._check(bound, [VTuple((0, synthetic_list(4)))])
+
+    def test_sum_annotation_falls_back(self):
+        ann = ASum(
+            ABase(A.INT), LinExpr.constant(1.0), ABase(A.INT), LinExpr.constant(2.0)
+        )
+        assert shape_features([synthetic_list(1)], (ann,)) is None
+
+    def test_arity_mismatch_falls_back(self):
+        assert shape_features([], make_bound().params) is None
 
 
 class TestReporting:

@@ -4,7 +4,9 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _random_inputs, main
+from repro.lang import compile_program
+from repro.lang.values import VList
 
 
 @pytest.mark.parametrize("method", ["opt"])
@@ -56,5 +58,82 @@ def test_cli_collect_then_analyze_roundtrip(tmp_path, capsys):
 
 
 def test_cli_bench_unknown_benchmark_errors(capsys):
-    with pytest.raises(KeyError):
-        main(["bench", "NoSuchBenchmark", "--samples", "2"])
+    code = main(["bench", "NoSuchBenchmark", "--samples", "2"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark 'NoSuchBenchmark'" in err
+    assert "Concat" in err  # the error names the available choices
+
+
+def test_cli_bench_parallel_smoke(capsys, tmp_path):
+    """`bench --jobs 2 --cache DIR --metrics PATH` end to end."""
+    metrics_path = tmp_path / "metrics.json"
+    code = main(
+        [
+            "bench",
+            "Round",
+            "--method",
+            "opt",
+            "--samples",
+            "3",
+            "--jobs",
+            "2",
+            "--cache",
+            str(tmp_path / "cache"),
+            "--metrics",
+            str(metrics_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Round" in out and "runner:" in out
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["summary"]["total_tasks"] == 2  # conventional + opt
+    assert all("wall_seconds" in t for t in metrics["tasks"])
+
+    # warm second run: everything comes from the cache
+    code = main(
+        ["bench", "Round", "--method", "opt", "--samples", "3",
+         "--cache", str(tmp_path / "cache")]
+    )
+    assert code == 0
+    assert "2 cache hit(s)" in capsys.readouterr().out
+
+
+class TestRandomInputsRespectTypes:
+    """_random_inputs must follow each parameter's inferred type instead of
+    assuming every argument is an integer list."""
+
+    PROGRAM = compile_program(
+        "let rec len xs = match xs with [] -> 0 | h :: t -> "
+        "let _ = Raml.tick 1.0 in 1 + len t\n"
+        "let g xs b k = Raml.stat (if b then len xs else k)\n"
+    )
+
+    def test_types_per_parameter(self):
+        inputs = _random_inputs(self.PROGRAM, "g", [4, 7], 2, seed=0)
+        assert len(inputs) == 4  # reps x sizes
+        for xs, b, k in inputs:
+            assert isinstance(xs, VList)
+            assert isinstance(b, bool)
+            assert isinstance(k, int) and not isinstance(k, bool)
+        assert len(inputs[0][0].items) == 4 and len(inputs[1][0].items) == 7
+
+    def test_deterministic_in_seed(self):
+        a = _random_inputs(self.PROGRAM, "g", [4], 1, seed=3)
+        b = _random_inputs(self.PROGRAM, "g", [4], 1, seed=3)
+        assert a == b
+
+    def test_collect_roundtrip_with_non_list_params(self, tmp_path, capsys):
+        src = tmp_path / "p.ml"
+        src.write_text(
+            "let rec len xs = match xs with [] -> 0 | h :: t -> "
+            "let _ = Raml.tick 1.0 in 1 + len t\n"
+            "let g xs b k = Raml.stat (if b then len xs else k)\n"
+        )
+        data = tmp_path / "data.json"
+        code = main(
+            ["collect", str(src), "--entry", "g", "--sizes", "2:8:2", "--out", str(data)]
+        )
+        assert code == 0
+        assert json.loads(data.read_text())["version"] == 1

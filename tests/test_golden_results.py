@@ -1,0 +1,98 @@
+"""Golden-result regression tests for the evaluation harness.
+
+Small fixed-seed posterior summaries for two cheap benchmarks are
+committed under ``tests/golden/``; the runner must reproduce them
+exactly (posterior coefficients within float tolerance, soundness
+fractions exactly).  Any change to seeding, samplers, the LP pipeline,
+or the runner's task decomposition that alters the posteriors shows up
+here — bump the goldens deliberately by re-running this file with
+``--regen`` (``PYTHONPATH=src python tests/test_golden_results.py --regen``).
+
+Between them the two benchmarks cover all three methods and both modes:
+Concat has a hybrid variant (opt + bayeswc), BubbleSort is data-driven
+only (opt + bayespc, the reflective-HMC path).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.evalharness import run_benchmark
+from repro.suite import get_benchmark
+
+pytestmark = pytest.mark.slow
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SAMPLES = 5
+SEED = 0
+
+#: benchmark -> (golden file, methods)
+CASES = {
+    "Concat": ("concat.json", ("opt", "bayeswc")),
+    "BubbleSort": ("bubble_sort.json", ("opt", "bayespc")),
+}
+
+
+def _summarize(name: str, methods) -> dict:
+    config = AnalysisConfig(num_posterior_samples=SAMPLES, seed=SEED)
+    run = run_benchmark(get_benchmark(name), config, seed=SEED, methods=methods)
+    cells = {}
+    for (mode, method), result in sorted(run.results.items()):
+        cells[f"{mode}/{method}"] = {
+            "num_bounds": result.num_bounds,
+            "failures": result.failures,
+            "median_coefficients": result.median_coefficients(),
+            "soundness": run.soundness(mode, method),
+        }
+    return {
+        "benchmark": name,
+        "seed": SEED,
+        "samples": SAMPLES,
+        "methods": list(methods),
+        "conventional": run.conventional_label,
+        "errors": {f"{m}/{k}": v for (m, k), v in sorted(run.errors.items())},
+        "cells": cells,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_posterior_summary(name):
+    path, methods = CASES[name]
+    golden = json.loads((GOLDEN_DIR / path).read_text())
+    actual = _summarize(name, methods)
+
+    assert actual["conventional"] == golden["conventional"]
+    assert actual["errors"] == golden["errors"]
+    assert sorted(actual["cells"]) == sorted(golden["cells"])
+    for cell, expected in golden["cells"].items():
+        got = actual["cells"][cell]
+        assert got["num_bounds"] == expected["num_bounds"], cell
+        assert got["failures"] == expected["failures"], cell
+        np.testing.assert_allclose(
+            got["median_coefficients"],
+            expected["median_coefficients"],
+            rtol=1e-6,
+            atol=1e-9,
+            err_msg=f"{name} {cell} median coefficients drifted",
+        )
+        assert got["soundness"] == pytest.approx(expected["soundness"], abs=1e-9), cell
+
+
+def regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, (path, methods) in CASES.items():
+        summary = _summarize(name, methods)
+        (GOLDEN_DIR / path).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {GOLDEN_DIR / path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regen()
+    else:
+        print("usage: python tests/test_golden_results.py --regen")

@@ -104,6 +104,7 @@ class TestReflectiveDrift:
         assert refl >= 2
 
 
+@pytest.mark.slow
 class TestReflectiveHMC:
     def test_uniform_box_moments(self):
         poly = box_polytope()

@@ -140,6 +140,7 @@ class TestBayesWC:
         assert min(b.evaluate([synthetic_list(n)]) for b in wc.bounds) >= opt_val - 1e-4
 
 
+@pytest.mark.slow
 class TestBayesPC:
     def test_dd_posterior_dominates_data(self, dd_setup):
         prog, dataset, inputs = dd_setup
