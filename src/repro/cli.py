@@ -143,9 +143,18 @@ def cmd_static(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    import os
+    import tempfile
+
     from .evalharness import EvalRunner, RunnerReport, render_gap_table, render_table1, run_table1
+    from .faultinject import ENV_SPEC, ENV_STATE
     from .suite import all_benchmarks
 
+    if args.faults:
+        # Chaos-testing mode: activate the fault plan for this process and
+        # every worker it forks (they inherit the environment).
+        os.environ[ENV_SPEC] = args.faults
+        os.environ.setdefault(ENV_STATE, tempfile.mkdtemp(prefix="repro-faults-"))
     if args.benchmark == "all":
         specs = all_benchmarks()
     else:
@@ -155,16 +164,25 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=args.cache,
+        task_timeout=args.task_timeout,
+        keep_going=not args.fail_fast,
     )
     methods = [args.method] if args.method != "all" else ("opt", "bayeswc", "bayespc")
-    with EvalRunner(jobs=args.jobs, cache_dir=args.cache) as runner:
+    with EvalRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        task_timeout=args.task_timeout,
+        fail_fast=args.fail_fast,
+    ) as runner:
         runs = run_table1(specs, config, seed=args.seed, methods=methods, runner=runner)
         print(render_table1(runs))
+        failed_cells = 0
         for run in runs:
             print()
             print(render_gap_table(run))
             for key, message in run.errors.items():
                 print(f"error {key}: {message}")
+            failed_cells += len(run.failures)
         if runner.history:
             metrics = {
                 "tasks": len(runner.history),
@@ -190,6 +208,18 @@ def cmd_bench(args) -> int:
             except OSError as exc:
                 raise ReproError(f"cannot write metrics to {args.metrics}: {exc}")
             print(f"per-task metrics -> {args.metrics}")
+    if failed_cells:
+        # Under --fail-fast a mid-run abort already surfaced as ReproError
+        # (exit 2); this branch covers failures that slipped through before
+        # the abort fired or when every task had already been submitted.
+        if args.fail_fast:
+            print(f"error: {failed_cells} cell(s) failed", file=sys.stderr)
+            return 1
+        print(
+            f"warning: {failed_cells} cell(s) failed; remaining cells are "
+            "unaffected (see footnotes above)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -238,6 +268,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
     bench.add_argument("--cache", default=None, help="on-disk result cache directory")
     bench.add_argument("--metrics", default=None, help="write per-task metrics JSON here")
+    bench.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock watchdog in seconds (default: none)",
+    )
+    failmode = bench.add_mutually_exclusive_group()
+    failmode.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the whole run on the first failed cell (exit nonzero)",
+    )
+    failmode.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="render partial tables with footnoted failures (default)",
+    )
+    bench.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection spec (see repro.faultinject), e.g. "
+        "'worker-crash:match=QuickSort/*:count=1'",
+    )
     bench.set_defaults(func=cmd_bench)
 
     return parser

@@ -72,6 +72,10 @@ class AnalysisConfig:
     jobs: int = 1
     #: on-disk result cache directory for the task runner (None = off)
     cache_dir: Optional[str] = None
+    #: per-task wall-clock watchdog in seconds (None = no watchdog)
+    task_timeout: Optional[float] = None
+    #: False aborts the whole run on the first failed cell (--fail-fast)
+    keep_going: bool = True
 
     def with_(self, **kwargs) -> "AnalysisConfig":
         return replace(self, **kwargs)

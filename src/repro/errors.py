@@ -64,5 +64,45 @@ class InferenceError(ReproError):
     """Raised when Bayesian inference cannot be run (e.g. empty polytope)."""
 
 
+class SamplerDivergenceError(InferenceError):
+    """Raised when an MCMC chain stays fully divergent after every
+    self-healing restart (NaN log-densities, exploding trajectories)."""
+
+
 class DatasetError(ReproError):
     """Raised for malformed or empty runtime-cost datasets."""
+
+
+class TaskTimeoutError(ReproError):
+    """Raised/recorded when an evaluation task exceeds its wall-clock
+    watchdog budget (``--task-timeout``) on every attempt."""
+
+
+def failure_stage(exc: BaseException) -> str:
+    """Pipeline stage responsible for an exception (error provenance).
+
+    Used by the evaluation harness to record *where* a grid cell failed
+    (``lp``, ``sampler``, ``static``, ``runner``, …) alongside the error
+    class, so partial reports can footnote failures precisely.  The order
+    of the checks matters: subclasses must be tested before their bases
+    (e.g. ``InfeasibleError`` before ``StaticAnalysisError``).
+    """
+    if isinstance(exc, TaskTimeoutError):
+        return "runner"
+    if isinstance(exc, (LPError, InfeasibleError)):
+        return "lp"
+    if isinstance(exc, SamplerDivergenceError):
+        return "sampler"
+    if isinstance(exc, StaticAnalysisError):
+        return "static"
+    if isinstance(exc, DatasetError):
+        return "data"
+    if isinstance(exc, InferenceError):
+        return "inference"
+    if isinstance(exc, SourceError):
+        return "frontend"
+    if isinstance(exc, EvalError):
+        return "eval"
+    if isinstance(exc, ReproError):
+        return "analysis"
+    return "worker"

@@ -98,6 +98,20 @@ def fig6_curves(run: BenchmarkRun, sizes: Sequence[int]) -> List[CurveSeries]:
     return out
 
 
+def failed_panels(run: BenchmarkRun) -> List[Tuple[str, str, Dict[str, object]]]:
+    """Provenance for the panels :func:`fig6_curves` had to skip.
+
+    Returns ``(mode, method, failure)`` triples so figure consumers can
+    footnote missing panels instead of silently dropping them.
+    """
+    out: List[Tuple[str, str, Dict[str, object]]] = []
+    for mode in MODES:
+        for method in METHODS:
+            if (mode, method) in run.errors:
+                out.append((mode, method, dict(run.failures.get((mode, method)) or {})))
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Fig. 7: multivariate bound surfaces for MapAppend
 # ---------------------------------------------------------------------------

@@ -58,9 +58,10 @@ def render_gap_table(run: BenchmarkRun, sizes: Sequence[int] = GAP_SIZES) -> str
     )
     lines = [f"Relative estimation gaps — {run.spec.name}", header, "-" * len(header)]
 
-    def fmt(cell: Optional[GapCell], p: int) -> str:
+    def fmt(cell: Optional[GapCell], p: int, mode: str, method: str) -> str:
         if cell is None:
-            return "∅"
+            # distinguish "this cell failed" from "this cell was not run"
+            return "ERR" if (mode, method) in run.errors else "∅"
         return f"{cell.percentiles[p]:.2f}"
 
     for size in sizes:
@@ -70,8 +71,12 @@ def render_gap_table(run: BenchmarkRun, sizes: Sequence[int] = GAP_SIZES) -> str
             label = str(size) if i == 0 else ""
             lines.append(
                 f"{label:>6s} {_METHOD_LABEL[method]:8s} | "
-                f"{fmt(dd, 5):>9s} {fmt(dd, 50):>9s} {fmt(dd, 95):>9s} | "
-                f"{fmt(hy, 5):>9s} {fmt(hy, 50):>9s} {fmt(hy, 95):>9s}"
+                f"{fmt(dd, 5, 'data-driven', method):>9s} "
+                f"{fmt(dd, 50, 'data-driven', method):>9s} "
+                f"{fmt(dd, 95, 'data-driven', method):>9s} | "
+                f"{fmt(hy, 5, 'hybrid', method):>9s} "
+                f"{fmt(hy, 50, 'hybrid', method):>9s} "
+                f"{fmt(hy, 95, 'hybrid', method):>9s}"
             )
     return "\n".join(lines)
 

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from .gaps import benchmark_gaps
 from .paper_reference import PAPER_CONVENTIONAL, PAPER_GAPS, PAPER_TABLE1
-from .table1 import METHODS, BenchmarkRun, _METHOD_LABEL
+from .table1 import METHODS, BenchmarkRun, _METHOD_LABEL, failure_note
 
 
 def _fmt_pct(value: Optional[float]) -> str:
@@ -61,17 +61,48 @@ def table1_markdown(runs: Sequence[BenchmarkRun]) -> str:
             agree = _agreement(p_dd, o_dd_pct) + _agreement(p_hy, o_hy_pct)
             dd_t = run.runtime("data-driven", method)
             hy_t = run.runtime("hybrid", method)
+            o_dd_str = "ERR" if ("data-driven", method) in run.errors else _fmt_pct(o_dd_pct)
+            o_hy_str = "ERR" if ("hybrid", method) in run.errors else _fmt_pct(o_hy_pct)
             lines.append(
                 f"| {name if i == 0 else ''} "
                 f"| {(paper_conv + ' / ' + run.conventional_label) if i == 0 else ''} "
                 f"| {_METHOD_LABEL[method]} "
-                f"| {_fmt_pct(p_dd)} / {_fmt_pct(o_dd_pct)} "
-                f"| {_fmt_pct(p_hy)} / {_fmt_pct(o_hy_pct)} "
+                f"| {_fmt_pct(p_dd)} / {o_dd_str} "
+                f"| {_fmt_pct(p_hy)} / {o_hy_str} "
                 f"| {agree} "
                 f"| {'-' if dd_t is None else f'{dd_t:.2f}s'} "
                 f"| {'-' if hy_t is None else f'{hy_t:.2f}s'} |"
             )
     return "\n".join(lines)
+
+
+def failures_markdown(runs: Sequence[BenchmarkRun]) -> str:
+    """A provenance table for every failed cell (empty string if none)."""
+    rows = []
+    for run in runs:
+        for key in sorted(run.failures):
+            failure = run.failures[key]
+            rows.append(
+                f"| {run.spec.name}/{key[0]}/{key[1]} "
+                f"| {failure.get('outcome', 'error')} "
+                f"| {failure.get('stage', '?')} "
+                f"| {failure.get('error_class', '?')} "
+                f"| {failure.get('attempts', '?')} |"
+            )
+    if not rows:
+        return ""
+    return "\n".join(
+        [
+            "## Failures",
+            "",
+            "These cells did not produce a result; all other cells are "
+            "unaffected (cells are computed independently).",
+            "",
+            "| Cell | Outcome | Stage | Error class | Attempts |",
+            "|---|---|---|---|---|",
+            *rows,
+        ]
+    )
 
 
 def gaps_markdown(run: BenchmarkRun, sizes=(10, 1000)) -> str:
@@ -119,5 +150,9 @@ def markdown_report(runs: Sequence[BenchmarkRun], samples: int, seed: int) -> st
     ]
     for run in runs:
         chunks.append(gaps_markdown(run))
+        chunks.append("")
+    failures = failures_markdown(runs)
+    if failures:
+        chunks.append(failures)
         chunks.append("")
     return "\n".join(chunks)

@@ -22,16 +22,20 @@ import hashlib
 import json
 import os
 import resource
+import signal
+import tempfile
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from .. import faultinject
 from ..config import AnalysisConfig, DEFAULT_CONFIG
-from ..errors import ReproError
+from ..errors import ReproError, TaskTimeoutError, failure_stage
 
 #: the canonical Table 1 grid axes — the single source of truth for the
 #: whole evalharness (table1/curves/gaps import these)
@@ -40,7 +44,17 @@ MODES = ("data-driven", "hybrid")
 
 #: bump whenever an analysis-affecting code change should invalidate the
 #: on-disk result cache
-CACHE_VERSION = 1
+CACHE_VERSION = 2
+
+
+class _WatchdogExpired(BaseException):
+    """Raised by the serial watchdog's SIGALRM handler.
+
+    Derives from :class:`BaseException` on purpose: the worker body
+    (``execute_task``) converts any ``Exception`` into a recorded error
+    outcome, which would swallow the timeout — a watchdog expiry must
+    always reach the runner's retry loop.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -220,8 +234,19 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
     per-cell outcome and is recorded, not raised; any other exception is
     captured as an error outcome so a deterministic bug in one cell
     cannot poison the pool or trigger pointless retries.
+
+    Outcomes carry error provenance: ``outcome`` is one of ``ok`` /
+    ``error`` / ``crash`` / ``timeout``, and failed cells get a
+    ``failure`` dict recording the pipeline stage, the error class, the
+    attempt count (patched in by the runner) and the elapsed time.
     """
     from ..suite import get_benchmark
+
+    # fault-injection points sit *outside* the try block: an injected
+    # crash must look like a real worker death (retried by the runner),
+    # not like a recorded per-cell analysis error
+    faultinject.fault_point(faultinject.WORKER_CRASH, task.task_id)
+    faultinject.fault_point(faultinject.WORKER_HANG, task.task_id)
 
     started = time.perf_counter()
     outcome: Dict[str, Any] = {
@@ -232,7 +257,9 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
         "method": task.method,
         "seed": task.seed,
         "ok": False,
+        "outcome": "ok",
         "error": None,
+        "failure": None,
         "result": None,
         "verdict": None,
     }
@@ -262,8 +289,22 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
             outcome["ok"] = True
     except ReproError as exc:
         outcome["error"] = f"{type(exc).__name__}: {exc}"
+        outcome["outcome"] = "error"
+        outcome["failure"] = {
+            "stage": failure_stage(exc),
+            "error_class": type(exc).__name__,
+            "attempts": 1,
+            "elapsed": time.perf_counter() - started,
+        }
     except Exception as exc:  # deterministic crash: report, don't retry
         outcome["error"] = f"crash {type(exc).__name__}: {exc}"
+        outcome["outcome"] = "crash"
+        outcome["failure"] = {
+            "stage": failure_stage(exc),
+            "error_class": type(exc).__name__,
+            "attempts": 1,
+            "elapsed": time.perf_counter() - started,
+        }
     outcome["metrics"] = {
         "wall_seconds": time.perf_counter() - started,
         "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
@@ -282,6 +323,8 @@ def _config_signature(config: AnalysisConfig) -> Dict[str, Any]:
     signature = dataclasses.asdict(config)
     signature.pop("jobs", None)
     signature.pop("cache_dir", None)
+    signature.pop("task_timeout", None)
+    signature.pop("keep_going", None)
     return signature
 
 
@@ -359,9 +402,26 @@ class ResultCache:
     def store(self, task: EvalTask, outcome: Dict[str, Any]) -> None:
         key = self.key(task)
         payload = {"cache_version": CACHE_VERSION, "key": key, "outcome": outcome}
-        tmp = self.path(key).with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, self.path(key))
+        blob = json.dumps(payload)
+        final = self.path(key)
+        if faultinject.fault_point(faultinject.CACHE_TORN, task.task_id):
+            # injected torn write: a truncated entry at the *final* path,
+            # as a crashed non-atomic writer would have left behind
+            final.write_text(blob[: max(1, len(blob) // 3)])
+            return
+        # atomic publish: unique temp file in the same directory, then
+        # rename — concurrent writers can race but never tear an entry
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=key[:16], suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def wipe(self) -> int:
         """Delete all entries; returns the number removed."""
@@ -404,7 +464,9 @@ class RunnerReport:
                 method=outcome["method"],
                 seed=outcome["seed"],
                 ok=outcome["ok"],
+                outcome=outcome.get("outcome", "ok" if outcome["ok"] else "error"),
                 error=outcome["error"],
+                failure=outcome.get("failure"),
             )
             entries.append(metrics)
         hits = sum(1 for e in entries if e.get("cache_hit"))
@@ -416,6 +478,7 @@ class RunnerReport:
             "summary": {
                 "total_tasks": len(entries),
                 "errors": sum(1 for e in entries if not e["ok"]),
+                "timeouts": sum(1 for e in entries if e.get("outcome") == "timeout"),
                 "cache_hits": hits,
                 "cache_misses": len(entries) - hits,
                 # cache hits have attempts == 0: they ran nothing, so they
@@ -439,6 +502,14 @@ class EvalRunner:
     worker, a poisoned pool) are retried with exponential backoff up to
     ``max_retries`` times; deterministic analysis failures are captured
     inside the worker and never retried.
+
+    ``task_timeout`` arms a per-task wall-clock watchdog: in serial mode
+    a ``SIGALRM`` timer interrupts the task; in pool mode an overdue
+    future's worker is killed, the pool is replaced, and unrelated
+    in-flight tasks are resubmitted without burning one of their
+    attempts.  A task that times out on every attempt is recorded with a
+    ``timeout`` outcome.  ``fail_fast`` aborts the whole run with a
+    :class:`ReproError` on the first failed cell instead of recording it.
     """
 
     def __init__(
@@ -448,12 +519,16 @@ class EvalRunner:
         max_retries: int = 2,
         backoff_seconds: float = 0.05,
         task_fn: Callable[[EvalTask], Dict[str, Any]] = execute_task,
+        task_timeout: Optional[float] = None,
+        fail_fast: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs or 1))
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.max_retries = max(0, int(max_retries))
         self.backoff_seconds = backoff_seconds
         self.task_fn = task_fn
+        self.task_timeout = float(task_timeout) if task_timeout else None
+        self.fail_fast = bool(fail_fast)
         self._executor: Optional[ProcessPoolExecutor] = None
         self.history: List[Dict[str, Any]] = []  # all outcomes ever run
 
@@ -522,6 +597,7 @@ class EvalRunner:
         return report
 
     def _failure_outcome(self, task: EvalTask, exc: BaseException, attempts: int) -> Dict[str, Any]:
+        kind = "timeout" if isinstance(exc, TaskTimeoutError) else "crash"
         return {
             "task": task.task_id,
             "kind": task.kind,
@@ -530,33 +606,99 @@ class EvalRunner:
             "method": task.method,
             "seed": task.seed,
             "ok": False,
+            "outcome": kind,
             "error": f"task failed after {attempts} attempt(s): {type(exc).__name__}: {exc}",
+            "failure": {
+                "stage": failure_stage(exc),
+                "error_class": type(exc).__name__,
+                "attempts": attempts,
+                "elapsed": 0.0,
+            },
             "result": None,
             "verdict": None,
             "metrics": {"wall_seconds": 0.0, "max_rss_kb": 0, "pid": os.getpid()},
         }
 
+    def _record(self, results, task: EvalTask, outcome: Dict[str, Any], attempts: int) -> None:
+        """File one finished outcome (patches attempt counts, honors fail-fast)."""
+        outcome.setdefault("metrics", {})["attempts"] = attempts
+        if outcome.get("failure"):
+            outcome["failure"]["attempts"] = attempts
+        results[task] = outcome
+        if self.fail_fast and not outcome["ok"]:
+            raise ReproError(
+                f"aborting (--fail-fast): task {task.task_id} failed: {outcome['error']}"
+            )
+
     def _backoff(self, attempt: int) -> None:
         if self.backoff_seconds > 0:
-            time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+            time.sleep(self.backoff_seconds * (2 ** (max(attempt, 1) - 1)))
+
+    def _timeout_error(self, task: EvalTask) -> TaskTimeoutError:
+        return TaskTimeoutError(
+            f"task {task.task_id} exceeded the {self.task_timeout:g}s watchdog"
+        )
+
+    def _call_with_watchdog(self, task: EvalTask) -> Dict[str, Any]:
+        """Run the task under a SIGALRM wall-clock watchdog (serial mode)."""
+
+        def _expire(_signum, _frame):
+            raise _WatchdogExpired()
+
+        previous = signal.signal(signal.SIGALRM, _expire)
+        signal.setitimer(signal.ITIMER_REAL, self.task_timeout)
+        try:
+            return self.task_fn(task)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
     def _run_serial(self, tasks: Sequence[EvalTask]) -> Dict[EvalTask, Dict[str, Any]]:
         results: Dict[EvalTask, Dict[str, Any]] = {}
+        # SIGALRM only works on the main thread; elsewhere (tests driving
+        # the runner from a worker thread) the serial watchdog is inert
+        use_watchdog = (
+            self.task_timeout is not None
+            and threading.current_thread() is threading.main_thread()
+        )
         for task in tasks:
             attempts = 0
             while True:
                 attempts += 1
                 try:
-                    outcome = self.task_fn(task)
+                    outcome = self._call_with_watchdog(task) if use_watchdog else self.task_fn(task)
                     break
+                except _WatchdogExpired:
+                    if attempts > self.max_retries:
+                        outcome = self._failure_outcome(task, self._timeout_error(task), attempts)
+                        break
+                    self._backoff(attempts)
                 except Exception as exc:
                     if attempts > self.max_retries:
                         outcome = self._failure_outcome(task, exc, attempts)
                         break
                     self._backoff(attempts)
-            outcome.setdefault("metrics", {})["attempts"] = attempts
-            results[task] = outcome
+            self._record(results, task, outcome, attempts)
         return results
+
+    def _kill_executor(self) -> None:
+        """Kill every pool worker outright and discard the executor.
+
+        Used when a worker hangs: ``shutdown`` alone would block on the
+        stuck process, so the workers are SIGKILLed first.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def _run_pool(self, tasks: Sequence[EvalTask]) -> Dict[EvalTask, Dict[str, Any]]:
         results: Dict[EvalTask, Dict[str, Any]] = {}
@@ -564,34 +706,72 @@ class EvalRunner:
         queue = list(tasks)
         while queue:
             executor = self._ensure_executor()
-            futures = {}
+            futures: Dict[Future, EvalTask] = {}
+            deadlines: Dict[Future, float] = {}
             broken = False
             for task in queue:
                 attempts[task] += 1
                 try:
-                    futures[executor.submit(self.task_fn, task)] = task
+                    future = executor.submit(self.task_fn, task)
                 except Exception:  # pool already broken: resubmit next round
                     broken = True
                     attempts[task] -= 1
                     break
-            submitted = set(futures.values())
-            retry: List[EvalTask] = [t for t in queue if t not in submitted]
+                futures[future] = task
+                if self.task_timeout is not None:
+                    deadlines[future] = time.monotonic() + self.task_timeout
+            # O(1) membership via task ids (EvalTask hashing walks the
+            # whole nested config dataclass — too hot for a rescan)
+            submitted_ids: Set[str] = {t.task_id for t in futures.values()}
+            retry: List[EvalTask] = [t for t in queue if t.task_id not in submitted_ids]
             not_done = set(futures)
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                timeout = None
+                if deadlines:
+                    nearest = min(deadlines[f] for f in not_done)
+                    timeout = max(0.0, nearest - time.monotonic())
+                done, not_done = wait(not_done, timeout=timeout, return_when=FIRST_COMPLETED)
                 for future in done:
                     task = futures[future]
                     try:
                         outcome = future.result()
-                        outcome.setdefault("metrics", {})["attempts"] = attempts[task]
-                        results[task] = outcome
                     except Exception as exc:
                         broken = True
                         if attempts[task] > self.max_retries:
-                            results[task] = self._failure_outcome(task, exc, attempts[task])
-                            results[task]["metrics"]["attempts"] = attempts[task]
+                            self._record(
+                                results, task, self._failure_outcome(task, exc, attempts[task]),
+                                attempts[task],
+                            )
                         else:
                             retry.append(task)
+                    else:
+                        self._record(results, task, outcome, attempts[task])
+                if deadlines and not_done:
+                    now = time.monotonic()
+                    overdue = {f for f in not_done if deadlines[f] <= now}
+                    if overdue:
+                        # a hung worker cannot be cancelled individually:
+                        # kill the whole pool, time out the overdue tasks,
+                        # and resubmit the innocent in-flight ones for free
+                        for future in overdue:
+                            task = futures[future]
+                            if attempts[task] > self.max_retries:
+                                self._record(
+                                    results, task,
+                                    self._failure_outcome(
+                                        task, self._timeout_error(task), attempts[task]
+                                    ),
+                                    attempts[task],
+                                )
+                            else:
+                                retry.append(task)
+                        for future in not_done - overdue:
+                            innocent = futures[future]
+                            attempts[innocent] -= 1  # not their fault
+                            retry.append(innocent)
+                        self._kill_executor()
+                        broken = True
+                        not_done = set()
             queue = retry
             if queue:
                 if broken:
@@ -635,5 +815,7 @@ def run_grid(
     with EvalRunner(
         jobs=jobs if jobs is not None else config.jobs,
         cache_dir=cache_dir if cache_dir is not None else config.cache_dir,
+        task_timeout=config.task_timeout,
+        fail_fast=not config.keep_going,
     ) as owned:
         return owned.run_tasks(tasks)

@@ -90,6 +90,10 @@ class BenchmarkRun:
     conventional_label: str
     results: Dict[Tuple[str, str], PosteriorResult] = field(default_factory=dict)
     errors: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: per-cell error provenance for failed cells, keyed like ``errors``
+    #: (plus ``('static', 'aara')`` for a failed conventional verdict):
+    #: {stage, error_class, attempts, elapsed}
+    failures: Dict[Tuple[str, str], Dict[str, object]] = field(default_factory=dict)
     programs: Dict[str, object] = field(default_factory=dict)
     datasets: Dict[str, object] = field(default_factory=dict)
     _soundness_cache: Dict[Tuple[str, str], float] = field(
@@ -134,6 +138,8 @@ class BenchmarkRun:
 
 def conventional_label(spec: BenchmarkSpec, verdict: ConventionalVerdict) -> str:
     """Map a verdict to the paper's Table 1 wording."""
+    if verdict.status == "error":
+        return "ERR"
     if verdict.status == "cannot-analyze":
         return "Cannot Analyze"
     if verdict.status == "infeasible":
@@ -171,15 +177,38 @@ def _lazy_dataset(run: BenchmarkRun, spec: BenchmarkSpec, mode: str, seed: int):
     return build
 
 
+def _outcome_failure(outcome: Dict) -> Dict[str, object]:
+    failure = outcome.get("failure") or {}
+    return {
+        "stage": failure.get("stage", "worker"),
+        "error_class": failure.get("error_class", "Error"),
+        "attempts": failure.get("attempts", outcome.get("metrics", {}).get("attempts", 1)),
+        "elapsed": failure.get("elapsed", 0.0),
+        "outcome": outcome.get("outcome", "error"),
+    }
+
+
 def assemble_run(spec: BenchmarkSpec, report: RunnerReport, seed: int) -> BenchmarkRun:
-    """Build one benchmark's :class:`BenchmarkRun` from task outcomes."""
+    """Build one benchmark's :class:`BenchmarkRun` from task outcomes.
+
+    Failed cells never abort assembly: a failed conventional verdict is
+    rendered as an ``ERR`` label and every failed analysis cell keeps its
+    error string plus provenance in ``errors`` / ``failures``, so partial
+    grids still produce a (footnoted) table.
+    """
     by_id = report.outcome_by_id()
     conv = by_id.get(f"{spec.name}/static/aara")
-    if conv is None or not conv["ok"]:
-        detail = "conventional task missing" if conv is None else conv["error"]
-        raise ReproError(f"conventional AARA failed for {spec.name}: {detail}")
-    verdict = verdict_from_json(conv["verdict"])
-    run = BenchmarkRun(spec, verdict, conventional_label(spec, verdict))
+    if conv is None:
+        raise ReproError(f"conventional AARA task missing for {spec.name}")
+    if conv["ok"]:
+        verdict = verdict_from_json(conv["verdict"])
+        run = BenchmarkRun(spec, verdict, conventional_label(spec, verdict))
+    else:
+        verdict = ConventionalVerdict(
+            status="error", bound=None, degree=0, detail=conv["error"] or ""
+        )
+        run = BenchmarkRun(spec, verdict, conventional_label(spec, verdict))
+        run.failures[("static", "aara")] = _outcome_failure(conv)
 
     modes_seen = set()
     for outcome in report.outcomes:
@@ -190,6 +219,7 @@ def assemble_run(spec: BenchmarkSpec, report: RunnerReport, seed: int) -> Benchm
             run.results[key] = result_from_json(outcome["result"])
         else:
             run.errors[key] = outcome["error"]
+            run.failures[key] = _outcome_failure(outcome)
         modes_seen.add(outcome["mode"])
 
     programs = LazyMapping({mode: _lazy_program(spec, mode) for mode in modes_seen})
@@ -261,21 +291,50 @@ def run_table1(
 _METHOD_LABEL = {"opt": "Opt", "bayeswc": "BayesWC", "bayespc": "BayesPC"}
 
 
+def failure_note(run: BenchmarkRun, key: Tuple[str, str]) -> str:
+    """One human-readable provenance line for a failed cell."""
+    mode, method = key
+    failure = run.failures.get(key) or {}
+    stage = failure.get("stage", "unknown")
+    error_class = failure.get("error_class", "Error")
+    attempts = failure.get("attempts", "?")
+    detail = f"{stage} stage, {error_class}, {attempts} attempt(s)"
+    elapsed = failure.get("elapsed")
+    if isinstance(elapsed, (int, float)) and elapsed > 0:
+        detail += f", {elapsed:.1f}s"
+    return f"{run.spec.name}/{mode}/{method} — {detail}"
+
+
 def render_table1(runs: Sequence[BenchmarkRun]) -> str:
-    """Text rendering in the layout of the paper's Table 1."""
+    """Text rendering in the layout of the paper's Table 1.
+
+    Failed cells render as ``ERR[n]`` and the table ends with a
+    ``Failures:`` block resolving each footnote to its provenance
+    (pipeline stage, error class, attempts, elapsed time).
+    """
     header = (
         f"{'Benchmark':17s} {'Conventional':15s} {'Method':8s} "
         f"{'DD sound':>9s} {'Hy sound':>9s} {'DD time':>8s} {'Hy time':>8s}"
     )
     lines = [header, "-" * len(header)]
+    notes: List[str] = []
+
+    def footnote(run: BenchmarkRun, key: Tuple[str, str]) -> str:
+        notes.append(failure_note(run, key))
+        return f"ERR[{len(notes)}]"
+
     for run in runs:
         for i, method in enumerate(METHODS):
             name = run.spec.name if i == 0 else ""
-            conv = run.conventional_label if i == 0 else ""
+            conv = ""
+            if i == 0:
+                conv = run.conventional_label
+                if ("static", "aara") in run.failures:
+                    conv = footnote(run, ("static", "aara"))
 
             def cell_sound(mode: str) -> str:
                 if (mode, method) in run.errors:
-                    return "ERR"
+                    return footnote(run, (mode, method))
                 value = run.soundness(mode, method)
                 if value is None:
                     return "Cannot" if mode == "hybrid" and run.spec.hybrid_source is None else "-"
@@ -290,4 +349,8 @@ def render_table1(runs: Sequence[BenchmarkRun]) -> str:
                 f"{cell_sound('data-driven'):>9s} {cell_sound('hybrid'):>9s} "
                 f"{cell_time('data-driven'):>8s} {cell_time('hybrid'):>8s}"
             )
+    if notes:
+        lines.append("")
+        lines.append("Failures:")
+        lines.extend(f"  [{i}] {note}" for i, note in enumerate(notes, 1))
     return "\n".join(lines)

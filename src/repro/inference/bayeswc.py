@@ -21,7 +21,7 @@ robustness properties of Eq. (5.7) (Proposition 5.1).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -183,6 +183,9 @@ class WorstCaseSamples:
     samples: Dict[SizeKey, np.ndarray]  # each array has length M
     theta_draws: np.ndarray
     accept_rate: float
+    divergences: int = 0
+    retries: int = 0
+    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def num_samples(self) -> int:
@@ -227,9 +230,13 @@ def infer_worst_case_samples(
     if sampler.algorithm == "nuts":
         from ..stats.nuts import nuts_sample_chains
 
-        result = nuts_sample_chains(model.logdensity_and_grad, initials, hmc_config, rng)
+        result = nuts_sample_chains(
+            model.logdensity_and_grad, initials, hmc_config, rng, fault_key=ds.label
+        )
     else:
-        result = hmc_sample_chains(model.logdensity_and_grad, initials, hmc_config, rng)
+        result = hmc_sample_chains(
+            model.logdensity_and_grad, initials, hmc_config, rng, fault_key=ds.label
+        )
     draws = result.samples
     idx = np.linspace(0, draws.shape[0] - 1, M).astype(int)
     thetas = draws[idx]
@@ -252,4 +259,12 @@ def infer_worst_case_samples(
             # the observed maximum (Eq. 5.7, left)
             out[j] = max(math.exp(min(y, 700.0)) - shift, cmax)
         samples[key] = out
-    return WorstCaseSamples(ds.label, samples, thetas, result.accept_rate)
+    return WorstCaseSamples(
+        ds.label,
+        samples,
+        thetas,
+        result.accept_rate,
+        divergences=result.divergences,
+        retries=result.retries,
+        chain_diagnostics=list(result.chain_diagnostics),
+    )

@@ -197,7 +197,10 @@ def run_opt(
         mode=classify_mode(program, fname),
         bounds=[result.bound],
         runtime_seconds=elapsed,
-        diagnostics={"gap": result.solution.objective_values[0]},
+        diagnostics={
+            "gap": result.solution.objective_values[0],
+            "lp_fallbacks": float(result.solution.fallbacks),
+        },
     )
 
 
@@ -229,6 +232,7 @@ def run_bayeswc(
 
     bounds: List[ResourceBound] = []
     failures = 0
+    lp_fallbacks = 0
     sig = analysis.signature
     for j in range(config.num_posterior_samples):
         pinned = {}
@@ -241,6 +245,7 @@ def run_bayeswc(
         except InfeasibleError:
             failures += 1
             continue
+        lp_fallbacks += solution.fallbacks
         assignment = {k: _snap(v) for k, v in solution.assignment.items()}
         bounds.append(
             ResourceBound(
@@ -250,9 +255,14 @@ def run_bayeswc(
             )
         )
     elapsed = time.perf_counter() - start
-    diagnostics = {
-        f"accept_rate[{label}]": wc[label].accept_rate for label in labels
-    }
+    diagnostics: Dict[str, float] = {}
+    chain_diagnostics: List[Dict[str, float]] = []
+    for label in labels:
+        diagnostics[f"accept_rate[{label}]"] = wc[label].accept_rate
+        diagnostics[f"divergences[{label}]"] = float(wc[label].divergences)
+        diagnostics[f"sampler_retries[{label}]"] = float(wc[label].retries)
+        chain_diagnostics.extend(wc[label].chain_diagnostics)
+    diagnostics["lp_fallbacks"] = float(lp_fallbacks)
     return PosteriorResult(
         method="bayeswc",
         mode=classify_mode(program, fname),
@@ -260,6 +270,7 @@ def run_bayeswc(
         runtime_seconds=elapsed,
         failures=failures,
         diagnostics=diagnostics,
+        chain_diagnostics=chain_diagnostics,
     )
 
 
@@ -335,7 +346,8 @@ def run_bayespc(
         target_accept=sampler.target_accept,
     )
     chain_result = reflective_hmc_chains(
-        scaled.logdensity_and_grad, scaled.polytope, starts, hmc_config, rng
+        scaled.logdensity_and_grad, scaled.polytope, starts, hmc_config, rng,
+        fault_key=fname,
     )
     draws_scaled = chain_result.samples
     idx = np.linspace(0, draws_scaled.shape[0] - 1, M).astype(int)
@@ -347,6 +359,7 @@ def run_bayespc(
     root_objectives = analysis.root_objectives(config.objective)
     bounds: List[ResourceBound] = []
     failures = 0
+    lp_fallbacks = opt_solution.fallbacks
     for j in range(draws.shape[0]):
         assignment_x = reduced.assignment(draws[j])
         pinned = {name: max(0.0, assignment_x.get(name, 0.0)) for name in site_vars}
@@ -361,6 +374,7 @@ def run_bayespc(
         except InfeasibleError:
             failures += 1
             continue
+        lp_fallbacks += solution.fallbacks
         assignment = {k: _snap(v) for k, v in solution.assignment.items()}
         bounds.append(
             ResourceBound(
@@ -381,7 +395,11 @@ def run_bayespc(
             "gamma0": hyper.gamma0,
             "theta1": hyper.theta1,
             "polytope_dim": float(reduced.polytope.dim),
+            "divergences": float(chain_result.divergences),
+            "sampler_retries": float(chain_result.retries),
+            "lp_fallbacks": float(lp_fallbacks),
         },
+        chain_diagnostics=list(chain_result.chain_diagnostics),
     )
 
 

@@ -34,6 +34,9 @@ class PosteriorResult:
     runtime_seconds: float
     failures: int = 0  # posterior samples whose LP was infeasible
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    #: per-chain sampler health (divergences, self-healing retries, final
+    #: step size, accept rate) — empty for Opt, which runs no sampler
+    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def num_bounds(self) -> int:

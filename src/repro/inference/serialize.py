@@ -198,6 +198,7 @@ def result_to_json(result: PosteriorResult) -> Dict[str, Any]:
         "runtime_seconds": result.runtime_seconds,
         "failures": result.failures,
         "diagnostics": dict(result.diagnostics),
+        "chain_diagnostics": [dict(d) for d in result.chain_diagnostics],
         "bounds": [bound_to_json(b) for b in result.bounds],
     }
 
@@ -212,6 +213,10 @@ def result_from_json(data: Dict[str, Any]) -> PosteriorResult:
         runtime_seconds=float(data["runtime_seconds"]),
         failures=int(data.get("failures", 0)),
         diagnostics={k: float(v) for k, v in data.get("diagnostics", {}).items()},
+        chain_diagnostics=[
+            {k: float(v) for k, v in d.items()}
+            for d in data.get("chain_diagnostics", [])
+        ],
     )
 
 

@@ -13,21 +13,37 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
-from scipy.optimize import linprog
+from scipy.optimize import OptimizeResult, linprog
 from scipy.sparse import csr_matrix
 
 from .expr import LinExpr
 from .problem import LPProblem
+from .. import faultinject
 from ..errors import InfeasibleError, LPError
 
 #: relative slack allowed when pinning a stage optimum for the next stage
 STAGE_TOLERANCE = 1e-9
+
+#: fallback chain for numerical solver failures: alternate HiGHS
+#: algorithms first, then one retry with a tiny deterministic loosening
+#: of the inequality right-hand sides (the degenerate AARA LPs sit right
+#: on facet intersections, where HiGHS occasionally reports status 4)
+FALLBACK_METHODS = ("highs", "highs-ds", "highs-ipm")
+PERTURB_SCALE = 1e-9
+
+#: linprog statuses that are genuine verdicts (success / infeasible /
+#: unbounded) rather than numerical accidents (1 = iteration limit,
+#: 4 = numerical difficulties)
+_DEFINITIVE_STATUSES = (0, 2, 3)
 
 
 @dataclass
 class LPSolution:
     assignment: Dict[str, float]
     objective_values: List[float]
+    #: extra solver attempts spent in the numerical-failure fallback
+    #: chain (0 on the happy path) — surfaced as a diagnostic
+    fallbacks: int = 0
 
     def __getitem__(self, name: str) -> float:
         return self.assignment.get(name, 0.0)
@@ -36,10 +52,17 @@ class LPSolution:
         return expr.evaluate(self.assignment)
 
 
-def _run_linprog(c, A_ub, b_ub, A_eq, b_eq, n, bounds=None):
+def _run_linprog(c, A_ub, b_ub, A_eq, b_eq, n, bounds=None, method="highs"):
     if bounds is None:
         bounds = [(0, None)] * n
-    kwargs = dict(bounds=bounds, method="highs")
+    if faultinject.fault_point(faultinject.LP_FAIL, method):
+        return OptimizeResult(
+            status=4,
+            message=f"injected numerical failure ({method})",
+            fun=None,
+            x=None,
+        )
+    kwargs = dict(bounds=bounds, method=method)
     A_ub_s = csr_matrix(A_ub) if A_ub.size else None
     A_eq_s = csr_matrix(A_eq) if A_eq.size else None
     return linprog(
@@ -49,6 +72,37 @@ def _run_linprog(c, A_ub, b_ub, A_eq, b_eq, n, bounds=None):
         A_eq=A_eq_s,
         b_eq=b_eq if A_eq_s is not None else None,
         **kwargs,
+    )
+
+
+def _solve_robust(c, A_ub, b_ub, A_eq, b_eq, n, bounds, context=""):
+    """One LP solve with the numerical-failure fallback chain.
+
+    Returns ``(result, extra_attempts)`` where ``result`` has a
+    definitive status; raises :class:`LPError` when every fallback still
+    reports a numerical failure, so callers can cleanly separate
+    "genuinely infeasible" (status 2 → :class:`InfeasibleError`) from
+    "the solver gave up" (:class:`LPError`).
+    """
+    result = None
+    attempts = 0
+    for method in FALLBACK_METHODS:
+        result = _run_linprog(c, A_ub, b_ub, A_eq, b_eq, n, bounds=bounds, method=method)
+        attempts += 1
+        if result.status in _DEFINITIVE_STATUSES:
+            return result, attempts - 1
+    if A_ub.size:
+        # last resort: loosen the inequality RHS by a deterministic hair —
+        # strictly enlarges the feasible region, so a feasible problem
+        # stays feasible and the optimum moves by O(1e-9)
+        b_loose = b_ub + PERTURB_SCALE * (1.0 + np.abs(b_ub))
+        result = _run_linprog(c, A_ub, b_loose, A_eq, b_eq, n, bounds=bounds, method="highs")
+        attempts += 1
+        if result.status in _DEFINITIVE_STATUSES:
+            return result, attempts - 1
+    raise LPError(
+        f"LP solver failure after {attempts} attempt(s)"
+        f"{': ' + context if context else ''} ({result.message})"
     )
 
 
@@ -84,6 +138,7 @@ def solve_lexicographic(
             bounds[index[name]] = (lo, hi)
     objective_values: List[float] = []
     result = None
+    fallbacks = 0
 
     ub_rows = [A_ub] if A_ub.size else []
     ub_rhs = [b_ub] if b_ub.size else []
@@ -94,15 +149,14 @@ def solve_lexicographic(
             c[index[name]] += coef
         A_cur = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
         b_cur = np.concatenate(ub_rhs) if ub_rhs else np.zeros(0)
-        result = _run_linprog(c, A_cur, b_cur, A_eq, b_eq, n, bounds=bounds)
+        result, extra = _solve_robust(c, A_cur, b_cur, A_eq, b_eq, n, bounds, context)
+        fallbacks += extra
         if result.status == 2:
             raise InfeasibleError(
                 f"infeasible linear program{': ' + context if context else ''}"
             )
         if result.status == 3:
             raise LPError(f"unbounded objective at stage {stage}{': ' + context if context else ''}")
-        if result.status != 0:
-            raise LPError(f"LP solver failure ({result.message})")
         stage_opt = float(result.fun) + objective.const
         objective_values.append(stage_opt)
         if stage < len(objectives) - 1:
@@ -116,7 +170,7 @@ def solve_lexicographic(
 
     assert result is not None
     assignment = {name: float(result.x[col]) for name, col in index.items()}
-    return LPSolution(assignment, objective_values)
+    return LPSolution(assignment, objective_values, fallbacks=fallbacks)
 
 
 def solve_min(

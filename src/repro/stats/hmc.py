@@ -7,13 +7,15 @@ Hoffman–Gelman dual-averaging schedule for the step size during warmup.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import InferenceError
+from .. import faultinject
+from ..errors import InferenceError, SamplerDivergenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
 
@@ -27,6 +29,11 @@ class HMCConfig:
     target_accept: float = 0.8
     max_step_size: float = 2.0
     jitter_steps: bool = True
+    #: self-healing: restart a divergent chain with a halved initial step
+    #: at most this many times …
+    max_restarts: int = 3
+    #: … when more than this fraction of post-warmup draws diverged
+    divergence_tolerance: float = 0.25
 
 
 @dataclass
@@ -35,6 +42,13 @@ class HMCResult:
     accept_rate: float
     step_size: float
     logdensities: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: post-warmup iterations whose proposal was rejected outright
+    #: (non-finite trajectory or an energy error past float underflow)
+    divergences: int = 0
+    #: self-healing restarts spent producing this result
+    retries: int = 0
+    #: per-chain diagnostics when this result aggregates several chains
+    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
 
 
 class _DualAveraging:
@@ -148,6 +162,7 @@ def hmc_sample(
     logdensities = np.empty(config.n_samples)
     accepted = 0
     total_post_warmup = 0
+    divergences = 0
 
     n_total = config.n_warmup + config.n_samples
     for iteration in range(n_total):
@@ -177,8 +192,58 @@ def hmc_sample(
             logdensities[idx] = logp
             total_post_warmup += 1
             accepted += accept_prob
+            if accept_prob == 0.0:
+                divergences += 1
     accept_rate = accepted / max(1, total_post_warmup)
-    return HMCResult(samples, accept_rate, step_size, logdensities)
+    return HMCResult(samples, accept_rate, step_size, logdensities, divergences=divergences)
+
+
+def sample_with_healing(sample_fn, config, rng):
+    """Run one chain with bounded self-healing restarts.
+
+    ``sample_fn(cfg, rng)`` runs the chain and returns a result with
+    ``divergences`` / ``retries`` attributes (HMCResult, NUTSResult or
+    ReflectiveHMCResult).  When the chain raises :class:`InferenceError`
+    or more than ``config.divergence_tolerance × config.n_samples`` of
+    its draws diverged, it is restarted with a halved initial step, at
+    most ``config.max_restarts`` times.  The happy path calls
+    ``sample_fn`` exactly once with the unmodified config, so fault-free
+    runs consume the rng stream identically to the pre-healing code.
+
+    Raises :class:`SamplerDivergenceError` when every restart still
+    produced a fully divergent (or crashing) chain.
+    """
+    step = config.initial_step_size
+    retries = 0
+    best = None
+    last_error: Optional[InferenceError] = None
+    while True:
+        cfg = dataclasses.replace(config, initial_step_size=step) if retries else config
+        result = None
+        try:
+            result = sample_fn(cfg, rng)
+        except SamplerDivergenceError:
+            raise
+        except InferenceError as exc:
+            last_error = exc
+        if result is not None:
+            if result.divergences <= config.divergence_tolerance * config.n_samples:
+                result.retries = retries
+                return result
+            if best is None or result.divergences < best.divergences:
+                best = result
+        if retries >= config.max_restarts:
+            break
+        retries += 1
+        step *= 0.5
+    if best is not None and best.divergences < config.n_samples:
+        # degraded but usable: some draws are real; surface the retry count
+        best.retries = retries
+        return best
+    raise SamplerDivergenceError(
+        f"chain fully divergent after {retries} restart(s)"
+        + (f": {last_error}" if last_error is not None else "")
+    )
 
 
 def hmc_sample_chains(
@@ -186,19 +251,41 @@ def hmc_sample_chains(
     initial_points,
     config: HMCConfig,
     rng: np.random.Generator,
+    fault_key: str = "hmc",
 ) -> HMCResult:
-    """Run several chains from different starts; concatenates draws."""
+    """Run several self-healing chains from different starts; concatenates draws."""
+    logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
     chains = []
     rates = []
     logps = []
-    for initial in initial_points:
-        result = hmc_sample(logdensity_and_grad, np.asarray(initial, float), config, rng)
+    diagnostics: List[Dict[str, float]] = []
+    divergences = 0
+    retries = 0
+    for chain_index, initial in enumerate(initial_points):
+        start = np.asarray(initial, float)
+        result = sample_with_healing(
+            lambda cfg, r: hmc_sample(logdensity_and_grad, start, cfg, r), config, rng
+        )
         chains.append(result.samples)
         logps.append(result.logdensities)
         rates.append(result.accept_rate)
+        divergences += result.divergences
+        retries += result.retries
+        diagnostics.append(
+            {
+                "chain": float(chain_index),
+                "divergences": float(result.divergences),
+                "retries": float(result.retries),
+                "step_size": float(result.step_size),
+                "accept_rate": float(result.accept_rate),
+            }
+        )
     return HMCResult(
         np.concatenate(chains, axis=0),
         float(np.mean(rates)),
         0.0,
         np.concatenate(logps),
+        divergences=divergences,
+        retries=retries,
+        chain_diagnostics=diagnostics,
     )

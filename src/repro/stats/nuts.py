@@ -10,11 +10,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from .hmc import HMCConfig, HMCResult, _DualAveraging, _find_initial_step_unconstrained
+from .hmc import (
+    HMCConfig,
+    HMCResult,
+    _DualAveraging,
+    _find_initial_step_unconstrained,
+    sample_with_healing,
+)
+from .. import faultinject
 from ..errors import InferenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -125,6 +132,7 @@ def nuts_sample(
     samples = np.empty((config.n_samples, dim))
     logdensities = np.empty(config.n_samples)
     accept_stat = 0.0
+    divergences = 0
 
     n_total = config.n_warmup + config.n_samples
     for iteration in range(n_total):
@@ -177,9 +185,15 @@ def nuts_sample(
             samples[idx] = q
             logdensities[idx] = logp
             accept_stat += accept_prob
+            if accept_prob == 0.0:
+                divergences += 1
 
     return HMCResult(
-        samples, accept_stat / max(1, config.n_samples), step, logdensities
+        samples,
+        accept_stat / max(1, config.n_samples),
+        step,
+        logdensities,
+        divergences=divergences,
     )
 
 
@@ -188,13 +202,38 @@ def nuts_sample_chains(
     initial_points,
     config: HMCConfig,
     rng: np.random.Generator,
+    fault_key: str = "nuts",
 ) -> HMCResult:
+    logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
     chains, logps, rates = [], [], []
-    for initial in initial_points:
-        result = nuts_sample(logdensity_and_grad, np.asarray(initial, float), config, rng)
+    diagnostics: List[Dict[str, float]] = []
+    divergences = 0
+    retries = 0
+    for chain_index, initial in enumerate(initial_points):
+        start = np.asarray(initial, float)
+        result = sample_with_healing(
+            lambda cfg, r: nuts_sample(logdensity_and_grad, start, cfg, r), config, rng
+        )
         chains.append(result.samples)
         logps.append(result.logdensities)
         rates.append(result.accept_rate)
+        divergences += result.divergences
+        retries += result.retries
+        diagnostics.append(
+            {
+                "chain": float(chain_index),
+                "divergences": float(result.divergences),
+                "retries": float(result.retries),
+                "step_size": float(result.step_size),
+                "accept_rate": float(result.accept_rate),
+            }
+        )
     return HMCResult(
-        np.concatenate(chains, axis=0), float(np.mean(rates)), 0.0, np.concatenate(logps)
+        np.concatenate(chains, axis=0),
+        float(np.mean(rates)),
+        0.0,
+        np.concatenate(logps),
+        divergences=divergences,
+        retries=retries,
+        chain_diagnostics=diagnostics,
     )

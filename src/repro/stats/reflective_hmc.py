@@ -11,13 +11,14 @@ is the target density restricted to the polytope.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from .hmc import HMCConfig, _DualAveraging
+from .hmc import HMCConfig, _DualAveraging, sample_with_healing
 from .polytope import Polytope
+from .. import faultinject
 from ..errors import InferenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -32,6 +33,12 @@ class ReflectiveHMCResult:
     accept_rate: float
     step_size: float
     n_reflections: int
+    #: post-warmup iterations whose proposal was rejected outright
+    divergences: int = 0
+    #: self-healing restarts spent producing this result
+    retries: int = 0
+    #: per-chain diagnostics when this result aggregates several chains
+    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
 
 
 class _DriftEngine:
@@ -201,6 +208,7 @@ def reflective_hmc_sample(
     samples = np.empty((config.n_samples, dim))
     accepted = 0.0
     n_reflections = 0
+    divergences = 0
     n_total = config.n_warmup + config.n_samples
 
     for iteration in range(n_total):
@@ -227,9 +235,13 @@ def reflective_hmc_sample(
         else:
             samples[iteration - config.n_warmup] = q
             accepted += accept_prob
+            if accept_prob == 0.0:
+                divergences += 1
 
     accept_rate = accepted / max(1, config.n_samples)
-    return ReflectiveHMCResult(samples, accept_rate, step_size, n_reflections)
+    return ReflectiveHMCResult(
+        samples, accept_rate, step_size, n_reflections, divergences=divergences
+    )
 
 
 def map_estimate(
@@ -363,16 +375,45 @@ def reflective_hmc_chains(
     initial_points: List[np.ndarray],
     config: HMCConfig,
     rng: np.random.Generator,
+    fault_key: str = "bayespc",
 ) -> ReflectiveHMCResult:
-    """Several chains, concatenated draws."""
+    """Several self-healing chains, concatenated draws."""
+    logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
     chains = []
     rates = []
     reflections = 0
-    for initial in initial_points:
-        result = reflective_hmc_sample(logdensity_and_grad, polytope, initial, config, rng)
+    diagnostics: List[Dict[str, float]] = []
+    divergences = 0
+    retries = 0
+    for chain_index, initial in enumerate(initial_points):
+        start = initial
+        result = sample_with_healing(
+            lambda cfg, r: reflective_hmc_sample(
+                logdensity_and_grad, polytope, start, cfg, r
+            ),
+            config,
+            rng,
+        )
         chains.append(result.samples)
         rates.append(result.accept_rate)
         reflections += result.n_reflections
+        divergences += result.divergences
+        retries += result.retries
+        diagnostics.append(
+            {
+                "chain": float(chain_index),
+                "divergences": float(result.divergences),
+                "retries": float(result.retries),
+                "step_size": float(result.step_size),
+                "accept_rate": float(result.accept_rate),
+            }
+        )
     return ReflectiveHMCResult(
-        np.concatenate(chains, axis=0), float(np.mean(rates)), 0.0, reflections
+        np.concatenate(chains, axis=0),
+        float(np.mean(rates)),
+        0.0,
+        reflections,
+        divergences=divergences,
+        retries=retries,
+        chain_diagnostics=diagnostics,
     )
