@@ -20,6 +20,7 @@ from .annot import coeffs_by_degree, equate, instantiate, zero_annotation
 from .bound import ResourceBound
 from .signatures import FunSignature
 from .typecheck import ConstraintGenerator, GenStats, StatHandler
+from .. import telemetry
 from ..errors import InfeasibleError, StaticAnalysisError, UnanalyzableError
 from ..lang import ast as A
 from ..lp import LPProblem, LPSolution, LinExpr, solve_lexicographic
@@ -85,14 +86,20 @@ def build_analysis(
     """Generate the full constraint system for ``fname`` at ``degree``."""
     if fname not in program:
         raise StaticAnalysisError(f"unknown function {fname!r}")
-    generator = ConstraintGenerator(
-        program, degree, lp=lp, stat_handler=stat_handler, stat_mode=stat_mode
-    )
-    signature = generator.instantiate(fname, costful=True)
-    if pin_root_output:
-        zero = zero_annotation(program[fname].fun_type.result, degree)
-        equate(signature.result, zero, generator.lp, note="root output pinned to 0")
-        generator.lp.add_eq(signature.q0, 0, note="root q0 pinned to 0")
+    with telemetry.span(
+        "aara.build", fname=fname, degree=degree, stat_mode=stat_mode
+    ) as tspan:
+        generator = ConstraintGenerator(
+            program, degree, lp=lp, stat_handler=stat_handler, stat_mode=stat_mode
+        )
+        signature = generator.instantiate(fname, costful=True)
+        if pin_root_output:
+            zero = zero_annotation(program[fname].fun_type.result, degree)
+            equate(signature.result, zero, generator.lp, note="root output pinned to 0")
+            generator.lp.add_eq(signature.q0, 0, note="root q0 pinned to 0")
+        tspan.set(constraints=len(generator.lp.constraints), variables=generator.lp.num_vars)
+        telemetry.counter("aara.builds", 1)
+        telemetry.counter("aara.constraints", len(generator.lp.constraints))
     return Analysis(program, fname, degree, generator.lp, signature, generator)
 
 

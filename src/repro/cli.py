@@ -11,6 +11,12 @@ Examples::
         --degree 2 --sizes 5:100:5 --samples 100
     hybrid-aara static prog.ml --entry quicksort --degree 2
     hybrid-aara bench QuickSort --method opt --samples 20
+    hybrid-aara bench all --jobs 4 --trace /tmp/trace
+    hybrid-aara trace summary /tmp/trace
+
+Output goes through :mod:`repro.telemetry.console`: ``-q`` hides status
+lines, ``-v`` adds detail, and ``REPRO_LOG=json`` turns every line into
+one JSON object for CI log scraping.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import sys
 
 import numpy as np
 
+from . import telemetry
 from .aara import run_conventional
 from .config import AnalysisConfig
 from .errors import ReproError
@@ -28,6 +35,7 @@ from .inference import collect_dataset, run_analysis
 from .lang import ast as A
 from .lang import compile_program, from_python
 from .suite import get_benchmark
+from .telemetry.console import configure as configure_console, get_console
 
 
 def _parse_sizes(spec: str):
@@ -73,6 +81,7 @@ def _random_inputs(program, entry, sizes, reps, seed):
 def cmd_collect(args) -> int:
     from .inference.serialize import save_dataset
 
+    con = get_console()
     with open(args.program) as handle:
         source = handle.read()
     program = compile_program(source)
@@ -80,10 +89,14 @@ def cmd_collect(args) -> int:
     inputs = _random_inputs(program, args.entry, sizes, args.reps, args.seed)
     dataset = collect_dataset(program, args.entry, inputs)
     save_dataset(dataset, args.out)
-    print(
+    con.info(
         f"collected {dataset.total_observations()} observations at "
         f"{len(dataset.labels())} stat site(s) from {dataset.num_runs} runs "
-        f"-> {args.out}"
+        f"-> {args.out}",
+        observations=dataset.total_observations(),
+        labels=len(dataset.labels()),
+        runs=dataset.num_runs,
+        out=args.out,
     )
     return 0
 
@@ -111,19 +124,20 @@ def cmd_analyze(args) -> int:
         from .inference.serialize import save_result
 
         save_result(result, args.save_result)
-    print(f"method      : {result.method} ({result.mode})")
-    print(f"bounds      : {len(result.bounds)} posterior sample(s)")
-    print(f"runtime     : {result.runtime_seconds:.2f}s")
+    con = get_console()
+    con.result(f"method      : {result.method} ({result.mode})")
+    con.result(f"bounds      : {len(result.bounds)} posterior sample(s)")
+    con.result(f"runtime     : {result.runtime_seconds:.2f}s")
     if result.failures:
-        print(f"failures    : {result.failures}")
+        con.result(f"failures    : {result.failures}")
     for key, value in result.diagnostics.items():
-        print(f"  {key}: {value:.4g}")
+        con.result(f"  {key}: {value:.4g}")
     show = result.bounds[: args.show]
     for i, bound in enumerate(show):
-        print(f"bound[{i}]    : {bound.describe()}")
+        con.result(f"bound[{i}]    : {bound.describe()}")
     if len(result.bounds) > 1:
         med = result.median_coefficients()
-        print("median coefficients:", json.dumps([round(v, 4) for v in med]))
+        con.result("median coefficients: " + json.dumps([round(v, 4) for v in med]))
     return 0
 
 
@@ -132,13 +146,14 @@ def cmd_static(args) -> int:
         source = handle.read()
     program = compile_program(source)
     verdict = run_conventional(program, args.entry, max_degree=args.degree)
-    print(f"status : {verdict.status}")
+    con = get_console()
+    con.result(f"status : {verdict.status}")
     if verdict.bound is not None:
-        print(f"degree : {verdict.degree}")
-        print(f"bound  : {verdict.bound.describe()}")
+        con.result(f"degree : {verdict.degree}")
+        con.result(f"bound  : {verdict.bound.describe()}")
     elif verdict.detail:
-        print(f"detail : {verdict.detail}")
-    print(f"runtime: {verdict.runtime_seconds:.2f}s")
+        con.result(f"detail : {verdict.detail}")
+    con.result(f"runtime: {verdict.runtime_seconds:.2f}s")
     return 0 if verdict.succeeded else 1
 
 
@@ -150,11 +165,18 @@ def cmd_bench(args) -> int:
     from .faultinject import ENV_SPEC, ENV_STATE
     from .suite import all_benchmarks
 
+    con = get_console()
     if args.faults:
         # Chaos-testing mode: activate the fault plan for this process and
         # every worker it forks (they inherit the environment).
         os.environ[ENV_SPEC] = args.faults
         os.environ.setdefault(ENV_STATE, tempfile.mkdtemp(prefix="repro-faults-"))
+    trace_dir = args.trace or os.environ.get(telemetry.ENV_TRACE)
+    if trace_dir:
+        # the env var propagates tracing to forked pool workers (and is the
+        # backup channel when a replacement pool respawns them)
+        os.environ[telemetry.ENV_TRACE] = trace_dir
+        telemetry.enable(trace_dir)
     if args.benchmark == "all":
         specs = all_benchmarks()
     else:
@@ -175,13 +197,13 @@ def cmd_bench(args) -> int:
         fail_fast=args.fail_fast,
     ) as runner:
         runs = run_table1(specs, config, seed=args.seed, methods=methods, runner=runner)
-        print(render_table1(runs))
+        con.result(render_table1(runs))
         failed_cells = 0
         for run in runs:
-            print()
-            print(render_gap_table(run))
+            con.result()
+            con.result(render_gap_table(run))
             for key, message in run.errors.items():
-                print(f"error {key}: {message}")
+                con.result(f"error {key}: {message}")
             failed_cells += len(run.failures)
         if runner.history:
             metrics = {
@@ -193,11 +215,12 @@ def cmd_bench(args) -> int:
                     sum(o["metrics"].get("wall_seconds", 0.0) for o in runner.history), 3
                 ),
             }
-            print()
-            print(
+            con.result()
+            con.info(
                 f"runner: {metrics['tasks']} task(s), jobs={runner.jobs}, "
                 f"{metrics['cache_hits']} cache hit(s), "
-                f"{metrics['task_wall_seconds']}s task time"
+                f"{metrics['task_wall_seconds']}s task time",
+                **metrics,
             )
         if args.metrics:
             report_json = RunnerReport(
@@ -207,19 +230,55 @@ def cmd_bench(args) -> int:
                 report_json.write_metrics(args.metrics)
             except OSError as exc:
                 raise ReproError(f"cannot write metrics to {args.metrics}: {exc}")
-            print(f"per-task metrics -> {args.metrics}")
+            con.info(f"per-task metrics -> {args.metrics}", path=args.metrics)
+    if trace_dir:
+        from .telemetry.chrome import write_chrome_trace
+
+        telemetry.disable()
+        try:
+            n_events = write_chrome_trace(trace_dir)
+        except OSError as exc:
+            raise ReproError(f"cannot export trace from {trace_dir}: {exc}")
+        con.info(
+            f"trace: {n_events} event(s) -> {os.path.join(trace_dir, 'trace.json')} "
+            f"(chrome://tracing or https://ui.perfetto.dev)",
+            events=n_events,
+            trace_dir=trace_dir,
+        )
     if failed_cells:
         # Under --fail-fast a mid-run abort already surfaced as ReproError
         # (exit 2); this branch covers failures that slipped through before
         # the abort fired or when every task had already been submitted.
         if args.fail_fast:
-            print(f"error: {failed_cells} cell(s) failed", file=sys.stderr)
+            con.error(f"error: {failed_cells} cell(s) failed")
             return 1
-        print(
+        con.warn(
             f"warning: {failed_cells} cell(s) failed; remaining cells are "
-            "unaffected (see footnotes above)",
-            file=sys.stderr,
+            "unaffected (see footnotes above)"
         )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .telemetry.chrome import write_chrome_trace
+    from .telemetry.summary import render_summary, summarize_trace_dir
+
+    con = get_console()
+    if args.trace_command == "summary":
+        summary = summarize_trace_dir(args.dir, top=args.top)
+        if not summary.events:
+            raise ReproError(f"no trace events found in {args.dir}")
+        con.result(render_summary(summary, str(args.dir), top=args.top))
+        return 0
+    # export
+    try:
+        n_events = write_chrome_trace(args.dir, args.out)
+    except OSError as exc:
+        raise ReproError(f"cannot export trace from {args.dir}: {exc}")
+    if not n_events:
+        raise ReproError(f"no trace events found in {args.dir}")
+    out = args.out or f"{args.dir}/trace.json"
+    con.info(f"wrote {n_events} event(s) -> {out}", events=n_events, out=str(out))
     return 0
 
 
@@ -227,6 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hybrid-aara",
         description="Hybrid AARA: resource bounds with static analysis and Bayesian inference",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more status output (repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="suppress status lines (results still print)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -269,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache", default=None, help="on-disk result cache directory")
     bench.add_argument("--metrics", default=None, help="write per-task metrics JSON here")
     bench.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record a cross-process execution trace into DIR (JSONL per "
+        "process + merged Chrome trace.json; also enabled by REPRO_TRACE)",
+    )
+    bench.add_argument(
         "--task-timeout",
         type=float,
         default=None,
@@ -294,16 +374,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=cmd_bench)
 
+    trace = sub.add_parser("trace", help="inspect a --trace directory")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-stage time breakdown + slowest spans per cell"
+    )
+    trace_summary.add_argument("dir", help="trace directory (from bench --trace)")
+    trace_summary.add_argument(
+        "--top", type=int, default=3, help="slowest spans shown per cell"
+    )
+    trace_summary.set_defaults(func=cmd_trace)
+    trace_export = trace_sub.add_parser(
+        "export", help="merge per-process JSONL files into a Chrome trace JSON"
+    )
+    trace_export.add_argument("dir", help="trace directory (from bench --trace)")
+    trace_export.add_argument(
+        "--out", default=None, help="output path (default: DIR/trace.json)"
+    )
+    trace_export.set_defaults(func=cmd_trace)
+
     return parser
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    con = configure_console(verbosity=args.verbose - args.quiet)
+    telemetry.ensure_from_env()
     try:
         return args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        con.error(f"error: {exc}")
         return 2
 
 

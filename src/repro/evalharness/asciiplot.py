@@ -84,6 +84,34 @@ def render_ascii_curve(
     return "\n".join([header, border, body, border, legend])
 
 
+def render_hbar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "s",
+) -> str:
+    """Horizontal bar chart for labeled magnitudes (stage time breakdowns).
+
+    Bars are scaled to the largest value; each row also prints the value
+    and its share of the total, e.g.::
+
+        lp       ######################## 10.21s  61.3%
+        sampler  ########                  3.14s  18.9%
+    """
+    rows = [(str(label), max(0.0, float(value))) for label, value in rows]
+    if not rows:
+        return "(no data)"
+    peak = max(value for _label, value in rows) or 1.0
+    total = sum(value for _label, value in rows) or 1.0
+    label_w = max(len(label) for label, _value in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * max(1 if value > 0 else 0, int(round(width * value / peak)))
+        lines.append(
+            f"{label:{label_w}s} {bar:{width}s} {value:8.2f}{unit} {100 * value / total:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
 def render_panels(
     panels: Sequence[Tuple[str, CurveSeries]],
     width: int = 72,

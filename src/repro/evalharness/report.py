@@ -10,7 +10,7 @@ vs data-driven ordering) rather than the absolute number.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .gaps import benchmark_gaps
 from .paper_reference import PAPER_CONVENTIONAL, PAPER_GAPS, PAPER_TABLE1
@@ -135,7 +135,51 @@ def gaps_markdown(run: BenchmarkRun, sizes=(10, 1000)) -> str:
     return "\n".join(lines)
 
 
-def markdown_report(runs: Sequence[BenchmarkRun], samples: int, seed: int) -> str:
+def timing_markdown(metrics: Optional[Dict[str, Any]]) -> str:
+    """A ``## Timing`` section from a runner metrics JSON (v2).
+
+    Rows are Table 1 cells, columns the telemetry stages (span self-time
+    recorded in each worker), so per-cell stage times sum to roughly the
+    cell's wall clock.  Returns an empty string when the run carried no
+    stage data (telemetry off, or an old metrics file).
+    """
+    if not metrics:
+        return ""
+    tasks = [t for t in metrics.get("tasks", []) if t.get("stages")]
+    summary = metrics.get("summary", {})
+    stage_totals = summary.get("stage_wall_seconds") or {}
+    if not tasks or not stage_totals:
+        return ""
+    stages = sorted(stage_totals, key=lambda s: -stage_totals[s])
+    lines = [
+        "## Timing",
+        "",
+        f"(telemetry span self-times per stage; jobs = {metrics.get('jobs', '?')}, "
+        f"task wall {summary.get('task_wall_seconds', 0.0):.2f}s, "
+        f"queue wait {summary.get('queue_wait_seconds', 0.0):.2f}s)",
+        "",
+        "| Cell | wall (s) | " + " | ".join(stages) + " |",
+        "|---|---|" + "---|" * len(stages),
+    ]
+    for task in sorted(tasks, key=lambda t: -(t.get("wall_seconds") or 0.0)):
+        row = [str(task.get("task", "?")), f"{task.get('wall_seconds', 0.0):.2f}"]
+        task_stages = task.get("stages") or {}
+        for stage in stages:
+            value = task_stages.get(stage)
+            row.append("-" if value is None else f"{value:.2f}")
+        lines.append("| " + " | ".join(row) + " |")
+    total = ["**total**", f"{summary.get('task_wall_seconds', 0.0):.2f}"]
+    total += [f"{stage_totals[stage]:.2f}" for stage in stages]
+    lines.append("| " + " | ".join(total) + " |")
+    return "\n".join(lines)
+
+
+def markdown_report(
+    runs: Sequence[BenchmarkRun],
+    samples: int,
+    seed: int,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> str:
     chunks: List[str] = [
         "## Table 1 — fraction of sound inferred bounds",
         "",
@@ -154,5 +198,9 @@ def markdown_report(runs: Sequence[BenchmarkRun], samples: int, seed: int) -> st
     failures = failures_markdown(runs)
     if failures:
         chunks.append(failures)
+        chunks.append("")
+    timing = timing_markdown(metrics)
+    if timing:
+        chunks.append(timing)
         chunks.append("")
     return "\n".join(chunks)

@@ -17,12 +17,14 @@ the canonical grid constants (:data:`METHODS`, :data:`MODES`) below.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import resource
 import signal
+import sys
 import tempfile
 import threading
 import time
@@ -33,7 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from .. import faultinject
+from .. import faultinject, telemetry
 from ..config import AnalysisConfig, DEFAULT_CONFIG
 from ..errors import ReproError, TaskTimeoutError, failure_stage
 
@@ -43,8 +45,22 @@ METHODS = ("opt", "bayeswc", "bayespc")
 MODES = ("data-driven", "hybrid")
 
 #: bump whenever an analysis-affecting code change should invalidate the
-#: on-disk result cache
-CACHE_VERSION = 2
+#: on-disk result cache (v3: outcome metrics grew telemetry fields)
+CACHE_VERSION = 3
+
+
+def max_rss_kb(raw: Optional[int] = None, platform: Optional[str] = None) -> int:
+    """Peak RSS of this process in KiB, portably.
+
+    ``getrusage().ru_maxrss`` is KiB on Linux but *bytes* on macOS
+    (and KiB on the BSDs) — normalize so metrics JSON is comparable
+    across platforms.  ``raw``/``platform`` exist for unit tests.
+    """
+    if raw is None:
+        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if (platform or sys.platform) == "darwin":
+        return int(raw) // 1024
+    return int(raw)
 
 
 class _WatchdogExpired(BaseException):
@@ -181,9 +197,15 @@ def _compiled_program(spec, mode: str):
     from ..lang import compile_program
 
     key = (spec.name, mode)
-    if key not in _PROGRAM_CACHE:
-        source, _entry = _mode_variant(spec, mode)
-        _PROGRAM_CACHE[key] = compile_program(source)
+    # the span is emitted even on a memo hit (dur ≈ 0, cached=True) so
+    # every cell's trace shows the full stage pipeline, not just the
+    # first cell each worker happened to compile for
+    with telemetry.span(
+        "lang.compile", benchmark=spec.name, mode=mode, cached=key in _PROGRAM_CACHE
+    ):
+        if key not in _PROGRAM_CACHE:
+            source, _entry = _mode_variant(spec, mode)
+            _PROGRAM_CACHE[key] = compile_program(source)
     return _PROGRAM_CACHE[key]
 
 
@@ -191,12 +213,15 @@ def _mode_dataset(spec, mode: str, root_seed: int):
     from ..inference import collect_dataset
 
     key = (spec.name, mode, root_seed)
-    if key not in _DATASET_CACHE:
-        rng = np.random.default_rng(input_seed(root_seed, spec.name))
-        inputs = spec.inputs(rng)
-        program = _compiled_program(spec, mode)
-        _source, entry = _mode_variant(spec, mode)
-        _DATASET_CACHE[key] = collect_dataset(program, entry, inputs)
+    with telemetry.span(
+        "data.dataset", benchmark=spec.name, mode=mode, cached=key in _DATASET_CACHE
+    ):
+        if key not in _DATASET_CACHE:
+            rng = np.random.default_rng(input_seed(root_seed, spec.name))
+            inputs = spec.inputs(rng)
+            program = _compiled_program(spec, mode)
+            _source, entry = _mode_variant(spec, mode)
+            _DATASET_CACHE[key] = collect_dataset(program, entry, inputs)
     return _DATASET_CACHE[key]
 
 
@@ -242,13 +267,9 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
     """
     from ..suite import get_benchmark
 
-    # fault-injection points sit *outside* the try block: an injected
-    # crash must look like a real worker death (retried by the runner),
-    # not like a recorded per-cell analysis error
-    faultinject.fault_point(faultinject.WORKER_CRASH, task.task_id)
-    faultinject.fault_point(faultinject.WORKER_HANG, task.task_id)
-
+    telemetry.ensure_from_env()
     started = time.perf_counter()
+    started_ts = time.time()
     outcome: Dict[str, Any] = {
         "task": task.task_id,
         "kind": task.kind,
@@ -263,53 +284,90 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
         "result": None,
         "verdict": None,
     }
-    try:
-        spec = get_benchmark(task.benchmark)
-        if task.kind == "conventional":
-            from ..aara.analyze import run_conventional
-            from ..lang import compile_program
-
-            program = _compiled_program(spec, "data-driven")
-            verdict = run_conventional(
-                program, spec.data_driven_entry, max_degree=task.conventional_max_degree
+    accumulator = telemetry.stage_totals()
+    with contextlib.ExitStack() as stack:
+        if accumulator is not None:
+            stack.enter_context(accumulator)
+        stack.enter_context(
+            telemetry.span(
+                "runner.task",
+                stage="task",
+                task=task.task_id,
+                kind=task.kind,
+                benchmark=task.benchmark,
+                mode=task.mode,
+                method=task.method,
+                seed=task.seed,
+                attempt_pid=os.getpid(),
             )
-            outcome["verdict"] = _verdict_to_json(verdict)
-            outcome["ok"] = True
-        else:
-            from ..inference import run_analysis
-            from ..inference.serialize import result_to_json
+        )
+        # fault-injection points sit *outside* the try block: an injected
+        # crash must look like a real worker death (retried by the runner),
+        # not like a recorded per-cell analysis error
+        faultinject.fault_point(faultinject.WORKER_CRASH, task.task_id)
+        faultinject.fault_point(faultinject.WORKER_HANG, task.task_id)
+        try:
+            spec = get_benchmark(task.benchmark)
+            if task.kind == "conventional":
+                from ..aara.analyze import run_conventional
+                from ..lang import compile_program
 
-            program = _compiled_program(spec, task.mode)
-            dataset = _mode_dataset(spec, task.mode, task.root_seed)
-            _source, entry = _mode_variant(spec, task.mode)
-            mode_config = spec.config(task.config, hybrid=(task.mode == "hybrid"))
-            rng = np.random.default_rng(task.seed)
-            result = run_analysis(program, entry, dataset, mode_config, task.method, rng=rng)
-            outcome["result"] = result_to_json(result)
-            outcome["ok"] = True
-    except ReproError as exc:
-        outcome["error"] = f"{type(exc).__name__}: {exc}"
-        outcome["outcome"] = "error"
-        outcome["failure"] = {
-            "stage": failure_stage(exc),
-            "error_class": type(exc).__name__,
-            "attempts": 1,
-            "elapsed": time.perf_counter() - started,
-        }
-    except Exception as exc:  # deterministic crash: report, don't retry
-        outcome["error"] = f"crash {type(exc).__name__}: {exc}"
-        outcome["outcome"] = "crash"
-        outcome["failure"] = {
-            "stage": failure_stage(exc),
-            "error_class": type(exc).__name__,
-            "attempts": 1,
-            "elapsed": time.perf_counter() - started,
-        }
+                program = _compiled_program(spec, "data-driven")
+                with telemetry.span(
+                    "static.verdict",
+                    benchmark=task.benchmark,
+                    max_degree=task.conventional_max_degree,
+                ):
+                    verdict = run_conventional(
+                        program,
+                        spec.data_driven_entry,
+                        max_degree=task.conventional_max_degree,
+                    )
+                outcome["verdict"] = _verdict_to_json(verdict)
+                outcome["ok"] = True
+            else:
+                from ..inference import run_analysis
+                from ..inference.serialize import result_to_json
+
+                program = _compiled_program(spec, task.mode)
+                dataset = _mode_dataset(spec, task.mode, task.root_seed)
+                _source, entry = _mode_variant(spec, task.mode)
+                mode_config = spec.config(task.config, hybrid=(task.mode == "hybrid"))
+                rng = np.random.default_rng(task.seed)
+                result = run_analysis(
+                    program, entry, dataset, mode_config, task.method, rng=rng
+                )
+                outcome["result"] = result_to_json(result)
+                outcome["ok"] = True
+        except ReproError as exc:
+            outcome["error"] = f"{type(exc).__name__}: {exc}"
+            outcome["outcome"] = "error"
+            outcome["failure"] = {
+                "stage": failure_stage(exc),
+                "error_class": type(exc).__name__,
+                "attempts": 1,
+                "elapsed": time.perf_counter() - started,
+            }
+        except Exception as exc:  # deterministic crash: report, don't retry
+            outcome["error"] = f"crash {type(exc).__name__}: {exc}"
+            outcome["outcome"] = "crash"
+            outcome["failure"] = {
+                "stage": failure_stage(exc),
+                "error_class": type(exc).__name__,
+                "attempts": 1,
+                "elapsed": time.perf_counter() - started,
+            }
     outcome["metrics"] = {
         "wall_seconds": time.perf_counter() - started,
-        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "max_rss_kb": max_rss_kb(),
         "pid": os.getpid(),
+        "started_ts": started_ts,
     }
+    if accumulator is not None:
+        outcome["metrics"]["stages"] = {
+            stage: round(seconds, 6)
+            for stage, seconds in sorted(accumulator.totals.items())
+        }
     return outcome
 
 
@@ -470,8 +528,15 @@ class RunnerReport:
             )
             entries.append(metrics)
         hits = sum(1 for e in entries if e.get("cache_hit"))
+        # per-stage wall-clock aggregates across all tasks (telemetry span
+        # self-times recorded by the worker) — makes BENCH_*.json
+        # trajectories stage-attributable, not just per-task blobs
+        stage_totals: Dict[str, float] = {}
+        for entry in entries:
+            for stage, seconds in (entry.get("stages") or {}).items():
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + float(seconds)
         return {
-            "version": 1,
+            "version": 2,
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
             "tasks": entries,
@@ -485,11 +550,41 @@ class RunnerReport:
                 # contribute no retries
                 "retries": sum(max(0, e.get("attempts", 1) - 1) for e in entries),
                 "task_wall_seconds": sum(e.get("wall_seconds", 0.0) for e in entries),
+                "queue_wait_seconds": sum(
+                    e.get("queue_wait_seconds", 0.0) for e in entries
+                ),
+                "stage_wall_seconds": {
+                    stage: round(seconds, 6)
+                    for stage, seconds in sorted(stage_totals.items())
+                },
             },
         }
 
     def write_metrics(self, path: os.PathLike) -> None:
-        Path(path).write_text(json.dumps(self.metrics_json(), indent=2))
+        """Atomically publish the metrics JSON (temp file + ``os.replace``).
+
+        The runner's watchdog can kill the process at any moment; a plain
+        ``write_text`` interrupted mid-write would leave a torn, unparsable
+        report, so this uses the same atomic-publish pattern as the result
+        cache.
+        """
+        final = Path(path)
+        blob = json.dumps(self.metrics_json(), indent=2)
+        fd, tmp = tempfile.mkstemp(
+            dir=final.parent if str(final.parent) else ".",
+            prefix=final.name,
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 class EvalRunner:
@@ -561,30 +656,34 @@ class EvalRunner:
     # -- execution ----------------------------------------------------------
 
     def run_tasks(self, tasks: Sequence[EvalTask]) -> RunnerReport:
+        telemetry.ensure_from_env()
         started = time.perf_counter()
         outcomes: Dict[EvalTask, Dict[str, Any]] = {}
         pending: List[EvalTask] = []
-        for task in tasks:
-            cached = self.cache.load(task) if self.cache else None
-            if cached is not None:
-                cached.setdefault("metrics", {})
-                cached["metrics"]["cache_hit"] = True
-                cached["metrics"]["attempts"] = 0
-                outcomes[task] = cached
-            else:
-                pending.append(task)
+        with telemetry.span("runner.run_tasks", tasks=len(tasks), jobs=self.jobs):
+            for task in tasks:
+                cached = self.cache.load(task) if self.cache else None
+                if cached is not None:
+                    cached.setdefault("metrics", {})
+                    cached["metrics"]["cache_hit"] = True
+                    cached["metrics"]["attempts"] = 0
+                    outcomes[task] = cached
+                    telemetry.counter("runner.cache_hits", 1, task=task.task_id)
+                else:
+                    pending.append(task)
 
-        if pending:
-            if self.jobs == 1:
-                fresh = self._run_serial(pending)
-            else:
-                fresh = self._run_pool(pending)
-            for task, outcome in fresh.items():
-                outcome["metrics"]["cache_hit"] = False
-                if self.cache and outcome["ok"]:
-                    outcome["metrics"]["cache_key"] = self.cache.key(task)
-                    self.cache.store(task, outcome)
-                outcomes[task] = outcome
+            if pending:
+                telemetry.counter("runner.cache_misses", len(pending))
+                if self.jobs == 1:
+                    fresh = self._run_serial(pending)
+                else:
+                    fresh = self._run_pool(pending)
+                for task, outcome in fresh.items():
+                    outcome["metrics"]["cache_hit"] = False
+                    if self.cache and outcome["ok"]:
+                        outcome["metrics"]["cache_key"] = self.cache.key(task)
+                        self.cache.store(task, outcome)
+                    outcomes[task] = outcome
 
         ordered = [outcomes[task] for task in tasks]
         self.history.extend(ordered)
@@ -624,6 +723,8 @@ class EvalRunner:
         outcome.setdefault("metrics", {})["attempts"] = attempts
         if outcome.get("failure"):
             outcome["failure"]["attempts"] = attempts
+        if attempts > 1:
+            telemetry.counter("runner.retries", attempts - 1, task=task.task_id)
         results[task] = outcome
         if self.fail_fast and not outcome["ok"]:
             raise ReproError(
@@ -708,6 +809,7 @@ class EvalRunner:
             executor = self._ensure_executor()
             futures: Dict[Future, EvalTask] = {}
             deadlines: Dict[Future, float] = {}
+            submitted_at: Dict[Future, float] = {}
             broken = False
             for task in queue:
                 attempts[task] += 1
@@ -718,6 +820,7 @@ class EvalRunner:
                     attempts[task] -= 1
                     break
                 futures[future] = task
+                submitted_at[future] = time.time()
                 if self.task_timeout is not None:
                     deadlines[future] = time.monotonic() + self.task_timeout
             # O(1) membership via task ids (EvalTask hashing walks the
@@ -745,6 +848,17 @@ class EvalRunner:
                         else:
                             retry.append(task)
                     else:
+                        # queue-wait: submission -> the worker actually
+                        # starting (pool backlog + pickling + fork cost)
+                        metrics = outcome.get("metrics") or {}
+                        if "started_ts" in metrics and future in submitted_at:
+                            queue_wait = max(
+                                0.0, metrics["started_ts"] - submitted_at[future]
+                            )
+                            metrics["queue_wait_seconds"] = round(queue_wait, 6)
+                            telemetry.gauge(
+                                "runner.queue_wait_seconds", queue_wait, task=task.task_id
+                            )
                         self._record(results, task, outcome, attempts[task])
                 if deadlines and not_done:
                     now = time.monotonic()

@@ -86,6 +86,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from . import telemetry
 from .errors import ReproError
 
 #: injection sites
@@ -287,6 +288,9 @@ def fault_point(site: str, key: str = "") -> bool:
     clause = plan.fire(site, key)
     if clause is None:
         return False
+    # record before acting: os.write is unbuffered, so the event survives
+    # even the action=exit hard kill
+    telemetry.counter("faultinject.fired", 1, site=site, key=key)
     if site == WORKER_CRASH:
         if clause.action == "exit":
             os._exit(13)
@@ -310,6 +314,7 @@ def wrap_logdensity(fn: Callable, key: str = "") -> Callable:
 
     def wrapped(x):
         if plan.fire(NAN_LOGDENSITY, key) is not None:
+            telemetry.counter("faultinject.fired", 1, site=NAN_LOGDENSITY, key=key)
             arr = np.asarray(x, dtype=float)
             return float("nan"), np.full_like(arr, float("nan"))
         return fn(x)

@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import DatasetError
 from ..lang import ast as A
 from ..lang.interp import EvalResult, Interpreter, StatRecord
@@ -142,11 +143,19 @@ def collect_dataset(
     """
     interp = Interpreter(program, collect_stats=True)
     dataset = RuntimeDataset()
-    for args in inputs:
-        result = interp.run(fname, list(args))
-        dataset.num_runs += 1
-        for record in result.stat_records:
-            dataset.add_record(record)
+    with telemetry.span("data.collect", fname=fname, runs=len(inputs)) as tspan:
+        for args in inputs:
+            result = interp.run(fname, list(args))
+            dataset.num_runs += 1
+            for record in result.stat_records:
+                dataset.add_record(record)
+        tspan.set(
+            observations=dataset.total_observations(),
+            eval_steps=interp.eval_steps,
+            tick_ops=interp.tick_ops,
+        )
+        telemetry.counter("interp.eval_steps", interp.eval_steps)
+        telemetry.counter("interp.tick_ops", interp.tick_ops)
     if not dataset.per_label:
         raise DatasetError(
             f"no stat records collected running {fname!r} — does the program "

@@ -33,6 +33,7 @@ from .bayeswc import WorstCaseSamples, infer_worst_case_samples
 from .dataset import RuntimeDataset, StatDataset
 from .hyperparams import resolve_bayespc_hyperparams
 from .posterior import PosteriorResult
+from .. import telemetry
 from ..aara.analyze import Analysis, _snap, build_analysis, solve_analysis
 from ..aara.annot import AnnType, instantiate, make_template, potential_of_env, potential_of_value
 from ..aara.bound import ResourceBound
@@ -227,33 +228,38 @@ def run_bayeswc(
     # survival inference per label actually used by the analysis
     labels = sorted({occ.label for occ in collector.occurrences})
     wc: Dict[str, WorstCaseSamples] = {}
-    for label in labels:
-        wc[label] = infer_worst_case_samples(dataset[label], config, rng)
+    with telemetry.span("posterior.survival", labels=len(labels)):
+        for label in labels:
+            wc[label] = infer_worst_case_samples(dataset[label], config, rng)
 
     bounds: List[ResourceBound] = []
     failures = 0
     lp_fallbacks = 0
     sig = analysis.signature
-    for j in range(config.num_posterior_samples):
-        pinned = {}
-        for (label, size_key), wname in collector.wvars.items():
-            pinned[wname] = float(wc[label].samples[size_key][j])
-        try:
-            solution = solve_lexicographic(
-                analysis.lp, objectives, context=f"BayesWC sample {j}", pinned=pinned
+    with telemetry.span(
+        "posterior.resolve", method="bayeswc", samples=config.num_posterior_samples
+    ) as tspan:
+        for j in range(config.num_posterior_samples):
+            pinned = {}
+            for (label, size_key), wname in collector.wvars.items():
+                pinned[wname] = float(wc[label].samples[size_key][j])
+            try:
+                solution = solve_lexicographic(
+                    analysis.lp, objectives, context=f"BayesWC sample {j}", pinned=pinned
+                )
+            except InfeasibleError:
+                failures += 1
+                continue
+            lp_fallbacks += solution.fallbacks
+            assignment = {k: _snap(v) for k, v in solution.assignment.items()}
+            bounds.append(
+                ResourceBound(
+                    fname,
+                    tuple(instantiate(p, assignment) for p in sig.params),
+                    _snap(solution.value(sig.p0)),
+                )
             )
-        except InfeasibleError:
-            failures += 1
-            continue
-        lp_fallbacks += solution.fallbacks
-        assignment = {k: _snap(v) for k, v in solution.assignment.items()}
-        bounds.append(
-            ResourceBound(
-                fname,
-                tuple(instantiate(p, assignment) for p in sig.params),
-                _snap(solution.value(sig.p0)),
-            )
-        )
+        tspan.set(failures=failures, lp_fallbacks=lp_fallbacks)
     elapsed = time.perf_counter() - start
     diagnostics: Dict[str, float] = {}
     chain_diagnostics: List[Dict[str, float]] = []
@@ -307,7 +313,9 @@ def run_bayespc(
     hyper = resolve_bayespc_hyperparams(config.bayespc, analysis, opt_solution, opt_gaps)
 
     # Build the polytope over C0 and the constrained density (Eq. 6.3)
-    reduced = polytope_from_lp(analysis.lp)
+    with telemetry.span("posterior.polytope") as tspan:
+        reduced = polytope_from_lp(analysis.lp)
+        tspan.set(dim=int(reduced.polytope.dim), facets=int(reduced.polytope.A.shape[0]))
     density = BayesPCDensity(
         reduced.names,
         collector.likelihood_rows(),
@@ -321,11 +329,12 @@ def run_bayespc(
     sampler = config.sampler
     # Warm start at the (convex) MAP and precondition by the local curvature;
     # the raw interior point can be 10^5 nats from the typical set.
-    interior = low_norm_interior_point(reduced)
-    mode = map_estimate(logdensity_z, reduced.polytope, interior)
-    scales = diagonal_preconditioner(logdensity_z, mode, reduced.polytope)
-    scaled = rescale_problem(logdensity_z, reduced.polytope, scales)
-    base_start = scaled.from_z(mode)
+    with telemetry.span("posterior.warmstart", dim=int(reduced.polytope.dim)):
+        interior = low_norm_interior_point(reduced)
+        mode = map_estimate(logdensity_z, reduced.polytope, interior)
+        scales = diagonal_preconditioner(logdensity_z, mode, reduced.polytope)
+        scaled = rescale_problem(logdensity_z, reduced.polytope, scales)
+        base_start = scaled.from_z(mode)
     starts = []
     slack = scaled.polytope.slack(base_start) if scaled.polytope.dim else np.zeros(0)
     margin = float(max(slack.min(), 0.0)) if slack.size else 1.0
@@ -360,29 +369,33 @@ def run_bayespc(
     bounds: List[ResourceBound] = []
     failures = 0
     lp_fallbacks = opt_solution.fallbacks
-    for j in range(draws.shape[0]):
-        assignment_x = reduced.assignment(draws[j])
-        pinned = {name: max(0.0, assignment_x.get(name, 0.0)) for name in site_vars}
-        try:
-            solution = solve_lexicographic(
-                analysis.lp,
-                root_objectives,
-                context=f"BayesPC sample {j}",
-                pinned=pinned,
-                pin_slack=1e-6,
+    with telemetry.span(
+        "posterior.resolve", method="bayespc", samples=int(draws.shape[0])
+    ) as tspan:
+        for j in range(draws.shape[0]):
+            assignment_x = reduced.assignment(draws[j])
+            pinned = {name: max(0.0, assignment_x.get(name, 0.0)) for name in site_vars}
+            try:
+                solution = solve_lexicographic(
+                    analysis.lp,
+                    root_objectives,
+                    context=f"BayesPC sample {j}",
+                    pinned=pinned,
+                    pin_slack=1e-6,
+                )
+            except InfeasibleError:
+                failures += 1
+                continue
+            lp_fallbacks += solution.fallbacks
+            assignment = {k: _snap(v) for k, v in solution.assignment.items()}
+            bounds.append(
+                ResourceBound(
+                    fname,
+                    tuple(instantiate(p, assignment) for p in sig.params),
+                    _snap(solution.value(sig.p0)),
+                )
             )
-        except InfeasibleError:
-            failures += 1
-            continue
-        lp_fallbacks += solution.fallbacks
-        assignment = {k: _snap(v) for k, v in solution.assignment.items()}
-        bounds.append(
-            ResourceBound(
-                fname,
-                tuple(instantiate(p, assignment) for p in sig.params),
-                _snap(solution.value(sig.p0)),
-            )
-        )
+        tspan.set(failures=failures, lp_fallbacks=lp_fallbacks)
     elapsed = time.perf_counter() - start
     return PosteriorResult(
         method="bayespc",

@@ -77,6 +77,10 @@ class Interpreter:
         self.cost = 0.0
         self.records: List[StatRecord] = []
         self._stat_free_vars: Dict[int, frozenset] = {}
+        #: lifetime work counters (not reset by :meth:`run`) — cheap enough
+        #: to keep unconditionally; surfaced as telemetry by collect_dataset
+        self.eval_steps = 0
+        self.tick_ops = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -99,6 +103,7 @@ class Interpreter:
     # -- evaluation ----------------------------------------------------------
 
     def eval(self, expr: A.Expr, env: Dict[str, Value]) -> Value:
+        self.eval_steps += 1
         if isinstance(expr, A.Var):
             try:
                 return env[expr.name]
@@ -114,6 +119,7 @@ class Interpreter:
             return VList(())
         if isinstance(expr, A.Tick):
             self.cost += expr.amount
+            self.tick_ops += 1
             return UNIT_VALUE
         if isinstance(expr, A.ErrorExpr):
             raise EvalError(f"program error: {expr.message}")

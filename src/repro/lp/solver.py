@@ -18,7 +18,7 @@ from scipy.sparse import csr_matrix
 
 from .expr import LinExpr
 from .problem import LPProblem
-from .. import faultinject
+from .. import faultinject, telemetry
 from ..errors import InfeasibleError, LPError
 
 #: relative slack allowed when pinning a stage optimum for the next stage
@@ -126,51 +126,73 @@ def solve_lexicographic(
         objectives = [LinExpr()]
     for objective in objectives:
         problem.declare_expr(objective)
-    A_ub, b_ub, A_eq, b_eq, index = problem.to_matrices()
-    n = len(index)
-    bounds = [(0.0, None)] * n
-    if pinned:
-        for name, value in pinned.items():
-            if name not in index:
-                continue
-            lo = max(0.0, float(value) - pin_slack)
-            hi = float(value) + pin_slack
-            bounds[index[name]] = (lo, hi)
-    objective_values: List[float] = []
-    result = None
-    fallbacks = 0
+    with telemetry.span("lp.solve", context=context, objectives=len(objectives)) as tspan:
+        A_ub, b_ub, A_eq, b_eq, index = problem.to_matrices()
+        n = len(index)
+        bounds = [(0.0, None)] * n
+        if pinned:
+            for name, value in pinned.items():
+                if name not in index:
+                    continue
+                lo = max(0.0, float(value) - pin_slack)
+                hi = float(value) + pin_slack
+                bounds[index[name]] = (lo, hi)
+        objective_values: List[float] = []
+        result = None
+        fallbacks = 0
+        iterations = 0
 
-    ub_rows = [A_ub] if A_ub.size else []
-    ub_rhs = [b_ub] if b_ub.size else []
+        ub_rows = [A_ub] if A_ub.size else []
+        ub_rhs = [b_ub] if b_ub.size else []
 
-    for stage, objective in enumerate(objectives):
-        c = np.zeros(n)
-        for name, coef in objective.coeffs.items():
-            c[index[name]] += coef
-        A_cur = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
-        b_cur = np.concatenate(ub_rhs) if ub_rhs else np.zeros(0)
-        result, extra = _solve_robust(c, A_cur, b_cur, A_eq, b_eq, n, bounds, context)
-        fallbacks += extra
-        if result.status == 2:
-            raise InfeasibleError(
-                f"infeasible linear program{': ' + context if context else ''}"
-            )
-        if result.status == 3:
-            raise LPError(f"unbounded objective at stage {stage}{': ' + context if context else ''}")
-        stage_opt = float(result.fun) + objective.const
-        objective_values.append(stage_opt)
-        if stage < len(objectives) - 1:
-            # pin: objective <= opt (+ small slack for numerical robustness)
-            slack = STAGE_TOLERANCE * max(1.0, abs(stage_opt))
-            row = np.zeros(n)
+        tspan.set(variables=n, constraints=int(A_ub.shape[0]) + int(A_eq.shape[0]))
+        for stage, objective in enumerate(objectives):
+            c = np.zeros(n)
             for name, coef in objective.coeffs.items():
-                row[index[name]] += coef
-            ub_rows.append(row.reshape(1, -1))
-            ub_rhs.append(np.array([stage_opt - objective.const + slack]))
+                c[index[name]] += coef
+            A_cur = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+            b_cur = np.concatenate(ub_rhs) if ub_rhs else np.zeros(0)
+            result, extra = _solve_robust(c, A_cur, b_cur, A_eq, b_eq, n, bounds, context)
+            fallbacks += extra
+            iterations += int(getattr(result, "nit", 0) or 0)
+            if result.status == 2:
+                _lp_counters(n, iterations, fallbacks, infeasible=True)
+                raise InfeasibleError(
+                    f"infeasible linear program{': ' + context if context else ''}"
+                )
+            if result.status == 3:
+                _lp_counters(n, iterations, fallbacks)
+                raise LPError(
+                    f"unbounded objective at stage {stage}{': ' + context if context else ''}"
+                )
+            stage_opt = float(result.fun) + objective.const
+            objective_values.append(stage_opt)
+            if stage < len(objectives) - 1:
+                # pin: objective <= opt (+ small slack for numerical robustness)
+                slack = STAGE_TOLERANCE * max(1.0, abs(stage_opt))
+                row = np.zeros(n)
+                for name, coef in objective.coeffs.items():
+                    row[index[name]] += coef
+                ub_rows.append(row.reshape(1, -1))
+                ub_rhs.append(np.array([stage_opt - objective.const + slack]))
 
-    assert result is not None
-    assignment = {name: float(result.x[col]) for name, col in index.items()}
-    return LPSolution(assignment, objective_values, fallbacks=fallbacks)
+        assert result is not None
+        tspan.set(iterations=iterations, fallbacks=fallbacks)
+        _lp_counters(n, iterations, fallbacks)
+        assignment = {name: float(result.x[col]) for name, col in index.items()}
+        return LPSolution(assignment, objective_values, fallbacks=fallbacks)
+
+
+def _lp_counters(variables: int, iterations: int, fallbacks: int, infeasible: bool = False) -> None:
+    """Per-solve counter batch (one flag test each when telemetry is off)."""
+    telemetry.counter("lp.solves", 1)
+    telemetry.counter("lp.variables", variables)
+    if iterations:
+        telemetry.counter("lp.iterations", iterations)
+    if fallbacks:
+        telemetry.counter("lp.fallbacks", fallbacks)
+    if infeasible:
+        telemetry.counter("lp.infeasible", 1)
 
 
 def solve_min(

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import faultinject
+from .. import faultinject, telemetry
 from ..errors import InferenceError, SamplerDivergenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -47,6 +47,8 @@ class HMCResult:
     divergences: int = 0
     #: self-healing restarts spent producing this result
     retries: int = 0
+    #: total leapfrog integration steps taken (warmup included)
+    leapfrog_steps: int = 0
     #: per-chain diagnostics when this result aggregates several chains
     chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
 
@@ -163,6 +165,7 @@ def hmc_sample(
     accepted = 0
     total_post_warmup = 0
     divergences = 0
+    leapfrog_steps = 0
 
     n_total = config.n_warmup + config.n_samples
     for iteration in range(n_total):
@@ -171,6 +174,7 @@ def hmc_sample(
         n_steps = config.n_leapfrog
         if config.jitter_steps:
             n_steps = max(1, int(round(config.n_leapfrog * rng.uniform(0.6, 1.4))))
+        leapfrog_steps += n_steps
         q, p, new_logp, new_grad = leapfrog(
             position, momentum, grad, step_size, n_steps, logdensity_and_grad
         )
@@ -195,7 +199,14 @@ def hmc_sample(
             if accept_prob == 0.0:
                 divergences += 1
     accept_rate = accepted / max(1, total_post_warmup)
-    return HMCResult(samples, accept_rate, step_size, logdensities, divergences=divergences)
+    return HMCResult(
+        samples,
+        accept_rate,
+        step_size,
+        logdensities,
+        divergences=divergences,
+        leapfrog_steps=leapfrog_steps,
+    )
 
 
 def sample_with_healing(sample_fn, config, rng):
@@ -246,6 +257,22 @@ def sample_with_healing(sample_fn, config, rng):
     )
 
 
+def count_gradient_evals(logdensity_and_grad: LogDensityAndGrad):
+    """Observation-only wrapper counting calls; rng streams are untouched.
+
+    Returns ``(wrapped, counts)`` where ``counts[0]`` is the running call
+    count.  Applied only when telemetry is enabled, so the disabled path
+    pays nothing (not even an extra frame per gradient evaluation).
+    """
+    counts = [0]
+
+    def wrapped(q: np.ndarray) -> Tuple[float, np.ndarray]:
+        counts[0] += 1
+        return logdensity_and_grad(q)
+
+    return wrapped, counts
+
+
 def hmc_sample_chains(
     logdensity_and_grad: LogDensityAndGrad,
     initial_points,
@@ -255,37 +282,71 @@ def hmc_sample_chains(
 ) -> HMCResult:
     """Run several self-healing chains from different starts; concatenates draws."""
     logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
-    chains = []
-    rates = []
-    logps = []
-    diagnostics: List[Dict[str, float]] = []
-    divergences = 0
-    retries = 0
-    for chain_index, initial in enumerate(initial_points):
-        start = np.asarray(initial, float)
-        result = sample_with_healing(
-            lambda cfg, r: hmc_sample(logdensity_and_grad, start, cfg, r), config, rng
+    grad_evals = None
+    if telemetry.enabled():
+        logdensity_and_grad, grad_evals = count_gradient_evals(logdensity_and_grad)
+    with telemetry.span(
+        "sampler.hmc", n_samples=config.n_samples, n_warmup=config.n_warmup
+    ) as tspan:
+        chains = []
+        rates = []
+        logps = []
+        diagnostics: List[Dict[str, float]] = []
+        divergences = 0
+        retries = 0
+        leapfrog_steps = 0
+        for chain_index, initial in enumerate(initial_points):
+            start = np.asarray(initial, float)
+            result = sample_with_healing(
+                lambda cfg, r: hmc_sample(logdensity_and_grad, start, cfg, r), config, rng
+            )
+            chains.append(result.samples)
+            logps.append(result.logdensities)
+            rates.append(result.accept_rate)
+            divergences += result.divergences
+            retries += result.retries
+            leapfrog_steps += result.leapfrog_steps
+            diagnostics.append(
+                {
+                    "chain": float(chain_index),
+                    "divergences": float(result.divergences),
+                    "retries": float(result.retries),
+                    "step_size": float(result.step_size),
+                    "accept_rate": float(result.accept_rate),
+                }
+            )
+        accept_rate = float(np.mean(rates))
+        tspan.set(chains=len(chains), divergences=divergences, retries=retries)
+        _sampler_counters(
+            "hmc", accept_rate, divergences, retries, leapfrog_steps, grad_evals
         )
-        chains.append(result.samples)
-        logps.append(result.logdensities)
-        rates.append(result.accept_rate)
-        divergences += result.divergences
-        retries += result.retries
-        diagnostics.append(
-            {
-                "chain": float(chain_index),
-                "divergences": float(result.divergences),
-                "retries": float(result.retries),
-                "step_size": float(result.step_size),
-                "accept_rate": float(result.accept_rate),
-            }
+        return HMCResult(
+            np.concatenate(chains, axis=0),
+            accept_rate,
+            0.0,
+            np.concatenate(logps),
+            divergences=divergences,
+            retries=retries,
+            leapfrog_steps=leapfrog_steps,
+            chain_diagnostics=diagnostics,
         )
-    return HMCResult(
-        np.concatenate(chains, axis=0),
-        float(np.mean(rates)),
-        0.0,
-        np.concatenate(logps),
-        divergences=divergences,
-        retries=retries,
-        chain_diagnostics=diagnostics,
-    )
+
+
+def _sampler_counters(
+    kind: str,
+    accept_rate: float,
+    divergences: int,
+    retries: int,
+    leapfrog_steps: int,
+    grad_evals,
+) -> None:
+    """Shared per-run sampler metrics (used by HMC, NUTS and reflective HMC)."""
+    telemetry.gauge("sampler.accept_rate", round(accept_rate, 4), sampler=kind)
+    if leapfrog_steps:
+        telemetry.counter("sampler.leapfrog_steps", leapfrog_steps, sampler=kind)
+    if grad_evals is not None and grad_evals[0]:
+        telemetry.counter("sampler.gradient_evals", grad_evals[0], sampler=kind)
+    if divergences:
+        telemetry.counter("sampler.divergences", divergences, sampler=kind)
+    if retries:
+        telemetry.counter("sampler.healing_restarts", retries, sampler=kind)

@@ -19,9 +19,11 @@ from .hmc import (
     HMCResult,
     _DualAveraging,
     _find_initial_step_unconstrained,
+    _sampler_counters,
+    count_gradient_evals,
     sample_with_healing,
 )
-from .. import faultinject
+from .. import faultinject, telemetry
 from ..errors import InferenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -205,35 +207,44 @@ def nuts_sample_chains(
     fault_key: str = "nuts",
 ) -> HMCResult:
     logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
-    chains, logps, rates = [], [], []
-    diagnostics: List[Dict[str, float]] = []
-    divergences = 0
-    retries = 0
-    for chain_index, initial in enumerate(initial_points):
-        start = np.asarray(initial, float)
-        result = sample_with_healing(
-            lambda cfg, r: nuts_sample(logdensity_and_grad, start, cfg, r), config, rng
+    grad_evals = None
+    if telemetry.enabled():
+        logdensity_and_grad, grad_evals = count_gradient_evals(logdensity_and_grad)
+    with telemetry.span(
+        "sampler.nuts", n_samples=config.n_samples, n_warmup=config.n_warmup
+    ) as tspan:
+        chains, logps, rates = [], [], []
+        diagnostics: List[Dict[str, float]] = []
+        divergences = 0
+        retries = 0
+        for chain_index, initial in enumerate(initial_points):
+            start = np.asarray(initial, float)
+            result = sample_with_healing(
+                lambda cfg, r: nuts_sample(logdensity_and_grad, start, cfg, r), config, rng
+            )
+            chains.append(result.samples)
+            logps.append(result.logdensities)
+            rates.append(result.accept_rate)
+            divergences += result.divergences
+            retries += result.retries
+            diagnostics.append(
+                {
+                    "chain": float(chain_index),
+                    "divergences": float(result.divergences),
+                    "retries": float(result.retries),
+                    "step_size": float(result.step_size),
+                    "accept_rate": float(result.accept_rate),
+                }
+            )
+        accept_rate = float(np.mean(rates))
+        tspan.set(chains=len(chains), divergences=divergences, retries=retries)
+        _sampler_counters("nuts", accept_rate, divergences, retries, 0, grad_evals)
+        return HMCResult(
+            np.concatenate(chains, axis=0),
+            accept_rate,
+            0.0,
+            np.concatenate(logps),
+            divergences=divergences,
+            retries=retries,
+            chain_diagnostics=diagnostics,
         )
-        chains.append(result.samples)
-        logps.append(result.logdensities)
-        rates.append(result.accept_rate)
-        divergences += result.divergences
-        retries += result.retries
-        diagnostics.append(
-            {
-                "chain": float(chain_index),
-                "divergences": float(result.divergences),
-                "retries": float(result.retries),
-                "step_size": float(result.step_size),
-                "accept_rate": float(result.accept_rate),
-            }
-        )
-    return HMCResult(
-        np.concatenate(chains, axis=0),
-        float(np.mean(rates)),
-        0.0,
-        np.concatenate(logps),
-        divergences=divergences,
-        retries=retries,
-        chain_diagnostics=diagnostics,
-    )

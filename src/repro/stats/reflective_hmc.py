@@ -16,9 +16,9 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from .hmc import HMCConfig, _DualAveraging, sample_with_healing
+from .hmc import HMCConfig, _DualAveraging, _sampler_counters, count_gradient_evals, sample_with_healing
 from .polytope import Polytope
-from .. import faultinject
+from .. import faultinject, telemetry
 from ..errors import InferenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -379,41 +379,60 @@ def reflective_hmc_chains(
 ) -> ReflectiveHMCResult:
     """Several self-healing chains, concatenated draws."""
     logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
-    chains = []
-    rates = []
-    reflections = 0
-    diagnostics: List[Dict[str, float]] = []
-    divergences = 0
-    retries = 0
-    for chain_index, initial in enumerate(initial_points):
-        start = initial
-        result = sample_with_healing(
-            lambda cfg, r: reflective_hmc_sample(
-                logdensity_and_grad, polytope, start, cfg, r
-            ),
-            config,
-            rng,
+    grad_evals = None
+    if telemetry.enabled():
+        logdensity_and_grad, grad_evals = count_gradient_evals(logdensity_and_grad)
+    with telemetry.span(
+        "sampler.reflective",
+        n_samples=config.n_samples,
+        n_warmup=config.n_warmup,
+        facets=int(polytope.A.shape[0]),
+    ) as tspan:
+        chains = []
+        rates = []
+        reflections = 0
+        diagnostics: List[Dict[str, float]] = []
+        divergences = 0
+        retries = 0
+        for chain_index, initial in enumerate(initial_points):
+            start = initial
+            result = sample_with_healing(
+                lambda cfg, r: reflective_hmc_sample(
+                    logdensity_and_grad, polytope, start, cfg, r
+                ),
+                config,
+                rng,
+            )
+            chains.append(result.samples)
+            rates.append(result.accept_rate)
+            reflections += result.n_reflections
+            divergences += result.divergences
+            retries += result.retries
+            diagnostics.append(
+                {
+                    "chain": float(chain_index),
+                    "divergences": float(result.divergences),
+                    "retries": float(result.retries),
+                    "step_size": float(result.step_size),
+                    "accept_rate": float(result.accept_rate),
+                }
+            )
+        accept_rate = float(np.mean(rates))
+        tspan.set(
+            chains=len(chains),
+            divergences=divergences,
+            retries=retries,
+            reflections=reflections,
         )
-        chains.append(result.samples)
-        rates.append(result.accept_rate)
-        reflections += result.n_reflections
-        divergences += result.divergences
-        retries += result.retries
-        diagnostics.append(
-            {
-                "chain": float(chain_index),
-                "divergences": float(result.divergences),
-                "retries": float(result.retries),
-                "step_size": float(result.step_size),
-                "accept_rate": float(result.accept_rate),
-            }
+        _sampler_counters("reflective", accept_rate, divergences, retries, 0, grad_evals)
+        if reflections:
+            telemetry.counter("sampler.reflections", reflections, sampler="reflective")
+        return ReflectiveHMCResult(
+            np.concatenate(chains, axis=0),
+            accept_rate,
+            0.0,
+            reflections,
+            divergences=divergences,
+            retries=retries,
+            chain_diagnostics=diagnostics,
         )
-    return ReflectiveHMCResult(
-        np.concatenate(chains, axis=0),
-        float(np.mean(rates)),
-        0.0,
-        reflections,
-        divergences=divergences,
-        retries=retries,
-        chain_diagnostics=diagnostics,
-    )

@@ -1,0 +1,96 @@
+"""Structured console output for the CLI (status vs results, human vs CI).
+
+The CLI used ad-hoc ``print()`` everywhere, which made "quiet mode" and
+machine-readable CI logs impossible without grepping.  This helper keeps
+the default human output byte-identical while adding:
+
+* ``-v`` / ``-q`` verbosity control — ``info`` status lines disappear
+  under ``-q``, ``debug`` lines appear under ``-v``; ``result`` lines
+  (tables, reports — the command's actual output) always print;
+* ``REPRO_LOG=json`` — every line becomes one JSON object with
+  ``level``, ``msg`` and any structured fields, for CI log scraping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, Optional, TextIO
+
+ENV_LOG = "REPRO_LOG"
+
+
+class Console:
+    """Leveled writer; one instance is configured per CLI invocation."""
+
+    def __init__(
+        self,
+        verbosity: int = 0,
+        json_mode: Optional[bool] = None,
+        stream: Optional[TextIO] = None,
+        err_stream: Optional[TextIO] = None,
+    ) -> None:
+        self.verbosity = verbosity
+        self.json_mode = (
+            json_mode
+            if json_mode is not None
+            else os.environ.get(ENV_LOG, "").lower() == "json"
+        )
+        self._stream = stream
+        self._err_stream = err_stream
+
+    # streams resolved lazily so pytest's capsys redirection is honored
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stdout
+
+    @property
+    def err_stream(self) -> TextIO:
+        return self._err_stream if self._err_stream is not None else sys.stderr
+
+    def _write(self, level: str, msg: str, stream: TextIO, fields: dict) -> None:
+        if self.json_mode:
+            payload = {"level": level, "msg": msg}
+            payload.update(fields)
+            print(json.dumps(payload, default=str), file=stream)
+        else:
+            print(msg, file=stream)
+
+    def result(self, msg: str = "", **fields: Any) -> None:
+        """Primary command output (tables, bounds); never suppressed."""
+        self._write("result", msg, self.stream, fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        """Status lines; hidden by ``-q``."""
+        if self.verbosity >= 0:
+            self._write("info", msg, self.stream, fields)
+
+    def debug(self, msg: str, **fields: Any) -> None:
+        """Extra detail; shown only with ``-v``."""
+        if self.verbosity >= 1:
+            self._write("debug", msg, self.stream, fields)
+
+    def warn(self, msg: str, **fields: Any) -> None:
+        """Warnings on stderr; hidden by ``-q``."""
+        if self.verbosity >= 0:
+            self._write("warning", msg, self.err_stream, fields)
+
+    def error(self, msg: str, **fields: Any) -> None:
+        """Errors on stderr; never suppressed."""
+        self._write("error", msg, self.err_stream, fields)
+
+
+#: process-wide console; reconfigured by the CLI from -v/-q flags
+CONSOLE = Console()
+
+
+def configure(verbosity: int = 0, json_mode: Optional[bool] = None) -> Console:
+    """Reconfigure the shared console (called once by ``cli.main``)."""
+    global CONSOLE
+    CONSOLE = Console(verbosity=verbosity, json_mode=json_mode)
+    return CONSOLE
+
+
+def get_console() -> Console:
+    return CONSOLE

@@ -1,0 +1,163 @@
+"""Trace-driven run reports: per-stage time breakdowns from a trace dir.
+
+Turns the merged span stream of a traced run into the numbers the
+ROADMAP needs before any perf work: *which pipeline stage inside which
+Table 1 cell burns the time*.  Attribution walks each span's parent
+chain to its root ``runner.task`` span (the worker wraps every task in
+one, tagged with the cell's task id) and charges the span's **self
+time** — duration minus direct children — to its stage, so the stage
+totals of a cell partition the cell's wall clock exactly instead of
+double-counting nested spans.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .chrome import load_events
+
+#: cell label for spans recorded outside any runner.task root (the
+#: parent process's submit/merge bookkeeping, ad-hoc spans in tests)
+UNTRACKED = "(untracked)"
+
+
+@dataclass
+class CellTiming:
+    """Aggregated timings for one benchmark×mode×method cell."""
+
+    cell: str
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: (duration, span name, attrs) of the slowest spans, descending
+    slowest: List[Tuple[float, str, Dict[str, Any]]] = field(default_factory=list)
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``trace summary`` renders."""
+
+    events: int
+    processes: int
+    cells: Dict[str, CellTiming]
+    counters: Dict[str, float]
+
+    def stage_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for cell in self.cells.values():
+            for stage, seconds in cell.stages.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+
+def summarize_events(events: List[Dict[str, Any]], top: int = 3) -> TraceSummary:
+    """Aggregate a merged event list into per-cell stage timings."""
+    spans = [e for e in events if e.get("ev") == "span"]
+    pids = {e.get("pid") for e in events}
+
+    # parent links are only meaningful within one process's file
+    by_pid: Dict[int, Dict[int, Dict[str, Any]]] = {}
+    child_time: Dict[Tuple[int, int], float] = {}
+    for event in spans:
+        by_pid.setdefault(event["pid"], {})[event["id"]] = event
+        parent = event.get("parent")
+        if parent is not None:
+            key = (event["pid"], parent)
+            child_time[key] = child_time.get(key, 0.0) + float(event.get("dur", 0.0))
+
+    root_cache: Dict[Tuple[int, int], str] = {}
+
+    def cell_of(event: Dict[str, Any]) -> str:
+        pid, index = event["pid"], by_pid[event["pid"]]
+        key = (pid, event["id"])
+        if key in root_cache:
+            return root_cache[key]
+        seen = []
+        node: Optional[Dict[str, Any]] = event
+        while node is not None:
+            seen.append((pid, node["id"]))
+            task = (node.get("args") or {}).get("task")
+            if task is not None:
+                break
+            parent = node.get("parent")
+            node = index.get(parent) if parent is not None else None
+        cell = str((node.get("args") or {}).get("task")) if node is not None else UNTRACKED
+        for k in seen:
+            root_cache[k] = cell
+        return cell
+
+    cells: Dict[str, CellTiming] = {}
+    for event in spans:
+        cell = cells.setdefault(cell_of(event), CellTiming(cell_of(event)))
+        dur = float(event.get("dur", 0.0))
+        self_time = max(0.0, dur - child_time.get((event["pid"], event["id"]), 0.0))
+        stage = event.get("stage", "span")
+        cell.stages[stage] = cell.stages.get(stage, 0.0) + self_time
+        if (event.get("args") or {}).get("task") is not None:
+            cell.wall_seconds += dur
+            cell.cpu_seconds += float(event.get("cpu", 0.0))
+        else:
+            cell.slowest.append((dur, event["name"], dict(event.get("args") or {})))
+
+    for cell in cells.values():
+        cell.slowest.sort(key=lambda item: -item[0])
+        del cell.slowest[max(0, top):]
+        if cell.wall_seconds == 0.0:  # no root span (ad-hoc traces)
+            cell.wall_seconds = sum(cell.stages.values())
+
+    counters: Dict[str, float] = {}
+    for event in events:
+        if event.get("ev") == "counter":
+            counters[event["name"]] = counters.get(event["name"], 0.0) + float(
+                event.get("value", 0.0)
+            )
+    return TraceSummary(
+        events=len(events), processes=len(pids), cells=cells, counters=counters
+    )
+
+
+def summarize_trace_dir(trace_dir: os.PathLike, top: int = 3) -> TraceSummary:
+    return summarize_events(load_events(trace_dir), top=top)
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def render_summary(summary: TraceSummary, trace_dir: str = "", top: int = 3) -> str:
+    """The ``trace summary`` report: stage bars, per-cell lines, top spans."""
+    from ..evalharness.asciiplot import render_hbar_chart
+
+    lines: List[str] = []
+    title = f"== trace summary{': ' + trace_dir if trace_dir else ''} =="
+    lines.append(title)
+    lines.append(
+        f"{summary.events} event(s) from {summary.processes} process(es), "
+        f"{len(summary.cells)} cell(s)"
+    )
+    lines.append("")
+    lines.append("per-stage wall time (span self-time, all cells)")
+    totals = sorted(summary.stage_totals().items(), key=lambda kv: -kv[1])
+    lines.append(render_hbar_chart([(stage, secs) for stage, secs in totals]))
+    lines.append("")
+
+    tracked = sorted(
+        (c for name, c in summary.cells.items() if name != UNTRACKED),
+        key=lambda c: -c.wall_seconds,
+    )
+    if tracked:
+        lines.append("per-cell stage breakdown (slowest first)")
+        for cell in tracked:
+            stages = sorted(cell.stages.items(), key=lambda kv: -kv[1])
+            detail = ", ".join(f"{stage} {secs:.2f}s" for stage, secs in stages)
+            lines.append(f"  {cell.cell:40s} {cell.wall_seconds:8.2f}s | {detail}")
+            for dur, name, args in cell.slowest[:top]:
+                attrs = " ".join(f"{k}={v}" for k, v in sorted(args.items()))
+                lines.append(f"      {dur:8.3f}s  {name}" + (f"  [{attrs}]" if attrs else ""))
+        lines.append("")
+    if summary.counters:
+        lines.append("counters")
+        for name, value in sorted(summary.counters.items()):
+            lines.append(f"  {name:36s} {value:g}")
+    return "\n".join(lines)
