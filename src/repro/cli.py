@@ -157,46 +157,74 @@ def cmd_static(args) -> int:
     return 0 if verdict.succeeded else 1
 
 
-def cmd_bench(args) -> int:
+#: env var naming the default parent directory for run journals
+ENV_RUNS_DIR = "REPRO_RUNS_DIR"
+
+
+def _activate_faults(spec: str) -> None:
+    """Chaos-testing mode: activate the fault plan for this process and
+    every worker it forks (they inherit the environment)."""
     import os
     import tempfile
 
-    from .evalharness import EvalRunner, RunnerReport, render_gap_table, render_table1, run_table1
     from .faultinject import ENV_SPEC, ENV_STATE
-    from .suite import all_benchmarks
+
+    os.environ[ENV_SPEC] = spec
+    os.environ.setdefault(ENV_STATE, tempfile.mkdtemp(prefix="repro-faults-"))
+
+
+def _runs_root(args) -> str:
+    import os
+
+    return args.runs_dir or os.environ.get(ENV_RUNS_DIR) or "runs"
+
+
+def _bench_execute(
+    args,
+    specs,
+    config,
+    seed: int,
+    methods,
+    journal=None,
+    preloaded=None,
+) -> int:
+    """Shared core of ``bench`` and ``bench resume``: run the grid under a
+    (possibly journalled) runner, render tables, export metrics/trace."""
+    import os
+    import shutil
+
+    from .errors import EXIT_INTERRUPTED
+    from .evalharness import (
+        EvalRunner,
+        RunnerReport,
+        assemble_available,
+        expand_grid,
+        render_gap_table,
+        render_table1,
+    )
 
     con = get_console()
-    if args.faults:
-        # Chaos-testing mode: activate the fault plan for this process and
-        # every worker it forks (they inherit the environment).
-        os.environ[ENV_SPEC] = args.faults
-        os.environ.setdefault(ENV_STATE, tempfile.mkdtemp(prefix="repro-faults-"))
     trace_dir = args.trace or os.environ.get(telemetry.ENV_TRACE)
     if trace_dir:
         # the env var propagates tracing to forked pool workers (and is the
         # backup channel when a replacement pool respawns them)
         os.environ[telemetry.ENV_TRACE] = trace_dir
         telemetry.enable(trace_dir)
-    if args.benchmark == "all":
-        specs = all_benchmarks()
-    else:
-        specs = [get_benchmark(args.benchmark)]
-    config = AnalysisConfig(
-        num_posterior_samples=args.samples,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache,
-        task_timeout=args.task_timeout,
-        keep_going=not args.fail_fast,
-    )
-    methods = [args.method] if args.method != "all" else ("opt", "bayeswc", "bayespc")
+    tasks = expand_grid(specs, config=config, seed=seed, methods=methods)
     with EvalRunner(
-        jobs=args.jobs,
-        cache_dir=args.cache,
-        task_timeout=args.task_timeout,
-        fail_fast=args.fail_fast,
+        jobs=config.jobs,
+        cache_dir=config.cache_dir,
+        task_timeout=config.task_timeout,
+        fail_fast=not config.keep_going,
+        journal=journal,
     ) as runner:
-        runs = run_table1(specs, config, seed=args.seed, methods=methods, runner=runner)
+        if journal is not None:
+            runner.checkpoint_dir = journal.checkpoints_dir
+            runner.install_signal_handlers()
+        if preloaded:
+            runner.preload(preloaded)
+        report = runner.run_tasks(tasks)
+        runs = assemble_available(specs, report, seed)
         con.result(render_table1(runs))
         failed_cells = 0
         for run in runs:
@@ -224,7 +252,12 @@ def cmd_bench(args) -> int:
             )
         if args.metrics:
             report_json = RunnerReport(
-                tasks=[], outcomes=runner.history, jobs=runner.jobs, wall_seconds=0.0
+                tasks=[],
+                outcomes=runner.history,
+                jobs=runner.jobs,
+                wall_seconds=0.0,
+                interrupted=report.interrupted,
+                shutdown_reason=report.shutdown_reason,
             )
             try:
                 report_json.write_metrics(args.metrics)
@@ -245,17 +278,185 @@ def cmd_bench(args) -> int:
             events=n_events,
             trace_dir=trace_dir,
         )
+    if journal is not None:
+        if report.interrupted:
+            journal.close()
+        else:
+            journal.run_finish("failed-cells" if failed_cells else "ok")
+            journal.close()
+            # the run is complete: mid-chain checkpoints have no future use
+            shutil.rmtree(journal.checkpoints_dir, ignore_errors=True)
+    if report.interrupted:
+        done = len(report.outcomes)
+        hint = (
+            f"; resume with: hybrid-aara bench resume {journal.run_id}"
+            if journal is not None
+            else ""
+        )
+        con.warn(
+            f"run interrupted ({report.shutdown_reason or 'shutdown'}): "
+            f"{done}/{len(tasks)} cell(s) finished{hint}"
+        )
+        return EXIT_INTERRUPTED
     if failed_cells:
         # Under --fail-fast a mid-run abort already surfaced as ReproError
         # (exit 2); this branch covers failures that slipped through before
         # the abort fired or when every task had already been submitted.
-        if args.fail_fast:
+        if not config.keep_going:
             con.error(f"error: {failed_cells} cell(s) failed")
             return 1
         con.warn(
             f"warning: {failed_cells} cell(s) failed; remaining cells are "
             "unaffected (see footnotes above)"
         )
+    return 0
+
+
+def _bench_resume(args) -> int:
+    """Replay a run journal and execute only its unfinished cells."""
+    import os
+
+    from .evalharness import journal as journal_mod
+    from .evalharness.runner import expand_grid, run_signature
+    from .evalharness import METHODS
+    from .suite import all_benchmarks
+
+    con = get_console()
+    run_id = args.run_id_pos or args.run_id
+    if not run_id:
+        raise ReproError(
+            "bench resume needs a run id: hybrid-aara bench resume <run-id>"
+        )
+    runs_root = _runs_root(args)
+    run_dir = os.path.join(runs_root, run_id)
+    if not os.path.exists(os.path.join(run_dir, journal_mod.JOURNAL_NAME)):
+        raise ReproError(f"no journal found for run {run_id!r} under {runs_root!r}")
+    replayed = journal_mod.replay(run_dir)
+    if replayed.header is None:
+        raise ReproError(f"journal for run {run_id!r} has no run-start header")
+    if replayed.run_finished:
+        con.info(f"run {run_id} already finished; re-rendering from its journal")
+    params = replayed.params
+    if args.faults:
+        _activate_faults(args.faults)
+
+    benchmark = str(params.get("benchmark", "all"))
+    specs = all_benchmarks() if benchmark == "all" else [get_benchmark(benchmark)]
+    method = str(params.get("method", "all"))
+    methods = [method] if method != "all" else list(METHODS)
+    seed = int(params.get("seed", 0))
+    config = AnalysisConfig(
+        num_posterior_samples=int(params.get("samples", 25)),
+        seed=seed,
+        jobs=args.jobs or int(params.get("jobs") or 1),
+        cache_dir=args.cache or params.get("cache"),
+        task_timeout=args.task_timeout or params.get("task_timeout"),
+        keep_going=not params.get("fail_fast"),
+    )
+    signature = run_signature(config, seed, methods, [s.name for s in specs])
+    if signature != replayed.signature:
+        raise ReproError(
+            f"refusing to resume run {run_id!r}: the config signature no longer "
+            "matches the journalled run (code, config or benchmark set changed)"
+        )
+    grid_ids = [t.task_id for t in expand_grid(specs, config=config, seed=seed, methods=methods)]
+    if grid_ids != replayed.grid:
+        raise ReproError(
+            f"refusing to resume run {run_id!r}: the expanded task grid differs "
+            "from the journalled grid"
+        )
+    completed = replayed.completed_ok()
+    journal = journal_mod.RunJournal(run_dir, run_id)
+    journal.run_resume(len(completed), len(grid_ids) - len(completed))
+    con.info(
+        f"resuming run {run_id}: {len(completed)}/{len(grid_ids)} cell(s) "
+        "replayed from the journal",
+        completed=len(completed),
+        total=len(grid_ids),
+    )
+    return _bench_execute(
+        args, specs, config, seed, methods, journal=journal, preloaded=completed
+    )
+
+
+def cmd_bench(args) -> int:
+    import os
+
+    from .evalharness import journal as journal_mod
+    from .evalharness.runner import expand_grid, run_signature
+    from .suite import all_benchmarks
+
+    if args.benchmark == "resume":
+        return _bench_resume(args)
+    if args.faults:
+        _activate_faults(args.faults)
+    if args.benchmark == "all":
+        specs = all_benchmarks()
+    else:
+        specs = [get_benchmark(args.benchmark)]
+    config = AnalysisConfig(
+        num_posterior_samples=args.samples,
+        seed=args.seed,
+        jobs=args.jobs or 1,
+        cache_dir=args.cache,
+        task_timeout=args.task_timeout,
+        keep_going=not args.fail_fast,
+    )
+    methods = [args.method] if args.method != "all" else ("opt", "bayeswc", "bayespc")
+    journal = None
+    if not args.no_journal:
+        run_id = args.run_id or journal_mod.new_run_id()
+        journal = journal_mod.RunJournal(os.path.join(_runs_root(args), run_id), run_id)
+        grid_ids = [
+            t.task_id
+            for t in expand_grid(specs, config=config, seed=args.seed, methods=methods)
+        ]
+        journal.run_start(
+            params={
+                "benchmark": args.benchmark,
+                "method": args.method,
+                "samples": args.samples,
+                "seed": args.seed,
+                "jobs": args.jobs or 1,
+                "cache": args.cache,
+                "task_timeout": args.task_timeout,
+                "fail_fast": args.fail_fast,
+            },
+            signature=run_signature(
+                config, args.seed, methods, [s.name for s in specs]
+            ),
+            grid=grid_ids,
+        )
+        get_console().info(
+            f"run {run_id} -> {journal.run_dir}", run_id=run_id, run_dir=journal.run_dir
+        )
+    return _bench_execute(
+        args, specs, config, args.seed, methods, journal=journal
+    )
+
+
+def cmd_cache(args) -> int:
+    from .evalharness.runner import ResultCache
+
+    con = get_console()
+    cache = ResultCache(args.dir)
+    if args.cache_command == "wipe":
+        removed = cache.wipe()
+        con.info(f"removed {removed} file(s) from {args.dir}", removed=removed)
+        return 0
+    # gc
+    max_bytes = None if args.max_mb is None else int(args.max_mb * 1024 * 1024)
+    stats = cache.gc(
+        max_bytes=max_bytes,
+        tmp_age_seconds=args.tmp_age,
+        drop_quarantined=args.drop_quarantined,
+    )
+    con.info(
+        f"cache gc: kept {stats['kept']} entry(ies) ({stats['bytes']} bytes), "
+        f"evicted {stats['evicted']}, removed {stats['tmp_removed']} tmp + "
+        f"{stats['quarantined_removed']} quarantined file(s)",
+        **stats,
+    )
     return 0
 
 
@@ -333,13 +534,48 @@ def build_parser() -> argparse.ArgumentParser:
     static.add_argument("--degree", type=int, default=3, help="max degree to try")
     static.set_defaults(func=cmd_static)
 
-    bench = sub.add_parser("bench", help="run one paper benchmark (or 'all') end to end")
-    bench.add_argument("benchmark", help="benchmark name, e.g. QuickSort, or 'all'")
+    bench = sub.add_parser(
+        "bench",
+        help="run one paper benchmark (or 'all') end to end; "
+        "'bench resume <run-id>' continues an interrupted run",
+    )
+    bench.add_argument(
+        "benchmark",
+        help="benchmark name, e.g. QuickSort, 'all', or 'resume' to continue "
+        "a journalled run",
+    )
+    bench.add_argument(
+        "run_id_pos",
+        nargs="?",
+        default=None,
+        metavar="run-id",
+        help="run id to resume (only with 'bench resume')",
+    )
     bench.add_argument("--method", default="all")
     bench.add_argument("--samples", type=int, default=25)
     bench.add_argument("--seed", type=int, default=0)
-    bench.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default 1; resume inherits the journalled value)",
+    )
     bench.add_argument("--cache", default=None, help="on-disk result cache directory")
+    bench.add_argument(
+        "--run-id",
+        default=None,
+        help="name this run's journal directory (default: generated timestamp id)",
+    )
+    bench.add_argument(
+        "--runs-dir",
+        default=None,
+        help="parent directory for run journals (default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    bench.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the write-ahead run journal (run is not resumable)",
+    )
     bench.add_argument("--metrics", default=None, help="write per-task metrics JSON here")
     bench.add_argument(
         "--trace",
@@ -374,6 +610,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=cmd_bench)
 
+    cache = sub.add_parser("cache", help="manage an on-disk result cache directory")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-used entries over a size cap; sweep stale "
+        "*.tmp files left by killed writers",
+    )
+    cache_gc.add_argument("dir", help="cache directory (from bench --cache)")
+    cache_gc.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="LRU-evict entries until the cache is under this size (default: no cap)",
+    )
+    cache_gc.add_argument(
+        "--tmp-age",
+        type=float,
+        default=60.0,
+        help="remove *.tmp files older than this many seconds (default: 60)",
+    )
+    cache_gc.add_argument(
+        "--drop-quarantined",
+        action="store_true",
+        help="also delete *.json.quarantined corruption evidence",
+    )
+    cache_gc.set_defaults(func=cmd_cache)
+    cache_wipe = cache_sub.add_parser("wipe", help="remove every cache file")
+    cache_wipe.add_argument("dir", help="cache directory (from bench --cache)")
+    cache_wipe.set_defaults(func=cmd_cache)
+
     trace = sub.add_parser("trace", help="inspect a --trace directory")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     trace_summary = trace_sub.add_parser(
@@ -403,6 +669,11 @@ def main(argv=None) -> int:
     telemetry.ensure_from_env()
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        from .errors import EXIT_INTERRUPTED
+
+        con.error("interrupted")
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         con.error(f"error: {exc}")
         return 2

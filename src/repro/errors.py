@@ -8,6 +8,12 @@ Bayesian inference.
 
 from __future__ import annotations
 
+#: process exit code for a run stopped by graceful shutdown (SIGINT/SIGTERM).
+#: Distinct from 0 (clean), 1 (failed cells) and 2 (ReproError) so scripts
+#: and CI can tell "interrupted, resume me" apart from genuine failure;
+#: 75 is the sysexits.h EX_TEMPFAIL convention ("temporary failure, retry").
+EXIT_INTERRUPTED = 75
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""

@@ -1,0 +1,217 @@
+"""Write-ahead run journal: the durable record of one evaluation run.
+
+Every journalled ``bench`` invocation gets a run directory
+(``runs/<run-id>/``) holding a single append-only ``journal.jsonl``.
+Before the grid starts, the journal records the run header — CLI
+parameters, the expanded task grid, and the same config signature the
+result cache keys on.  As the run progresses it records each task's
+dispatch (``task-start``) and, crucially, each finished task's **full
+outcome** (``task-finish``) the moment the runner learns it.  The
+journal is therefore a write-ahead log of the run: no matter where a
+SIGKILL lands, every completed cell survives on disk.
+
+``bench resume <run-id>`` replays the journal (:func:`replay`), verifies
+the config signature still matches, preloads completed outcomes into the
+runner, and re-executes only unfinished or failed cells — with
+rng-identical results, since each cell's seed is derived from the grid
+position, not from run-global state.
+
+Durability discipline matches the telemetry sink: records are single
+``os.write`` calls on an ``O_APPEND`` descriptor, so concurrent writers
+cannot interleave bytes and a kill can at worst tear the final line —
+which :func:`replay` tolerates (the torn record's task simply reruns).
+A full disk (real, or injected via the ``journal-enospc`` fault) degrades
+the journal to a warn-once no-op rather than killing the run: losing
+resumability must never lose the run itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .. import faultinject, telemetry
+from ..telemetry.console import get_console
+
+JOURNAL_NAME = "journal.jsonl"
+#: subdirectory of the run dir holding sampler chain checkpoints
+CHECKPOINTS_NAME = "checkpoints"
+
+
+def new_run_id() -> str:
+    """A sortable, collision-free run id: UTC timestamp + random suffix."""
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    return f"{stamp}-{os.urandom(3).hex()}"
+
+
+class RunJournal:
+    """Append-only event log for one run directory."""
+
+    def __init__(self, run_dir: os.PathLike, run_id: Optional[str] = None):
+        self.run_dir = str(run_dir)
+        self.run_id = run_id or os.path.basename(self.run_dir)
+        os.makedirs(self.run_dir, exist_ok=True)
+        self.path = os.path.join(self.run_dir, JOURNAL_NAME)
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        self._degraded = False
+
+    @property
+    def checkpoints_dir(self) -> str:
+        return os.path.join(self.run_dir, CHECKPOINTS_NAME)
+
+    # -- record types -------------------------------------------------------
+
+    def run_start(
+        self,
+        params: Dict[str, Any],
+        signature: Dict[str, Any],
+        grid: List[str],
+    ) -> None:
+        self.record(
+            {
+                "ev": "run-start",
+                "run_id": self.run_id,
+                "ts": time.time(),
+                "params": params,
+                "signature": signature,
+                "grid": grid,
+            }
+        )
+
+    def run_resume(self, completed: int, remaining: int) -> None:
+        self.record(
+            {
+                "ev": "run-resume",
+                "run_id": self.run_id,
+                "ts": time.time(),
+                "completed": completed,
+                "remaining": remaining,
+            }
+        )
+
+    def task_start(self, task_id: str, attempt: int = 0) -> None:
+        self.record({"ev": "task-start", "task": task_id, "attempt": attempt, "ts": time.time()})
+
+    def task_finish(self, task_id: str, outcome: Dict[str, Any]) -> None:
+        self.record({"ev": "task-finish", "task": task_id, "ts": time.time(), "outcome": outcome})
+
+    def shutdown(self, reason: str) -> None:
+        self.record({"ev": "shutdown", "reason": reason, "ts": time.time()})
+
+    def run_finish(self, status: str) -> None:
+        self.record({"ev": "run-finish", "status": status, "ts": time.time()})
+
+    # -- plumbing -----------------------------------------------------------
+
+    def record(self, event: Dict[str, Any]) -> None:
+        """Append one event as a single atomic write; degrade on I/O failure."""
+        if self._degraded:
+            return
+        line = (json.dumps(event, sort_keys=True) + "\n").encode()
+        try:
+            if faultinject.fault_point(faultinject.JOURNAL_ENOSPC, key=event.get("ev", "")):
+                raise OSError(28, "No space left on device (injected)")
+            os.write(self._fd, line)
+        except OSError as exc:
+            # a full disk must not kill the run — it only costs resumability
+            self._degraded = True
+            telemetry.counter("journal.append_errors", 1)
+            get_console().warn(
+                f"run journal degraded ({exc}); this run will not be resumable from here on"
+            )
+
+    def close(self) -> None:
+        try:
+            os.close(self._fd)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalReplay:
+    """What a journal says happened: header + per-task progress."""
+
+    run_id: str
+    header: Optional[Dict[str, Any]]
+    #: task id → outcome dict for every journalled task-finish (last wins)
+    finished: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: task ids with a task-start record
+    started: List[str] = field(default_factory=list)
+    shutdowns: List[str] = field(default_factory=list)
+    resumes: int = 0
+    run_finished: bool = False
+    #: the final line was torn by a mid-write kill (its task simply reruns)
+    torn: bool = False
+
+    @property
+    def grid(self) -> List[str]:
+        return list(self.header.get("grid", [])) if self.header else []
+
+    @property
+    def signature(self) -> Dict[str, Any]:
+        return dict(self.header.get("signature", {})) if self.header else {}
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return dict(self.header.get("params", {})) if self.header else {}
+
+    def completed_ok(self) -> Dict[str, Dict[str, Any]]:
+        """Outcomes safe to reuse on resume (failed cells re-execute)."""
+        return {
+            task: outcome
+            for task, outcome in self.finished.items()
+            if outcome.get("ok")
+        }
+
+
+def replay(run_dir: os.PathLike) -> JournalReplay:
+    """Reconstruct run progress from a journal, tolerating a torn tail."""
+    run_dir = str(run_dir)
+    path = os.path.join(run_dir, JOURNAL_NAME)
+    out = JournalReplay(run_id=os.path.basename(run_dir), header=None)
+    with open(path, "rb") as handle:
+        lines = handle.read().split(b"\n")
+    for index, raw in enumerate(lines):
+        if not raw.strip():
+            continue
+        try:
+            event = json.loads(raw)
+        except ValueError:
+            # a kill mid-append can tear only the final line; anything else
+            # is corruption we surface rather than silently skip
+            if index >= len(lines) - 2:
+                out.torn = True
+                continue
+            raise
+        ev = event.get("ev")
+        if ev == "run-start" and out.header is None:
+            out.header = event
+            out.run_id = event.get("run_id", out.run_id)
+        elif ev == "task-start":
+            out.started.append(event.get("task", ""))
+        elif ev == "task-finish":
+            outcome = event.get("outcome")
+            if isinstance(outcome, dict):
+                out.finished[event.get("task", "")] = outcome
+        elif ev == "shutdown":
+            out.shutdowns.append(event.get("reason", ""))
+        elif ev == "run-resume":
+            out.resumes += 1
+        elif ev == "run-finish":
+            out.run_finished = True
+    telemetry.counter(
+        "journal.replayed",
+        1,
+        finished=len(out.finished),
+        torn=out.torn,
+    )
+    return out

@@ -18,6 +18,7 @@ the canonical grid constants (:data:`METHODS`, :data:`MODES`) below.
 from __future__ import annotations
 
 import contextlib
+import copy
 import dataclasses
 import hashlib
 import json
@@ -35,9 +36,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from .. import faultinject, telemetry
+from .. import checkpoint, faultinject, telemetry
 from ..config import AnalysisConfig, DEFAULT_CONFIG
 from ..errors import ReproError, TaskTimeoutError, failure_stage
+from ..telemetry.console import get_console
+from .journal import RunJournal
 
 #: the canonical Table 1 grid axes — the single source of truth for the
 #: whole evalharness (table1/curves/gaps import these)
@@ -45,8 +48,8 @@ METHODS = ("opt", "bayeswc", "bayespc")
 MODES = ("data-driven", "hybrid")
 
 #: bump whenever an analysis-affecting code change should invalidate the
-#: on-disk result cache (v3: outcome metrics grew telemetry fields)
-CACHE_VERSION = 3
+#: on-disk result cache (v4: entries carry a payload checksum)
+CACHE_VERSION = 4
 
 
 def max_rss_kb(raw: Optional[int] = None, platform: Optional[str] = None) -> int:
@@ -268,6 +271,7 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
     from ..suite import get_benchmark
 
     telemetry.ensure_from_env()
+    checkpoint.ensure_from_env()
     started = time.perf_counter()
     started_ts = time.time()
     outcome: Dict[str, Any] = {
@@ -288,6 +292,9 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
     with contextlib.ExitStack() as stack:
         if accumulator is not None:
             stack.enter_context(accumulator)
+        # namespace sampler chain checkpoints under this grid cell (no-op
+        # unless REPRO_CHECKPOINT is active for this run)
+        stack.enter_context(checkpoint.task_scope(task.task_id))
         stack.enter_context(
             telemetry.span(
                 "runner.task",
@@ -386,6 +393,31 @@ def _config_signature(config: AnalysisConfig) -> Dict[str, Any]:
     return signature
 
 
+def run_signature(
+    config: AnalysisConfig,
+    seed: int,
+    methods: Sequence[str],
+    benchmarks: Sequence[str],
+) -> Dict[str, Any]:
+    """Everything that determines a run's results, JSON-normalized.
+
+    Written into the run journal's header and re-verified by ``bench
+    resume``: if the code version, config, seed, method set or benchmark
+    set changed since the journal was written, resuming would silently
+    mix incompatible outcomes — refuse instead.
+    """
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "config": _config_signature(config),
+        "seed": int(seed),
+        "methods": list(methods),
+        "benchmarks": list(benchmarks),
+    }
+    # round-trip through JSON so tuples/lists compare equal to a replayed
+    # (JSON-decoded) journal header
+    return json.loads(json.dumps(payload, sort_keys=True, default=str))
+
+
 class ResultCache:
     """On-disk memo of completed tasks, keyed by content hash.
 
@@ -393,7 +425,16 @@ class ResultCache:
     source, entry point, effective (per-mode) configuration, data-
     collection protocol, derived seeds, and a code-version constant.
     Editing one benchmark's source therefore invalidates exactly that
-    benchmark's rows.  Corrupted entries are deleted and recomputed.
+    benchmark's rows.
+
+    Integrity: every entry embeds a SHA-256 of its outcome payload,
+    verified on load.  An entry that fails verification (torn write,
+    bit rot, an injected ``cache-bitflip``) is *quarantined* — renamed to
+    ``<key>.json.quarantined`` with a console warning — rather than
+    silently deleted, so the evidence survives for diagnosis while the
+    cell transparently recomputes.  :meth:`gc` bounds the cache's disk
+    footprint (LRU by mtime) and sweeps orphaned ``*.tmp`` files left by
+    writers killed mid-``store``.
     """
 
     def __init__(self, root: os.PathLike) -> None:
@@ -436,30 +477,61 @@ class ResultCache:
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    @staticmethod
+    def _payload_digest(outcome: Dict[str, Any]) -> str:
+        return hashlib.sha256(
+            json.dumps(outcome, sort_keys=True).encode()
+        ).hexdigest()
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Set a failed entry aside (don't delete the evidence)."""
+        target = path.with_name(path.name + ".quarantined")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        telemetry.counter("cache.quarantined", 1, entry=path.name)
+        get_console().warn(
+            f"cache entry {path.name} failed integrity check ({reason}); "
+            f"quarantined as {target.name} and recomputing"
+        )
+
     def load(self, task: EvalTask) -> Optional[Dict[str, Any]]:
         key = self.key(task)
         path = self.path(key)
-        if not path.exists():
+        try:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
             return None
         try:
-            payload = json.loads(path.read_text())
-            if payload.get("cache_version") != CACHE_VERSION or payload.get("key") != key:
-                raise ValueError("stale or mismatched cache entry")
-            outcome = payload["outcome"]
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("entry is not a JSON object")
+            if payload.get("cache_version") != CACHE_VERSION:
+                # an older code version's format, not corruption: safe to drop
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                return None
+            if payload.get("key") != key:
+                raise ValueError("key mismatch")
+            outcome = payload.get("outcome")
             if not isinstance(outcome, dict) or "task" not in outcome:
-                raise ValueError("malformed cache entry")
+                raise ValueError("malformed outcome")
+            if payload.get("sha256") != self._payload_digest(outcome):
+                raise ValueError("payload checksum mismatch")
             return outcome
-        except Exception:
-            # corrupted entry: delete and let the caller recompute
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except ValueError as exc:  # json.JSONDecodeError is a ValueError
+            self._quarantine(path, str(exc))
             return None
 
     def store(self, task: EvalTask, outcome: Dict[str, Any]) -> None:
         key = self.key(task)
-        payload = {"cache_version": CACHE_VERSION, "key": key, "outcome": outcome}
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "key": key,
+            "sha256": self._payload_digest(outcome),
+            "outcome": outcome,
+        }
         blob = json.dumps(payload)
         final = self.path(key)
         if faultinject.fault_point(faultinject.CACHE_TORN, task.task_id):
@@ -467,6 +539,11 @@ class ResultCache:
             # as a crashed non-atomic writer would have left behind
             final.write_text(blob[: max(1, len(blob) // 3)])
             return
+        if faultinject.fault_point(faultinject.CACHE_BITFLIP, task.task_id):
+            # injected bit rot: flip one payload byte so the entry still
+            # parses-or-not unpredictably but always fails the checksum
+            mid = len(blob) // 2
+            blob = blob[:mid] + chr(ord(blob[mid]) ^ 0x01) + blob[mid + 1 :]
         # atomic publish: unique temp file in the same directory, then
         # rename — concurrent writers can race but never tear an entry
         fd, tmp = tempfile.mkstemp(dir=self.root, prefix=key[:16], suffix=".tmp")
@@ -482,15 +559,72 @@ class ResultCache:
             raise
 
     def wipe(self) -> int:
-        """Delete all entries; returns the number removed."""
+        """Delete all entries (plus orphaned temp and quarantined files);
+        returns the number removed."""
         removed = 0
-        for path in self.root.glob("*.json"):
+        for pattern in ("*.json", "*.tmp", "*.json.quarantined"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        tmp_age_seconds: float = 60.0,
+        drop_quarantined: bool = False,
+    ) -> Dict[str, int]:
+        """Bound the cache's disk footprint.
+
+        Sweeps orphaned ``*.tmp`` files older than ``tmp_age_seconds``
+        (younger ones may belong to a live writer), optionally drops
+        quarantined entries, and — when ``max_bytes`` is set — evicts
+        least-recently-used entries (by mtime) until under the cap.
+        """
+        stats = {"tmp_removed": 0, "quarantined_removed": 0, "evicted": 0, "kept": 0, "bytes": 0}
+        now = time.time()
+        for path in self.root.glob("*.tmp"):
             try:
-                path.unlink()
-                removed += 1
+                if now - path.stat().st_mtime >= tmp_age_seconds:
+                    path.unlink()
+                    stats["tmp_removed"] += 1
             except OSError:
                 pass
-        return removed
+        if drop_quarantined:
+            for path in self.root.glob("*.json.quarantined"):
+                try:
+                    path.unlink()
+                    stats["quarantined_removed"] += 1
+                except OSError:
+                    pass
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _mtime, size, _path in entries)
+        kept = len(entries)
+        if max_bytes is not None and total > max_bytes:
+            for _mtime, size, path in sorted(entries, key=lambda e: e[0]):
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                kept -= 1
+                stats["evicted"] += 1
+        stats["kept"] = kept
+        stats["bytes"] = total
+        if stats["evicted"]:
+            telemetry.counter("cache.evicted", stats["evicted"])
+        return stats
 
 
 # ---------------------------------------------------------------------------
@@ -500,12 +634,19 @@ class ResultCache:
 
 @dataclass
 class RunnerReport:
-    """Ordered task outcomes plus the structured metrics report."""
+    """Ordered task outcomes plus the structured metrics report.
+
+    ``interrupted`` marks a partial report from a gracefully shut down
+    run: ``outcomes`` then covers only the cells that finished before
+    the shutdown (tasks never reach it half-done).
+    """
 
     tasks: List[EvalTask]
     outcomes: List[Dict[str, Any]]
     jobs: int
     wall_seconds: float
+    interrupted: bool = False
+    shutdown_reason: Optional[str] = None
 
     def outcome_by_id(self) -> Dict[str, Dict[str, Any]]:
         return {o["task"]: o for o in self.outcomes}
@@ -539,6 +680,7 @@ class RunnerReport:
             "version": 2,
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
+            "interrupted": self.interrupted,
             "tasks": entries,
             "summary": {
                 "total_tasks": len(entries),
@@ -605,6 +747,15 @@ class EvalRunner:
     attempts.  A task that times out on every attempt is recorded with a
     ``timeout`` outcome.  ``fail_fast`` aborts the whole run with a
     :class:`ReproError` on the first failed cell instead of recording it.
+
+    Durability: with a ``journal`` attached, every dispatch and every
+    finished outcome is written ahead to the run journal, and outcomes
+    preloaded via :meth:`preload` (from a journal replay) are returned
+    without re-executing.  :meth:`install_signal_handlers` turns SIGINT/
+    SIGTERM into a *graceful shutdown*: dispatching stops, in-flight
+    tasks get ``shutdown_grace`` seconds to drain, and :meth:`run_tasks`
+    returns a partial report marked ``interrupted`` (a second signal
+    abandons in-flight work immediately).
     """
 
     def __init__(
@@ -616,6 +767,8 @@ class EvalRunner:
         task_fn: Callable[[EvalTask], Dict[str, Any]] = execute_task,
         task_timeout: Optional[float] = None,
         fail_fast: bool = False,
+        journal: Optional[RunJournal] = None,
+        shutdown_grace: float = 5.0,
     ) -> None:
         self.jobs = max(1, int(jobs or 1))
         self.cache = ResultCache(cache_dir) if cache_dir else None
@@ -624,6 +777,13 @@ class EvalRunner:
         self.task_fn = task_fn
         self.task_timeout = float(task_timeout) if task_timeout else None
         self.fail_fast = bool(fail_fast)
+        self.journal = journal
+        self.shutdown_grace = float(shutdown_grace)
+        self.checkpoint_dir: Optional[str] = None
+        self.preloaded: Dict[str, Dict[str, Any]] = {}
+        self.shutdown_reason: Optional[str] = None
+        self._shutdown = threading.Event()
+        self._prev_handlers: Dict[int, Any] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self.history: List[Dict[str, Any]] = []  # all outcomes ever run
 
@@ -636,9 +796,57 @@ class EvalRunner:
         self.close()
 
     def close(self) -> None:
+        self.restore_signal_handlers()
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+
+    # -- durability / shutdown ----------------------------------------------
+
+    def preload(self, outcomes: Dict[str, Dict[str, Any]]) -> None:
+        """Outcomes (by task id) to reuse instead of executing — the heart
+        of ``bench resume``.  Only trust completed, ok outcomes here;
+        failed cells should re-execute."""
+        self.preloaded.update(outcomes)
+
+    def interrupted(self) -> bool:
+        return self._shutdown.is_set()
+
+    def request_shutdown(self, reason: str = "signal") -> None:
+        """Stop dispatching new tasks; in-flight tasks drain within
+        ``shutdown_grace`` seconds.  Idempotent and signal-safe."""
+        if self._shutdown.is_set():
+            return
+        self.shutdown_reason = reason
+        self._shutdown.set()
+        telemetry.counter("runner.shutdown_requested", 1, reason=reason)
+        if self.journal is not None:
+            self.journal.shutdown(reason)
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGINT/SIGTERM into a graceful shutdown (main thread only).
+
+        The first signal requests the shutdown and lets the current task
+        finish; a second one raises :class:`KeyboardInterrupt` into the
+        main thread so even a long-running serial cell is abandoned.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return
+
+        def _handle(signum, _frame):
+            name = signal.Signals(signum).name
+            if self._shutdown.is_set():
+                raise KeyboardInterrupt(f"second {name}: abandoning in-flight work")
+            self.request_shutdown(f"signal:{name}")
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            self._prev_handlers[signum] = signal.signal(signum, _handle)
+
+    def restore_signal_handlers(self) -> None:
+        while self._prev_handlers:
+            signum, previous = self._prev_handlers.popitem()
+            with contextlib.suppress(ValueError):  # not the main thread
+                signal.signal(signum, previous)
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -660,38 +868,66 @@ class EvalRunner:
         started = time.perf_counter()
         outcomes: Dict[EvalTask, Dict[str, Any]] = {}
         pending: List[EvalTask] = []
-        with telemetry.span("runner.run_tasks", tasks=len(tasks), jobs=self.jobs):
-            for task in tasks:
-                cached = self.cache.load(task) if self.cache else None
-                if cached is not None:
-                    cached.setdefault("metrics", {})
-                    cached["metrics"]["cache_hit"] = True
-                    cached["metrics"]["attempts"] = 0
-                    outcomes[task] = cached
-                    telemetry.counter("runner.cache_hits", 1, task=task.task_id)
-                else:
-                    pending.append(task)
+        env_checkpoint = os.environ.get(checkpoint.ENV_CHECKPOINT)
+        if self.checkpoint_dir:
+            # propagate to forked pool workers (and the in-process serial
+            # path) so sampler chains checkpoint under the run directory
+            os.environ[checkpoint.ENV_CHECKPOINT] = str(self.checkpoint_dir)
+        try:
+            with telemetry.span("runner.run_tasks", tasks=len(tasks), jobs=self.jobs):
+                for task in tasks:
+                    replayed = self.preloaded.get(task.task_id)
+                    if replayed is not None:
+                        outcome = copy.deepcopy(replayed)
+                        outcome.setdefault("metrics", {})
+                        outcome["metrics"]["resumed"] = True
+                        outcome["metrics"].setdefault("attempts", 0)
+                        outcomes[task] = outcome
+                        telemetry.counter("resume.cells_skipped", 1, task=task.task_id)
+                        continue
+                    cached = self.cache.load(task) if self.cache else None
+                    if cached is not None:
+                        cached.setdefault("metrics", {})
+                        cached["metrics"]["cache_hit"] = True
+                        cached["metrics"]["attempts"] = 0
+                        outcomes[task] = cached
+                        telemetry.counter("runner.cache_hits", 1, task=task.task_id)
+                        if self.journal is not None:
+                            self.journal.task_finish(task.task_id, cached)
+                    else:
+                        pending.append(task)
 
-            if pending:
-                telemetry.counter("runner.cache_misses", len(pending))
-                if self.jobs == 1:
-                    fresh = self._run_serial(pending)
+                if pending and not self._shutdown.is_set():
+                    telemetry.counter("runner.cache_misses", len(pending))
+                    if self.jobs == 1:
+                        fresh = self._run_serial(pending)
+                    else:
+                        fresh = self._run_pool(pending)
+                    for task, outcome in fresh.items():
+                        outcome["metrics"]["cache_hit"] = False
+                        if self.cache and outcome["ok"]:
+                            outcome["metrics"]["cache_key"] = self.cache.key(task)
+                            self.cache.store(task, outcome)
+                        outcomes[task] = outcome
+        finally:
+            if self.checkpoint_dir:
+                if env_checkpoint is None:
+                    os.environ.pop(checkpoint.ENV_CHECKPOINT, None)
                 else:
-                    fresh = self._run_pool(pending)
-                for task, outcome in fresh.items():
-                    outcome["metrics"]["cache_hit"] = False
-                    if self.cache and outcome["ok"]:
-                        outcome["metrics"]["cache_key"] = self.cache.key(task)
-                        self.cache.store(task, outcome)
-                    outcomes[task] = outcome
+                    os.environ[checkpoint.ENV_CHECKPOINT] = env_checkpoint
 
-        ordered = [outcomes[task] for task in tasks]
+        # a graceful shutdown leaves later cells without outcomes: the
+        # report is then partial, in grid order, and marked interrupted
+        ordered = [outcomes[task] for task in tasks if task in outcomes]
+        interrupted = self._shutdown.is_set() or len(ordered) < len(tasks)
         self.history.extend(ordered)
         report = RunnerReport(
             tasks=list(tasks),
             outcomes=ordered,
             jobs=self.jobs,
             wall_seconds=time.perf_counter() - started,
+            interrupted=interrupted,
+            shutdown_reason=self.shutdown_reason,
         )
         return report
 
@@ -719,21 +955,34 @@ class EvalRunner:
         }
 
     def _record(self, results, task: EvalTask, outcome: Dict[str, Any], attempts: int) -> None:
-        """File one finished outcome (patches attempt counts, honors fail-fast)."""
+        """File one finished outcome (patches attempt counts, honors fail-fast).
+
+        Write-ahead discipline: the outcome hits the journal *here*, the
+        moment the runner learns it — not at end-of-run — so a SIGKILL
+        later can never lose a finished cell.
+        """
         outcome.setdefault("metrics", {})["attempts"] = attempts
         if outcome.get("failure"):
             outcome["failure"]["attempts"] = attempts
         if attempts > 1:
             telemetry.counter("runner.retries", attempts - 1, task=task.task_id)
         results[task] = outcome
+        if self.journal is not None:
+            self.journal.task_finish(task.task_id, outcome)
         if self.fail_fast and not outcome["ok"]:
             raise ReproError(
                 f"aborting (--fail-fast): task {task.task_id} failed: {outcome['error']}"
             )
 
-    def _backoff(self, attempt: int) -> None:
-        if self.backoff_seconds > 0:
-            time.sleep(self.backoff_seconds * (2 ** (max(attempt, 1) - 1)))
+    def _backoff(self, attempt: int, seed: int = 0) -> None:
+        if self.backoff_seconds <= 0:
+            return
+        base = self.backoff_seconds * (2 ** (max(attempt, 1) - 1))
+        # deterministic jitter in [0.5, 1.5), derived from the task seed:
+        # tasks that failed together retry fanned out, not in lockstep,
+        # without touching any global rng state
+        jitter = 0.5 + derive_seed(seed, "backoff", attempt) / 2**63
+        time.sleep(base * jitter)
 
     def _timeout_error(self, task: EvalTask) -> TaskTimeoutError:
         return TaskTimeoutError(
@@ -763,22 +1012,41 @@ class EvalRunner:
             and threading.current_thread() is threading.main_thread()
         )
         for task in tasks:
+            if self._shutdown.is_set():
+                break
+            if self.journal is not None:
+                self.journal.task_start(task.task_id)
+            # parent-side chaos: the dispatching process signals itself
+            # (SIGTERM → graceful shutdown below; SIGKILL → journal replay)
+            faultinject.fault_point(faultinject.PARENT_SIGNAL, task.task_id)
+            if self._shutdown.is_set():
+                break
             attempts = 0
+            outcome: Optional[Dict[str, Any]] = None
             while True:
                 attempts += 1
                 try:
                     outcome = self._call_with_watchdog(task) if use_watchdog else self.task_fn(task)
                     break
+                except KeyboardInterrupt:
+                    # a second signal (or a bare Ctrl-C without handlers):
+                    # abandon this cell — its journal entry stays unfinished
+                    self.request_shutdown("keyboard-interrupt")
+                    break
                 except _WatchdogExpired:
                     if attempts > self.max_retries:
                         outcome = self._failure_outcome(task, self._timeout_error(task), attempts)
                         break
-                    self._backoff(attempts)
+                    self._backoff(attempts, task.seed)
                 except Exception as exc:
                     if attempts > self.max_retries:
                         outcome = self._failure_outcome(task, exc, attempts)
                         break
-                    self._backoff(attempts)
+                    self._backoff(attempts, task.seed)
+                if self._shutdown.is_set():
+                    break
+            if outcome is None:
+                break
             self._record(results, task, outcome, attempts)
         return results
 
@@ -801,17 +1069,68 @@ class EvalRunner:
         except Exception:
             pass
 
+    def _drain_on_shutdown(
+        self,
+        not_done: Set[Future],
+        futures: Dict[Future, EvalTask],
+        attempts: Dict[EvalTask, int],
+        results: Dict[EvalTask, Dict[str, Any]],
+    ) -> None:
+        """Give in-flight futures ``shutdown_grace`` seconds, then kill.
+
+        Drained outcomes are recorded (and journalled) normally; tasks
+        still running at the deadline are abandoned — their journal
+        entries stay unfinished, so ``resume`` re-executes them.
+        """
+        deadline = time.monotonic() + self.shutdown_grace
+        while not_done:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            done, not_done = wait(
+                not_done, timeout=min(0.2, remaining), return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                task = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception:
+                    continue  # worker died mid-drain: resume will rerun it
+                self._record(results, task, outcome, attempts[task])
+        if not_done:
+            telemetry.counter("runner.shutdown_abandoned", len(not_done))
+            self._kill_executor()
+
     def _run_pool(self, tasks: Sequence[EvalTask]) -> Dict[EvalTask, Dict[str, Any]]:
+        try:
+            return self._run_pool_inner(tasks)
+        except KeyboardInterrupt:
+            # second signal (or bare Ctrl-C): abandon in-flight work but
+            # still return what finished — it is already journalled
+            self.request_shutdown("keyboard-interrupt")
+            self._kill_executor()
+            return getattr(self, "_pool_results", {})
+
+    def _run_pool_inner(self, tasks: Sequence[EvalTask]) -> Dict[EvalTask, Dict[str, Any]]:
         results: Dict[EvalTask, Dict[str, Any]] = {}
+        self._pool_results = results
         attempts: Dict[EvalTask, int] = {task: 0 for task in tasks}
         queue = list(tasks)
-        while queue:
+        while queue and not self._shutdown.is_set():
             executor = self._ensure_executor()
             futures: Dict[Future, EvalTask] = {}
             deadlines: Dict[Future, float] = {}
             submitted_at: Dict[Future, float] = {}
             broken = False
             for task in queue:
+                if self._shutdown.is_set():
+                    break
+                if self.journal is not None:
+                    self.journal.task_start(task.task_id, attempt=attempts[task])
+                # parent-side chaos: the dispatcher signals itself mid-grid
+                faultinject.fault_point(faultinject.PARENT_SIGNAL, task.task_id)
+                if self._shutdown.is_set():
+                    break
                 attempts[task] += 1
                 try:
                     future = executor.submit(self.task_fn, task)
@@ -829,10 +1148,14 @@ class EvalRunner:
             retry: List[EvalTask] = [t for t in queue if t.task_id not in submitted_ids]
             not_done = set(futures)
             while not_done:
-                timeout = None
+                if self._shutdown.is_set():
+                    self._drain_on_shutdown(not_done, futures, attempts, results)
+                    return results
+                # cap the wait so a shutdown request is noticed promptly
+                timeout = 0.5
                 if deadlines:
                     nearest = min(deadlines[f] for f in not_done)
-                    timeout = max(0.0, nearest - time.monotonic())
+                    timeout = min(timeout, max(0.0, nearest - time.monotonic()))
                 done, not_done = wait(not_done, timeout=timeout, return_when=FIRST_COMPLETED)
                 for future in done:
                     task = futures[future]
@@ -887,10 +1210,12 @@ class EvalRunner:
                         broken = True
                         not_done = set()
             queue = retry
-            if queue:
+            if queue and not self._shutdown.is_set():
                 if broken:
                     self._reset_executor()
-                self._backoff(max(attempts[t] for t in queue))
+                self._backoff(
+                    max(attempts[t] for t in queue), min(t.seed for t in queue)
+                )
         return results
 
 

@@ -230,6 +230,24 @@ def assemble_run(spec: BenchmarkSpec, report: RunnerReport, seed: int) -> Benchm
     return run
 
 
+def assemble_available(
+    specs: Sequence[BenchmarkSpec], report: RunnerReport, seed: int
+) -> List[BenchmarkRun]:
+    """Assemble only the benchmarks whose cells actually ran.
+
+    An interrupted (gracefully shut down) run yields a partial report;
+    benchmarks whose conventional verdict never executed are skipped
+    instead of raising, so a partial table still renders and ``bench
+    resume`` can complete the grid later.
+    """
+    by_id = report.outcome_by_id()
+    return [
+        assemble_run(spec, report, seed)
+        for spec in specs
+        if f"{spec.name}/static/aara" in by_id
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------

@@ -47,6 +47,17 @@ where ``site`` is one of
 ``cache-torn``
     the result cache writes a truncated (torn) entry at the final path —
     exercising corrupt-entry recovery.
+``parent-signal``
+    the *dispatching* process signals itself mid-grid, before the matched
+    task runs: ``action=term`` (default) sends SIGTERM — exercising
+    graceful shutdown + ``bench resume`` — while ``action=kill`` sends
+    SIGKILL, proving the write-ahead journal alone suffices.
+``journal-enospc``
+    the run journal's append raises ENOSPC — exercising its warn-once
+    degraded mode (the run must finish; only resumability is lost).
+``cache-bitflip``
+    the result cache flips one payload byte before writing — exercising
+    the checksum + quarantine integrity layer.
 
 and the options are
 
@@ -65,9 +76,10 @@ and the options are
     global RNG state touched.  Default ``prob=1``.
 ``delay=<seconds>``
     sleep length for ``worker-hang``.  Default 3600.
-``action=raise|exit``
-    crash flavour for ``worker-crash``.  ``exit`` only makes sense for
-    pool workers (it terminates the process).
+``action=raise|exit|term|kill``
+    crash flavour.  ``raise``/``exit`` apply to ``worker-crash`` (``exit``
+    only makes sense for pool workers — it terminates the process);
+    ``term``/``kill`` apply to ``parent-signal`` and pick the signal.
 
 Example: crash the Round/data-driven/opt cell once and tear the first
 two cache writes::
@@ -80,6 +92,7 @@ from __future__ import annotations
 import fnmatch
 import hashlib
 import os
+import signal
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
@@ -95,8 +108,20 @@ WORKER_HANG = "worker-hang"
 NAN_LOGDENSITY = "nan-logdensity"
 LP_FAIL = "lp-fail"
 CACHE_TORN = "cache-torn"
+PARENT_SIGNAL = "parent-signal"
+JOURNAL_ENOSPC = "journal-enospc"
+CACHE_BITFLIP = "cache-bitflip"
 
-SITES = (WORKER_CRASH, WORKER_HANG, NAN_LOGDENSITY, LP_FAIL, CACHE_TORN)
+SITES = (
+    WORKER_CRASH,
+    WORKER_HANG,
+    NAN_LOGDENSITY,
+    LP_FAIL,
+    CACHE_TORN,
+    PARENT_SIGNAL,
+    JOURNAL_ENOSPC,
+    CACHE_BITFLIP,
+)
 
 ENV_SPEC = "REPRO_FAULTS"
 ENV_STATE = "REPRO_FAULTS_STATE"
@@ -121,7 +146,8 @@ class FaultClause:
     prob: float = 1.0
     seed: int = 0
     delay: float = 3600.0  # worker-hang sleep seconds
-    action: str = "raise"  # worker-crash: 'raise' | 'exit'
+    #: worker-crash: 'raise' | 'exit'; parent-signal: 'term' | 'kill'
+    action: str = "raise"
 
 
 def parse_spec(spec: str) -> List[FaultClause]:
@@ -155,8 +181,10 @@ def parse_spec(spec: str) -> List[FaultClause]:
             elif key == "delay":
                 kwargs["delay"] = float(value)
             elif key == "action":
-                if value not in ("raise", "exit"):
-                    raise ReproError(f"unknown crash action {value!r} (raise|exit)")
+                if value not in ("raise", "exit", "term", "kill"):
+                    raise ReproError(
+                        f"unknown crash action {value!r} (raise|exit|term|kill)"
+                    )
                 kwargs["action"] = value
             else:
                 raise ReproError(f"unknown fault option {key!r} in {chunk!r}")
@@ -297,6 +325,10 @@ def fault_point(site: str, key: str = "") -> bool:
         raise InjectedFault(f"injected worker crash at {key!r}")
     if site == WORKER_HANG:
         time.sleep(clause.delay)
+        return True
+    if site == PARENT_SIGNAL:
+        signum = signal.SIGKILL if clause.action == "kill" else signal.SIGTERM
+        os.kill(os.getpid(), signum)
         return True
     return True
 

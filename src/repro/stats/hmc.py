@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import faultinject, telemetry
+from .. import checkpoint, faultinject, telemetry
 from ..errors import InferenceError, SamplerDivergenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -34,6 +34,9 @@ class HMCConfig:
     max_restarts: int = 3
     #: … when more than this fraction of post-warmup draws diverged
     divergence_tolerance: float = 0.25
+    #: which self-healing attempt this config belongs to (0 = first try);
+    #: distinguishes checkpoint fingerprints between restart attempts
+    restart_index: int = 0
 
 
 @dataclass
@@ -79,6 +82,24 @@ class _DualAveraging:
 
     def final(self) -> float:
         return math.exp(self.log_step_bar)
+
+    def state(self) -> Dict[str, float]:
+        """JSON-safe snapshot of the adapter (for chain checkpoints)."""
+        return {
+            "mu": self.mu,
+            "target": self.target,
+            "log_step": self.log_step,
+            "log_step_bar": self.log_step_bar,
+            "h_bar": self.h_bar,
+            "gamma": self.gamma,
+            "t0": self.t0,
+            "kappa": self.kappa,
+            "iteration": self.iteration,
+        }
+
+    def restore(self, state: Dict[str, float]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
 
 
 def leapfrog(
@@ -148,27 +169,91 @@ def hmc_sample(
     initial: np.ndarray,
     config: HMCConfig,
     rng: np.random.Generator,
+    checkpoint_key: Optional[str] = None,
 ) -> HMCResult:
-    """Run one HMC chain; warmup iterations adapt the step size and are discarded."""
-    position = np.asarray(initial, dtype=float).copy()
-    logp, grad = logdensity_and_grad(position)
-    if not np.isfinite(logp):
-        raise InferenceError("HMC initial position has zero density")
-    dim = position.size
+    """Run one HMC chain; warmup iterations adapt the step size and are discarded.
 
-    step_size = _find_initial_step_unconstrained(
-        logdensity_and_grad, position, logp, grad, rng, config.initial_step_size
-    )
-    adapter = _DualAveraging(step_size, config.target_accept)
+    With checkpointing active (see :mod:`repro.checkpoint`) and a
+    ``checkpoint_key``, the chain periodically snapshots its full state —
+    position, step size, adapter, collected draws and the rng
+    bit-generator — and transparently resumes mid-chain on rerun,
+    producing draws identical to an uninterrupted chain.
+    """
+    position = np.asarray(initial, dtype=float).copy()
+    dim = position.size
+    cursor = checkpoint.chain_cursor(checkpoint_key, config, position)
+    saved = cursor.load() if cursor is not None else None
+    if saved is not None and saved["status"] == "done":
+        # the whole chain already ran; replay its result and leave the rng
+        # exactly where the uninterrupted chain would have left it
+        checkpoint.restore_rng(rng, saved["rng"])
+        return HMCResult(
+            np.asarray(saved["samples"], dtype=float).reshape(config.n_samples, dim),
+            saved["accept_rate"],
+            saved["step_size"],
+            np.asarray(saved["logdensities"], dtype=float),
+            divergences=saved["divergences"],
+            leapfrog_steps=saved["leapfrog_steps"],
+        )
+
     samples = np.empty((config.n_samples, dim))
     logdensities = np.empty(config.n_samples)
-    accepted = 0
-    total_post_warmup = 0
-    divergences = 0
-    leapfrog_steps = 0
+    start_iteration = 0
+    if saved is not None:
+        position = np.asarray(saved["position"], dtype=float)
+        logp = float(saved["logp"])
+        grad = np.asarray(saved["grad"], dtype=float)
+        step_size = float(saved["step_size"])
+        adapter = _DualAveraging(config.initial_step_size, config.target_accept)
+        adapter.restore(saved["adapter"])
+        collected = int(saved["collected"])
+        if collected:
+            samples[:collected] = np.asarray(saved["samples"], dtype=float).reshape(
+                collected, dim
+            )
+            logdensities[:collected] = np.asarray(saved["logdensities"], dtype=float)
+        accepted = saved["accepted"]
+        total_post_warmup = saved["total_post_warmup"]
+        divergences = saved["divergences"]
+        leapfrog_steps = saved["leapfrog_steps"]
+        start_iteration = int(saved["iteration"])
+        checkpoint.restore_rng(rng, saved["rng"])
+    else:
+        logp, grad = logdensity_and_grad(position)
+        if not np.isfinite(logp):
+            raise InferenceError("HMC initial position has zero density")
+        step_size = _find_initial_step_unconstrained(
+            logdensity_and_grad, position, logp, grad, rng, config.initial_step_size
+        )
+        adapter = _DualAveraging(step_size, config.target_accept)
+        accepted = 0
+        total_post_warmup = 0
+        divergences = 0
+        leapfrog_steps = 0
 
     n_total = config.n_warmup + config.n_samples
-    for iteration in range(n_total):
+    for iteration in range(start_iteration, n_total):
+        if cursor is not None and cursor.due(iteration):
+            collected = max(0, iteration - config.n_warmup)
+            cursor.save(
+                {
+                    "status": "running",
+                    "iteration": iteration,
+                    "position": position.tolist(),
+                    "logp": logp,
+                    "grad": grad.tolist(),
+                    "step_size": step_size,
+                    "adapter": adapter.state(),
+                    "collected": collected,
+                    "samples": samples[:collected].tolist(),
+                    "logdensities": logdensities[:collected].tolist(),
+                    "accepted": accepted,
+                    "total_post_warmup": total_post_warmup,
+                    "divergences": divergences,
+                    "leapfrog_steps": leapfrog_steps,
+                    "rng": checkpoint.rng_state(rng),
+                }
+            )
         momentum = rng.normal(size=dim)
         current_h = -logp + 0.5 * float(momentum @ momentum)
         n_steps = config.n_leapfrog
@@ -199,6 +284,20 @@ def hmc_sample(
             if accept_prob == 0.0:
                 divergences += 1
     accept_rate = accepted / max(1, total_post_warmup)
+    if cursor is not None:
+        cursor.save(
+            {
+                "status": "done",
+                "iteration": n_total,
+                "samples": samples.tolist(),
+                "logdensities": logdensities.tolist(),
+                "accept_rate": accept_rate,
+                "step_size": step_size,
+                "divergences": divergences,
+                "leapfrog_steps": leapfrog_steps,
+                "rng": checkpoint.rng_state(rng),
+            }
+        )
     return HMCResult(
         samples,
         accept_rate,
@@ -229,7 +328,11 @@ def sample_with_healing(sample_fn, config, rng):
     best = None
     last_error: Optional[InferenceError] = None
     while True:
-        cfg = dataclasses.replace(config, initial_step_size=step) if retries else config
+        cfg = (
+            dataclasses.replace(config, initial_step_size=step, restart_index=retries)
+            if retries
+            else config
+        )
         result = None
         try:
             result = sample_fn(cfg, rng)
@@ -297,8 +400,13 @@ def hmc_sample_chains(
         leapfrog_steps = 0
         for chain_index, initial in enumerate(initial_points):
             start = np.asarray(initial, float)
+            ckpt_key = f"hmc/{fault_key}/chain{chain_index}"
             result = sample_with_healing(
-                lambda cfg, r: hmc_sample(logdensity_and_grad, start, cfg, r), config, rng
+                lambda cfg, r, _start=start, _key=ckpt_key: hmc_sample(
+                    logdensity_and_grad, _start, cfg, r, checkpoint_key=_key
+                ),
+                config,
+                rng,
             )
             chains.append(result.samples)
             logps.append(result.logdensities)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from .hmc import (
     count_gradient_evals,
     sample_with_healing,
 )
-from .. import faultinject, telemetry
+from .. import checkpoint, faultinject, telemetry
 from ..errors import InferenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -119,25 +119,81 @@ def nuts_sample(
     initial: np.ndarray,
     config: HMCConfig,
     rng: np.random.Generator,
+    checkpoint_key: Optional[str] = None,
 ) -> HMCResult:
-    """Run one NUTS chain; warmup adapts the step size via dual averaging."""
-    q = np.asarray(initial, dtype=float).copy()
-    logp, g = logdensity_and_grad(q)
-    if not np.isfinite(logp):
-        raise InferenceError("NUTS initial position has zero density")
-    dim = q.size
+    """Run one NUTS chain; warmup adapts the step size via dual averaging.
 
-    step = _find_initial_step_unconstrained(
-        logdensity_and_grad, q, logp, g, rng, config.initial_step_size
-    )
-    adapter = _DualAveraging(step, config.target_accept)
+    Checkpoints at iteration boundaries when :mod:`repro.checkpoint` is
+    active — tree building consumes the rng heavily inside one
+    iteration, but the per-iteration state (position, step, adapter, rng
+    bit-generator) is all a resumed chain needs to replay identically.
+    """
+    q = np.asarray(initial, dtype=float).copy()
+    dim = q.size
+    cursor = checkpoint.chain_cursor(checkpoint_key, config, q)
+    saved = cursor.load() if cursor is not None else None
+    if saved is not None and saved["status"] == "done":
+        checkpoint.restore_rng(rng, saved["rng"])
+        return HMCResult(
+            np.asarray(saved["samples"], dtype=float).reshape(config.n_samples, dim),
+            saved["accept_rate"],
+            saved["step_size"],
+            np.asarray(saved["logdensities"], dtype=float),
+            divergences=saved["divergences"],
+        )
+
     samples = np.empty((config.n_samples, dim))
     logdensities = np.empty(config.n_samples)
-    accept_stat = 0.0
-    divergences = 0
+    start_iteration = 0
+    if saved is not None:
+        q = np.asarray(saved["position"], dtype=float)
+        logp = float(saved["logp"])
+        g = np.asarray(saved["grad"], dtype=float)
+        step = float(saved["step_size"])
+        adapter = _DualAveraging(config.initial_step_size, config.target_accept)
+        adapter.restore(saved["adapter"])
+        collected = int(saved["collected"])
+        if collected:
+            samples[:collected] = np.asarray(saved["samples"], dtype=float).reshape(
+                collected, dim
+            )
+            logdensities[:collected] = np.asarray(saved["logdensities"], dtype=float)
+        accept_stat = saved["accept_stat"]
+        divergences = saved["divergences"]
+        start_iteration = int(saved["iteration"])
+        checkpoint.restore_rng(rng, saved["rng"])
+    else:
+        logp, g = logdensity_and_grad(q)
+        if not np.isfinite(logp):
+            raise InferenceError("NUTS initial position has zero density")
+        step = _find_initial_step_unconstrained(
+            logdensity_and_grad, q, logp, g, rng, config.initial_step_size
+        )
+        adapter = _DualAveraging(step, config.target_accept)
+        accept_stat = 0.0
+        divergences = 0
 
     n_total = config.n_warmup + config.n_samples
-    for iteration in range(n_total):
+    for iteration in range(start_iteration, n_total):
+        if cursor is not None and cursor.due(iteration):
+            collected = max(0, iteration - config.n_warmup)
+            cursor.save(
+                {
+                    "status": "running",
+                    "iteration": iteration,
+                    "position": q.tolist(),
+                    "logp": logp,
+                    "grad": g.tolist(),
+                    "step_size": step,
+                    "adapter": adapter.state(),
+                    "collected": collected,
+                    "samples": samples[:collected].tolist(),
+                    "logdensities": logdensities[:collected].tolist(),
+                    "accept_stat": accept_stat,
+                    "divergences": divergences,
+                    "rng": checkpoint.rng_state(rng),
+                }
+            )
         p0 = rng.normal(size=dim)
         joint0 = logp - 0.5 * float(p0 @ p0)
         log_u = joint0 - rng.exponential()
@@ -190,9 +246,23 @@ def nuts_sample(
             if accept_prob == 0.0:
                 divergences += 1
 
+    accept_rate = accept_stat / max(1, config.n_samples)
+    if cursor is not None:
+        cursor.save(
+            {
+                "status": "done",
+                "iteration": n_total,
+                "samples": samples.tolist(),
+                "logdensities": logdensities.tolist(),
+                "accept_rate": accept_rate,
+                "step_size": step,
+                "divergences": divergences,
+                "rng": checkpoint.rng_state(rng),
+            }
+        )
     return HMCResult(
         samples,
-        accept_stat / max(1, config.n_samples),
+        accept_rate,
         step,
         logdensities,
         divergences=divergences,
@@ -219,8 +289,13 @@ def nuts_sample_chains(
         retries = 0
         for chain_index, initial in enumerate(initial_points):
             start = np.asarray(initial, float)
+            ckpt_key = f"nuts/{fault_key}/chain{chain_index}"
             result = sample_with_healing(
-                lambda cfg, r: nuts_sample(logdensity_and_grad, start, cfg, r), config, rng
+                lambda cfg, r, _start=start, _key=ckpt_key: nuts_sample(
+                    logdensity_and_grad, _start, cfg, r, checkpoint_key=_key
+                ),
+                config,
+                rng,
             )
             chains.append(result.samples)
             logps.append(result.logdensities)

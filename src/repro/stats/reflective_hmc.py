@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .hmc import HMCConfig, _DualAveraging, _sampler_counters, count_gradient_evals, sample_with_healing
 from .polytope import Polytope
-from .. import faultinject, telemetry
+from .. import checkpoint, faultinject, telemetry
 from ..errors import InferenceError
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
@@ -186,32 +186,92 @@ def reflective_hmc_sample(
     initial: np.ndarray,
     config: HMCConfig,
     rng: np.random.Generator,
+    checkpoint_key: Optional[str] = None,
 ) -> ReflectiveHMCResult:
-    """Sample the target restricted to ``polytope`` starting from an interior point."""
+    """Sample the target restricted to ``polytope`` starting from an interior point.
+
+    Checkpoints chain state at iteration boundaries when
+    :mod:`repro.checkpoint` is active; the drift engine is rebuilt
+    deterministically from the polytope, but the step clamp (derived from
+    the rng-consuming initial-step search) is part of the snapshot.
+    """
     q = np.asarray(initial, dtype=float).copy()
-    if not polytope.contains(q, tol=1e-9):
-        raise InferenceError("reflective HMC must start from an interior point")
-    logp, grad = logdensity_and_grad(q)
-    if not np.isfinite(logp):
-        raise InferenceError("initial point has zero density")
+    dim = q.size
+    cursor = checkpoint.chain_cursor(checkpoint_key, config, q)
+    saved = cursor.load() if cursor is not None else None
+    if saved is not None and saved["status"] == "done":
+        checkpoint.restore_rng(rng, saved["rng"])
+        return ReflectiveHMCResult(
+            np.asarray(saved["samples"], dtype=float).reshape(config.n_samples, dim),
+            saved["accept_rate"],
+            saved["step_size"],
+            saved["n_reflections"],
+            divergences=saved["divergences"],
+        )
 
     engine = _DriftEngine(polytope)
-    step_size = _find_initial_step(
-        logdensity_and_grad, engine, q, logp, grad, rng, config.initial_step_size
-    )
-    # clamp adaptation so one burst of hard rejections (e.g. a corner of the
-    # polytope) cannot spiral the step size into oblivion
-    step_floor = step_size * 1e-4
-    step_cap = min(step_size * 1e4, config.max_step_size)
-    adapter = _DualAveraging(step_size, config.target_accept)
-    dim = q.size
     samples = np.empty((config.n_samples, dim))
-    accepted = 0.0
-    n_reflections = 0
-    divergences = 0
+    start_iteration = 0
+    if saved is not None:
+        q = np.asarray(saved["position"], dtype=float)
+        logp = float(saved["logp"])
+        grad = np.asarray(saved["grad"], dtype=float)
+        step_size = float(saved["step_size"])
+        step_floor = float(saved["step_floor"])
+        step_cap = float(saved["step_cap"])
+        adapter = _DualAveraging(config.initial_step_size, config.target_accept)
+        adapter.restore(saved["adapter"])
+        collected = int(saved["collected"])
+        if collected:
+            samples[:collected] = np.asarray(saved["samples"], dtype=float).reshape(
+                collected, dim
+            )
+        accepted = saved["accepted"]
+        n_reflections = saved["n_reflections"]
+        divergences = saved["divergences"]
+        start_iteration = int(saved["iteration"])
+        checkpoint.restore_rng(rng, saved["rng"])
+    else:
+        if not polytope.contains(q, tol=1e-9):
+            raise InferenceError("reflective HMC must start from an interior point")
+        logp, grad = logdensity_and_grad(q)
+        if not np.isfinite(logp):
+            raise InferenceError("initial point has zero density")
+        step_size = _find_initial_step(
+            logdensity_and_grad, engine, q, logp, grad, rng, config.initial_step_size
+        )
+        # clamp adaptation so one burst of hard rejections (e.g. a corner of
+        # the polytope) cannot spiral the step size into oblivion
+        step_floor = step_size * 1e-4
+        step_cap = min(step_size * 1e4, config.max_step_size)
+        adapter = _DualAveraging(step_size, config.target_accept)
+        accepted = 0.0
+        n_reflections = 0
+        divergences = 0
     n_total = config.n_warmup + config.n_samples
 
-    for iteration in range(n_total):
+    for iteration in range(start_iteration, n_total):
+        if cursor is not None and cursor.due(iteration):
+            collected = max(0, iteration - config.n_warmup)
+            cursor.save(
+                {
+                    "status": "running",
+                    "iteration": iteration,
+                    "position": q.tolist(),
+                    "logp": logp,
+                    "grad": grad.tolist(),
+                    "step_size": step_size,
+                    "step_floor": step_floor,
+                    "step_cap": step_cap,
+                    "adapter": adapter.state(),
+                    "collected": collected,
+                    "samples": samples[:collected].tolist(),
+                    "accepted": accepted,
+                    "n_reflections": n_reflections,
+                    "divergences": divergences,
+                    "rng": checkpoint.rng_state(rng),
+                }
+            )
         momentum = rng.normal(size=dim)
         current_h = -logp + 0.5 * float(momentum @ momentum)
         n_steps = config.n_leapfrog
@@ -239,6 +299,19 @@ def reflective_hmc_sample(
                 divergences += 1
 
     accept_rate = accepted / max(1, config.n_samples)
+    if cursor is not None:
+        cursor.save(
+            {
+                "status": "done",
+                "iteration": n_total,
+                "samples": samples.tolist(),
+                "accept_rate": accept_rate,
+                "step_size": step_size,
+                "n_reflections": n_reflections,
+                "divergences": divergences,
+                "rng": checkpoint.rng_state(rng),
+            }
+        )
     return ReflectiveHMCResult(
         samples, accept_rate, step_size, n_reflections, divergences=divergences
     )
@@ -396,9 +469,10 @@ def reflective_hmc_chains(
         retries = 0
         for chain_index, initial in enumerate(initial_points):
             start = initial
+            ckpt_key = f"reflective/{fault_key}/chain{chain_index}"
             result = sample_with_healing(
-                lambda cfg, r: reflective_hmc_sample(
-                    logdensity_and_grad, polytope, start, cfg, r
+                lambda cfg, r, _start=start, _key=ckpt_key: reflective_hmc_sample(
+                    logdensity_and_grad, polytope, _start, cfg, r, checkpoint_key=_key
                 ),
                 config,
                 rng,

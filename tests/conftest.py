@@ -1,0 +1,39 @@
+"""Shared test fixtures: environment hygiene for durable-run machinery.
+
+The bench CLI journals every run under ``$REPRO_RUNS_DIR`` (default
+``./runs``) and several subsystems activate themselves from environment
+variables (checkpointing, fault injection, tracing).  Tests must neither
+litter the working tree nor leak activation state into each other, so an
+autouse fixture redirects run journals into ``tmp_path`` and restores
+every activation variable afterwards.
+"""
+
+import pytest
+
+from repro import checkpoint, faultinject, telemetry
+
+_ENV_VARS = (
+    "REPRO_RUNS_DIR",
+    checkpoint.ENV_CHECKPOINT,
+    checkpoint.ENV_INTERVAL,
+    faultinject.ENV_SPEC,
+    faultinject.ENV_STATE,
+    telemetry.ENV_TRACE,
+)
+
+
+@pytest.fixture(autouse=True)
+def _durable_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+    for var in _ENV_VARS[1:]:
+        monkeypatch.delenv(var, raising=False)
+    yield
+    # deactivate anything a test (or the CLI under test) switched on
+    # in-process, including env vars the code itself exported mid-test
+    import os
+
+    for var in _ENV_VARS:
+        os.environ.pop(var, None)
+    checkpoint.disable()
+    faultinject.uninstall()
+    telemetry.disable()

@@ -286,6 +286,50 @@ class TestCacheTorn:
         assert list(tmp_path.glob("*.tmp")) == []
 
 
+class TestNewFaultSites:
+    def test_parent_signal_term_delivers_sigterm(self):
+        import signal
+
+        received = []
+        previous = signal.signal(signal.SIGTERM, lambda *_: received.append("TERM"))
+        try:
+            faultinject.install(FaultPlan.parse("parent-signal:count=1:action=term"))
+            assert faultinject.fault_point(faultinject.PARENT_SIGNAL, "any")
+            time.sleep(0.1)
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        assert received == ["TERM"]
+
+    def test_parent_signal_kill_action_parses(self):
+        clauses = parse_spec("parent-signal:action=kill")
+        assert clauses[0].action == "kill"
+
+    def test_journal_enospc_degrades_journal(self, tmp_path):
+        from repro.evalharness.journal import RunJournal, replay
+
+        faultinject.install(FaultPlan.parse("journal-enospc:count=1"))
+        with RunJournal(tmp_path / "r") as journal:
+            journal.task_finish("t", {"ok": True})
+            assert journal._degraded
+        assert replay(tmp_path / "r").finished == {}
+
+    def test_cache_bitflip_is_caught_by_checksum(self, tmp_path):
+        tasks = _tasks()
+        with EvalRunner(cache_dir=tmp_path) as runner:
+            first = runner.run_tasks(tasks)
+            assert all(o["ok"] for o in first.outcomes)
+        from repro.evalharness import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.wipe()
+        faultinject.install(FaultPlan.parse("cache-bitflip:count=1"))
+        cache.store(tasks[0], first.outcomes[0])
+        faultinject.uninstall()
+        # the flipped payload must never be served as a valid outcome
+        assert cache.load(tasks[0]) is None
+        assert len(list(cache.root.glob("*.json.quarantined"))) == 1
+
+
 def _strip_wall_clock(payload):
     """Drop timing fields (the only nondeterministic part of an outcome)."""
     if isinstance(payload, dict):

@@ -1,0 +1,122 @@
+"""Write-ahead run journal: append, replay, torn tails, degraded mode."""
+
+import json
+import os
+
+import pytest
+
+from repro import faultinject
+from repro.evalharness.journal import (
+    JOURNAL_NAME,
+    JournalReplay,
+    RunJournal,
+    new_run_id,
+    replay,
+)
+
+
+def write_run(run_dir, outcomes=(), finish=None):
+    with RunJournal(run_dir, "r1") as journal:
+        journal.run_start(
+            params={"benchmark": "all", "seed": 0},
+            signature={"cache_version": 4},
+            grid=["a/static/aara", "a/hybrid/opt"],
+        )
+        for task, ok in outcomes:
+            journal.task_start(task)
+            journal.task_finish(task, {"task_id": task, "ok": ok, "result": {"n": 1}})
+        if finish:
+            journal.run_finish(finish)
+    return run_dir
+
+
+class TestRoundTrip:
+    def test_replay_reconstructs_header_and_outcomes(self, tmp_path):
+        run = write_run(tmp_path / "r1", [("a/static/aara", True), ("a/hybrid/opt", False)])
+        out = replay(run)
+        assert out.run_id == "r1"
+        assert out.grid == ["a/static/aara", "a/hybrid/opt"]
+        assert out.signature == {"cache_version": 4}
+        assert out.params["benchmark"] == "all"
+        assert set(out.started) == {"a/static/aara", "a/hybrid/opt"}
+        assert not out.run_finished and not out.torn
+
+    def test_completed_ok_excludes_failures(self, tmp_path):
+        run = write_run(tmp_path / "r1", [("a/static/aara", True), ("a/hybrid/opt", False)])
+        assert list(replay(run).completed_ok()) == ["a/static/aara"]
+
+    def test_last_outcome_wins(self, tmp_path):
+        run = tmp_path / "r1"
+        with RunJournal(run) as journal:
+            journal.task_finish("t", {"ok": False})
+            journal.task_finish("t", {"ok": True})
+        assert replay(run).finished["t"] == {"ok": True}
+
+    def test_run_finish_and_resume_counters(self, tmp_path):
+        run = write_run(tmp_path / "r1", [("a/static/aara", True)], finish="ok")
+        with RunJournal(run, "r1") as journal:
+            journal.run_resume(1, 1)
+            journal.shutdown("signal:SIGTERM")
+        out = replay(run)
+        assert out.run_finished
+        assert out.resumes == 1
+        assert out.shutdowns == ["signal:SIGTERM"]
+
+    def test_append_only_across_reopens(self, tmp_path):
+        run = write_run(tmp_path / "r1", [("a/static/aara", True)])
+        with RunJournal(run, "r1") as journal:
+            journal.task_finish("a/hybrid/opt", {"ok": True})
+        out = replay(run)
+        assert out.header is not None
+        assert len(out.finished) == 2
+
+
+class TestTornTail:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        run = write_run(tmp_path / "r1", [("a/static/aara", True), ("a/hybrid/opt", True)])
+        path = os.path.join(run, JOURNAL_NAME)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-20])  # kill mid-append of the final record
+        out = replay(run)
+        assert out.torn
+        # the torn record's task is simply absent and will rerun
+        assert list(out.finished) == ["a/static/aara"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        run = write_run(tmp_path / "r1", [("a/static/aara", True), ("a/hybrid/opt", True)])
+        path = os.path.join(run, JOURNAL_NAME)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[1] = b"{garbage\n"
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(ValueError):
+            replay(run)
+
+
+class TestDegradedMode:
+    def test_enospc_fault_degrades_not_raises(self, tmp_path, capsys):
+        faultinject.install(faultinject.FaultPlan.parse("journal-enospc:count=1"))
+        with RunJournal(tmp_path / "r1") as journal:
+            journal.task_finish("t1", {"ok": True})  # eaten by injected ENOSPC
+            assert journal._degraded
+            journal.task_finish("t2", {"ok": True})  # silently dropped
+        out = replay(tmp_path / "r1")
+        assert out.finished == {}
+
+    def test_closed_journal_survives_close_twice(self, tmp_path):
+        journal = RunJournal(tmp_path / "r1")
+        journal.close()
+        journal.close()
+
+
+class TestRunId:
+    def test_new_run_id_shape(self):
+        rid = new_run_id()
+        stamp, _, suffix = rid.rpartition("-")
+        assert len(suffix) == 6
+        assert len(stamp) == 15
+
+    def test_header_none_properties_are_empty(self):
+        out = JournalReplay(run_id="x", header=None)
+        assert out.grid == [] and out.signature == {} and out.params == {}

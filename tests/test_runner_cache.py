@@ -127,12 +127,99 @@ class TestCacheRobustness:
             report = runner.run_tasks(tasks)
             assert all(o["ok"] for o in report.outcomes)
 
+    def test_corrupted_entry_is_quarantined_not_deleted(self, tmp_path):
+        with EvalRunner(cache_dir=tmp_path) as runner:
+            tasks = _tasks()
+            runner.run_tasks(tasks)
+        cache = ResultCache(tmp_path)
+        victim = cache.path(cache.key(tasks[0]))
+        victim.write_text("{ not json !!!")
+        assert cache.load(tasks[0]) is None
+        # the evidence survives for post-mortem instead of vanishing
+        quarantined = list(cache.root.glob("*.json.quarantined"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_text() == "{ not json !!!"
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        with EvalRunner(cache_dir=tmp_path) as runner:
+            tasks = _tasks()
+            runner.run_tasks(tasks)
+        cache = ResultCache(tmp_path)
+        victim = cache.path(cache.key(tasks[0]))
+        entry = json.loads(victim.read_text())
+        entry["outcome"]["result"] = {"tampered": True}  # checksum now stale
+        victim.write_text(json.dumps(entry))
+        assert cache.load(tasks[0]) is None
+        assert len(list(cache.root.glob("*.json.quarantined"))) == 1
+
     def test_wipe(self, tmp_path):
         with EvalRunner(cache_dir=tmp_path) as runner:
             runner.run_tasks(_tasks())
         cache = ResultCache(tmp_path)
+        (cache.root / "leftover.tmp").write_text("torn write debris")
+        (cache.root / "old.json.quarantined").write_text("evidence")
         removed = cache.wipe()
         assert removed > 0
+        assert not list(cache.root.glob("*.json"))
+        assert not list(cache.root.glob("*.tmp"))
+        assert not list(cache.root.glob("*.quarantined"))
+
+
+class TestCacheGc:
+    def _fill(self, tmp_path):
+        with EvalRunner(cache_dir=tmp_path) as runner:
+            tasks = _tasks()
+            runner.run_tasks(tasks)
+        return ResultCache(tmp_path), tasks
+
+    def test_gc_removes_stale_tmp_files_only(self, tmp_path):
+        cache, _ = self._fill(tmp_path)
+        stale = cache.root / "dead.tmp"
+        stale.write_text("x")
+        import os as _os
+
+        _os.utime(stale, (0, 0))
+        fresh = cache.root / "live.tmp"
+        fresh.write_text("y")  # an in-flight writer: must survive
+        stats = cache.gc(tmp_age_seconds=60.0)
+        assert stats["tmp_removed"] == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_gc_lru_evicts_oldest_first(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        cache, tasks = self._fill(tmp_path)
+        entries = sorted(cache.root.glob("*.json"))
+        assert len(entries) >= 2
+        # make the first entry clearly least-recently-used
+        _os.utime(entries[0], (_time.time() - 10_000,) * 2)
+        keep_bytes = sum(p.stat().st_size for p in entries) - entries[0].stat().st_size
+        stats = cache.gc(max_bytes=keep_bytes)
+        assert stats["evicted"] == 1
+        assert not entries[0].exists()
+        assert all(p.exists() for p in entries[1:])
+
+    def test_gc_drop_quarantined_is_opt_in(self, tmp_path):
+        cache, _ = self._fill(tmp_path)
+        evidence = cache.root / "bad.json.quarantined"
+        evidence.write_text("{")
+        assert cache.gc()["quarantined_removed"] == 0
+        assert evidence.exists()
+        assert cache.gc(drop_quarantined=True)["quarantined_removed"] == 1
+        assert not evidence.exists()
+
+    def test_cache_cli_gc_and_wipe(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache, _ = self._fill(tmp_path)
+        (cache.root / "dead.tmp").write_text("x")
+        import os as _os
+
+        _os.utime(cache.root / "dead.tmp", (0, 0))
+        assert main(["cache", "gc", str(tmp_path)]) == 0
+        assert not (cache.root / "dead.tmp").exists()
+        assert main(["cache", "wipe", str(tmp_path)]) == 0
         assert not list(cache.root.glob("*.json"))
 
 
