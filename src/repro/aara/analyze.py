@@ -147,7 +147,7 @@ def analyze_program(
 class ConventionalVerdict:
     """Outcome of running purely static AARA on a benchmark program."""
 
-    status: str  # 'bound' | 'cannot-analyze' | 'infeasible'
+    status: str  # 'bound' | 'cannot-analyze' | 'infeasible' | 'unboundable'
     bound: Optional[ResourceBound] = None
     degree: int = 0
     detail: str = ""
@@ -167,8 +167,33 @@ def run_conventional(
     Returns the lowest-degree feasible bound; ``cannot-analyze`` when the
     program contains statically intractable code, ``infeasible`` when no
     tried degree admits a bound.
+
+    Before touching the LP, the recursion-shape lint pass runs over the
+    reachable call graph: when it proves the LP infeasible at *every*
+    degree (``R042``/``R043``), the verdict is ``unboundable`` with the
+    lint explanation as detail — same Table 1 cell, but a diagnosis
+    instead of a bare solver failure, at a fraction of the cost.
     """
     start = time.perf_counter()
+    with telemetry.span("lint.recursion", fname=fname, guard="conventional"):
+        from ..analysis.callgraph import call_graph, reachable
+        from ..analysis.recursion import recursion_diagnostics
+
+        functions = list(program)
+        live = reachable(call_graph(functions), [fname])
+        shape = [
+            d
+            for d in recursion_diagnostics([f for f in functions if f.name in live])
+            if d.code in ("R042", "R043")
+        ]
+    if shape:
+        first = shape[0]
+        where = f" (at {first.span.line}:{first.span.col})" if first.span else ""
+        return ConventionalVerdict(
+            "unboundable",
+            detail=f"[{first.code}] {first.message}{where}",
+            runtime_seconds=time.perf_counter() - start,
+        )
     feasible: List[int] = []
     first_result: Optional[AARAResult] = None
     for degree in range(1, max_degree + 1):

@@ -1,0 +1,55 @@
+"""``repro.analysis`` — static analyzer and diagnostics engine.
+
+Multi-pass linter over the *pre-normalization* AST (resolution, affine
+usage, dead code, tick/stat placement, recursion shape), a rustc-style
+diagnostics engine with text/JSON/SARIF renderers, and a between-stage
+IR verifier for the normalizer.  See ``repro lint --help`` for the CLI.
+"""
+
+from .diagnostics import (
+    CODES,
+    SEVERITIES,
+    Diagnostic,
+    Span,
+    dumps_sarif,
+    from_source_error,
+    promote_warnings,
+    render_all_text,
+    render_source_error,
+    render_text,
+    to_json,
+    to_sarif,
+)
+from .engine import (
+    PASSES,
+    LintResult,
+    extract_embedded_sources,
+    lint_embedded,
+    lint_source,
+)
+from .recursion import recursion_diagnostics
+from .verify_ir import check_expr, verification_enabled, verify_expr
+
+__all__ = [
+    "CODES",
+    "SEVERITIES",
+    "Diagnostic",
+    "Span",
+    "LintResult",
+    "PASSES",
+    "lint_source",
+    "lint_embedded",
+    "extract_embedded_sources",
+    "recursion_diagnostics",
+    "promote_warnings",
+    "render_text",
+    "render_all_text",
+    "render_source_error",
+    "from_source_error",
+    "to_json",
+    "to_sarif",
+    "dumps_sarif",
+    "check_expr",
+    "verify_expr",
+    "verification_enabled",
+]

@@ -1,0 +1,119 @@
+"""Call graph, Tarjan SCCs, reachability, and tick propagation.
+
+Shared by the dead-code, stat-placement and recursion-shape passes, and
+by the pre-LP guard in :func:`repro.aara.analyze.run_conventional`.  All
+functions accept a plain list of :class:`~repro.lang.ast.FunDef` so they
+work on both the pre-normalization surface AST and normalized programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from ..lang import ast as A
+
+
+def call_graph(functions: Sequence[A.FunDef]) -> Dict[str, Set[str]]:
+    """``caller -> set(callee)`` over user-defined functions only."""
+    names = {f.name for f in functions}
+    graph: Dict[str, Set[str]] = {}
+    for fdef in functions:
+        callees: Set[str] = set()
+        for node in fdef.body.walk():
+            if isinstance(node, A.App) and node.fname in names:
+                callees.add(node.fname)
+        graph[fdef.name] = callees
+    return graph
+
+
+def tarjan_scc(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components in reverse topological order.
+
+    Iterative (explicit stack) so deep call chains cannot hit Python's
+    recursion limit.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        # frames: (node, iterator over successors)
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def reachable(graph: Dict[str, Set[str]], roots: Iterable[str]) -> Set[str]:
+    """Functions reachable from ``roots`` (including the roots)."""
+    seen: Set[str] = set()
+    todo = [r for r in roots if r in graph]
+    while todo:
+        name = todo.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        todo.extend(graph.get(name, ()))
+    return seen
+
+
+def may_tick(functions: Sequence[A.FunDef], graph: Dict[str, Set[str]]) -> Set[str]:
+    """Functions that can incur strictly positive tick cost, transitively.
+
+    Builtins never tick (``analyzable=False`` builtins are opaque to the
+    static analysis but cost-free at runtime), so only ``Tick`` nodes and
+    calls to other may-tick functions propagate.
+    """
+    by_name = {f.name: f for f in functions}
+    direct = {
+        name
+        for name, fdef in by_name.items()
+        if any(isinstance(n, A.Tick) and n.amount > 0 for n in fdef.body.walk())
+    }
+    ticking = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in graph.items():
+            if name not in ticking and callees & ticking:
+                ticking.add(name)
+                changed = True
+    return ticking

@@ -1,0 +1,160 @@
+"""Dead-code pass: unused variables, unreachable functions and arms.
+
+* ``W002`` a ``let``-bound variable is never used,
+* ``N002`` an unused *pattern* binder (match-arm or tuple component) —
+  a note, not a warning, because naming all components of a destructured
+  value is idiomatic in the benchmark sources,
+* ``W003`` a function unreachable from the analysis entry point,
+* ``W004`` a match arm no decision-tree leaf can select,
+* ``W005`` a non-exhaustive match / refutable ``let`` pattern,
+* ``R016`` the requested entry function does not exist.
+
+Arm reachability comes from the parser's pattern-matrix compiler
+(:class:`repro.lang.parser.MatchRecord`); it cannot be recovered from
+the compiled core AST.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..lang import ast as A
+from ..lang.parser import MatchRecord
+from .callgraph import call_graph, reachable
+from .diagnostics import Diagnostic, Span
+
+
+def _span(pos: Optional[A.Pos]) -> Optional[Span]:
+    if pos is None or pos.line <= 0:
+        return None
+    return Span(pos.line, pos.col, 1)
+
+
+def _ignorable(name: str) -> bool:
+    return name.startswith("$") or name.startswith("_")
+
+
+def entry_function(
+    functions: Sequence[A.FunDef], entry: Optional[str]
+) -> Optional[str]:
+    """Resolve the analysis root: explicit entry, else the last definition."""
+    names = [f.name for f in functions]
+    if entry is not None:
+        return entry if entry in names else None
+    return names[-1] if names else None
+
+
+def deadcode_diagnostics(
+    functions: Sequence[A.FunDef],
+    match_records: Sequence[MatchRecord] = (),
+    entry: Optional[str] = None,
+    path: str = "<input>",
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+
+    root = entry_function(functions, entry)
+    if entry is not None and root is None:
+        diags.append(
+            Diagnostic(
+                code="R016",
+                severity="error",
+                message=f"entry function '{entry}' is not defined",
+                path=path,
+                notes=("defined: " + ", ".join(f.name for f in functions),),
+            )
+        )
+
+    # unused let/pattern binders -------------------------------------------
+    for fdef in functions:
+        for node in fdef.body.walk():
+            if isinstance(node, A.Let):
+                if node.name in A.free_vars(node.body) or _ignorable(node.name):
+                    continue
+                from_pattern = isinstance(node.bound, A.Var) and node.bound.name.startswith("$")
+                diags.append(
+                    Diagnostic(
+                        code="N002" if from_pattern else "W002",
+                        severity="note" if from_pattern else "warning",
+                        message=(
+                            f"pattern binder '{node.name}' is never used"
+                            if from_pattern
+                            else f"variable '{node.name}' is bound but never used"
+                        ),
+                        span=_span(node.pos),
+                        path=path,
+                        function=fdef.name,
+                        notes=("prefix with '_' to silence",),
+                    )
+                )
+            elif isinstance(node, A.MatchTuple):
+                body_free = A.free_vars(node.body)
+                for name in node.names:
+                    if name in body_free or _ignorable(name):
+                        continue
+                    diags.append(
+                        Diagnostic(
+                            code="N002",
+                            severity="note",
+                            message=f"pattern binder '{name}' is never used",
+                            span=_span(node.pos),
+                            path=path,
+                            function=fdef.name,
+                            notes=("prefix with '_' to silence",),
+                        )
+                    )
+
+    # unreachable functions -------------------------------------------------
+    if root is not None:
+        graph = call_graph(functions)
+        live = reachable(graph, [root])
+        for fdef in functions:
+            if fdef.name in live:
+                continue
+            diags.append(
+                Diagnostic(
+                    code="W003",
+                    severity="warning",
+                    message=(
+                        f"function '{fdef.name}' is unreachable from "
+                        f"entry '{root}'"
+                    ),
+                    span=_span(fdef.name_pos or fdef.pos),
+                    path=path,
+                    function=fdef.name,
+                )
+            )
+
+    # match-arm reachability / exhaustiveness -------------------------------
+    for record in match_records:
+        if record.kind == "match":
+            for arm in range(len(record.arm_pos)):
+                if arm in record.used:
+                    continue
+                diags.append(
+                    Diagnostic(
+                        code="W004",
+                        severity="warning",
+                        message="this match arm is unreachable",
+                        span=_span(record.arm_pos[arm]),
+                        path=path,
+                        function=record.fun,
+                        notes=("earlier arms already cover every value it matches",),
+                    )
+                )
+        if record.nonexhaustive:
+            if record.kind == "match":
+                message = "this match does not cover all cases"
+            else:
+                message = "refutable 'let' pattern may fail at runtime"
+            diags.append(
+                Diagnostic(
+                    code="W005",
+                    severity="warning",
+                    message=message,
+                    span=_span(record.pos),
+                    path=path,
+                    function=record.fun,
+                    notes=("a runtime match failure raises an error",),
+                )
+            )
+    return diags

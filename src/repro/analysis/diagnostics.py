@@ -1,0 +1,271 @@
+"""The diagnostics engine: stable codes, severities, and renderers.
+
+Every front-end finding — lexer/parser failures, lint pass results, IR
+verifier violations — is a :class:`Diagnostic`: a stable code (``R0xx``
+errors, ``W0xx`` warnings, ``N0xx`` notes, ``V0xx`` IR invariants), a
+severity, a source span, and optional secondary notes.  Diagnostics render
+three ways:
+
+* ``text`` — rustc-style caret snippets cut from the original source,
+* ``json`` — one flat object per diagnostic for scripting,
+* ``sarif`` — SARIF 2.1.0, consumable by GitHub code scanning.
+
+The renderers never need the AST; they only need the diagnostic list and
+(for carets) the original source text, so errors raised deep inside
+``normalize``/``typecheck`` can be rendered identically to lint findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import LexError, ParseError, SourceError, TypeMismatchError
+
+#: severity names, most severe first (used for sorting and for --Werror)
+SEVERITIES = ("error", "warning", "note")
+
+#: the stable code registry: code -> one-line rule description.  This is
+#: the single source of truth for the README table and the SARIF rule
+#: metadata; tests assert every emitted diagnostic uses a registered code.
+CODES: Dict[str, str] = {
+    "R001": "lexical error",
+    "R002": "syntax error",
+    "R003": "type error",
+    "R010": "unbound variable",
+    "R011": "unknown function",
+    "R012": "wrong number of arguments",
+    "R013": "duplicate parameter",
+    "R014": "duplicate function definition",
+    "R015": "recursive call to a function not declared 'rec'",
+    "R016": "entry function not found",
+    "R042": "recursion shape unboundable by univariate AARA",
+    "R043": "mutual recursion beyond cost-free resource polymorphism",
+    "W001": "binder shadows an enclosing binding",
+    "W002": "unused let-bound variable",
+    "W003": "function unreachable from the entry point",
+    "W004": "unreachable match arm",
+    "W005": "non-exhaustive match",
+    "W010": "negative tick amount",
+    "W011": "stat applied to a non-application",
+    "W012": "nested stat annotation",
+    "W013": "stat site unreachable from the entry point",
+    "N001": "implicit duplication (share-let will split potential)",
+    "N002": "unused pattern binder",
+    "V001": "IR invariant: binder bound more than once",
+    "V002": "IR invariant: non-variable operand after ANF",
+    "V003": "IR invariant: variable used more than once after share",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A 1-based source location with a caret width in columns."""
+
+    line: int
+    col: int
+    length: int = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    code: str
+    severity: str  # 'error' | 'warning' | 'note'
+    message: str
+    span: Optional[Span] = None
+    path: str = "<input>"
+    function: Optional[str] = None
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def sort_key(self):
+        span = self.span or Span(0, 0)
+        return (self.path, span.line, span.col, self.code)
+
+    def location(self) -> str:
+        if self.span is None:
+            return self.path
+        return f"{self.path}:{self.span.line}:{self.span.col}"
+
+
+def promote_warnings(diags: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """--Werror: every warning becomes an error (notes are untouched)."""
+    return [
+        dataclasses.replace(d, severity="error") if d.severity == "warning" else d
+        for d in diags
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Text rendering (rustc-style caret snippets)
+# ---------------------------------------------------------------------------
+
+
+def render_text(diag: Diagnostic, source: Optional[str] = None) -> str:
+    """One diagnostic as a caret snippet::
+
+        warning[W002]: unused variable `x`
+          --> prog.ml:3:7
+          3 |   let x = 5 in body
+            |       ^
+          = note: ...
+    """
+    lines = [f"{diag.severity}[{diag.code}]: {diag.message}"]
+    span = diag.span
+    if span is not None:
+        lines.append(f"  --> {diag.location()}")
+        src_line = _source_line(source, span.line)
+        if src_line is not None:
+            gutter = str(span.line)
+            pad = " " * len(gutter)
+            caret_col = max(span.col, 1) - 1
+            carets = "^" * max(span.length, 1)
+            lines.append(f"  {gutter} | {src_line}")
+            lines.append(f"  {pad} | {' ' * caret_col}{carets}")
+    else:
+        lines.append(f"  --> {diag.path}")
+    for note in diag.notes:
+        lines.append(f"  = note: {note}")
+    return "\n".join(lines)
+
+
+def render_all_text(
+    diags: Sequence[Diagnostic], sources: Optional[Dict[str, str]] = None
+) -> str:
+    """Render a diagnostic list plus a one-line totals summary."""
+    sources = sources or {}
+    blocks = [render_text(d, sources.get(d.path)) for d in diags]
+    counts = {sev: 0 for sev in SEVERITIES}
+    for d in diags:
+        counts[d.severity] = counts.get(d.severity, 0) + 1
+    summary = (
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['note']} note(s)"
+    )
+    return "\n\n".join(blocks + [summary]) if blocks else summary
+
+
+def _source_line(source: Optional[str], line: int) -> Optional[str]:
+    if source is None or line < 1:
+        return None
+    lines = source.splitlines()
+    if line > len(lines):
+        return None
+    return lines[line - 1]
+
+
+# ---------------------------------------------------------------------------
+# JSON / SARIF rendering
+# ---------------------------------------------------------------------------
+
+
+def to_json(diags: Sequence[Diagnostic]) -> Dict:
+    return {
+        "version": 1,
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": d.severity,
+                "message": d.message,
+                "path": d.path,
+                "line": None if d.span is None else d.span.line,
+                "col": None if d.span is None else d.span.col,
+                "length": None if d.span is None else d.span.length,
+                "function": d.function,
+                "notes": list(d.notes),
+            }
+            for d in diags
+        ],
+    }
+
+
+def to_sarif(diags: Sequence[Diagnostic]) -> Dict:
+    """SARIF 2.1.0 log (GitHub code-scanning compatible)."""
+    used = sorted({d.code for d in diags} | set())
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": CODES.get(code, code)},
+        }
+        for code in used
+    ]
+    results = []
+    for d in diags:
+        result = {
+            "ruleId": d.code,
+            "level": "note" if d.severity == "note" else d.severity,
+            "message": {"text": d.message},
+        }
+        if d.span is not None:
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {
+                            "startLine": d.span.line,
+                            "startColumn": d.span.col,
+                            "endColumn": d.span.col + max(d.span.length, 1),
+                        },
+                    }
+                }
+            ]
+        results.append(result)
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/hybrid-aara",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def dumps_sarif(diags: Sequence[Diagnostic]) -> str:
+    return json.dumps(to_sarif(diags), indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Bridging the exception hierarchy
+# ---------------------------------------------------------------------------
+
+_SOURCE_ERROR_CODES = (
+    (LexError, "R001"),
+    (ParseError, "R002"),
+    (TypeMismatchError, "R003"),
+)
+
+
+def from_source_error(exc: SourceError, path: str = "<input>") -> Diagnostic:
+    """Wrap a located front-end exception as a diagnostic.
+
+    ``SourceError`` prefixes its message with ``line:col:`` for bare
+    string consumers; strip that here since the span carries the location.
+    """
+    code = "R002"
+    for cls, cls_code in _SOURCE_ERROR_CODES:
+        if isinstance(exc, cls):
+            code = cls_code
+            break
+    message = str(exc)
+    if exc.line is not None:
+        prefix = f"{exc.line}:{exc.col if exc.col is not None else '?'}: "
+        if message.startswith(prefix):
+            message = message[len(prefix) :]
+    span = None
+    if exc.line is not None:
+        span = Span(exc.line, exc.col if exc.col is not None else 1)
+    return Diagnostic(code=code, severity="error", message=message, span=span, path=path)
+
+
+def render_source_error(exc: SourceError, source: str, path: str) -> str:
+    """Caret-render a LexError/ParseError/TypeMismatchError (CLI helper)."""
+    return render_text(from_source_error(exc, path), source)

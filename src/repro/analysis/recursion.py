@@ -1,0 +1,273 @@
+"""Recursion-shape pass: predict LP infeasibility before running the LP.
+
+Univariate AARA pays for recursion out of the potential stored in the
+*shrinking* structure.  A self-call whose arguments never structurally
+decrease — every argument is a parameter passed through unchanged
+(possibly permuted or shared) or a cons-extension of one — can only be
+bounded if the cycle is cost-free.  If, additionally, some path through
+such a call site incurs strictly positive tick cost, the linear program
+is provably infeasible at *every* degree: no polynomial in the input
+sizes covers unboundedly repeated positive cost.
+
+This pass reports that situation as ``R042`` ("AARA will report
+Infeasible here") with a per-argument explanation, and mutual recursion
+(SCCs with more than one function) as ``R043``, which the univariate
+reproduction does not attempt to bound.
+
+The argument classification:
+
+* ``PARAM`` — a function parameter, passed through (any position),
+* ``GROW``  — a cons-chain whose spine ends in a PARAM/GROW variable,
+* ``DESC``  — obtained by destructing a parameter (match head/tail,
+  tuple/sum components), transitively through let-aliases and shares,
+* ``OTHER`` — anything else (arithmetic, constants, other calls …).
+
+A call site is a candidate iff every argument is PARAM or GROW.  DESC
+disqualifies (structural recursion), and OTHER is given the benefit of
+the doubt.  The classification works on both the surface AST and
+share-let normal form, so :func:`repro.aara.analyze.run_conventional`
+can reuse it as a pre-LP guard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang import ast as A
+from .callgraph import call_graph, may_tick, tarjan_scc
+from .diagnostics import Diagnostic, Span
+
+PARAM = "param"
+GROW = "grow"
+DESC = "desc"
+OTHER = "other"
+
+
+def _span(pos: Optional[A.Pos]) -> Optional[Span]:
+    if pos is None or pos.line <= 0:
+        return None
+    return Span(pos.line, pos.col, 1)
+
+
+def class_of_expr(expr: A.Expr, env: Dict[str, str]) -> str:
+    """Classify an argument expression under a variable classification."""
+    if isinstance(expr, A.Var):
+        return env.get(expr.name, OTHER)
+    if isinstance(expr, A.Cons):
+        tail = class_of_expr(expr.tail, env)
+        return GROW if tail in (PARAM, GROW) else OTHER
+    return OTHER
+
+
+class _SiteCollector:
+    """Scoped walk recording every self-call with its argument classes."""
+
+    def __init__(self, fdef: A.FunDef):
+        self.fdef = fdef
+        #: (App node, [class per argument])
+        self.sites: List[Tuple[A.App, List[str]]] = []
+
+    def run(self) -> List[Tuple[A.App, List[str]]]:
+        env = {p: PARAM for p in self.fdef.params}
+        self.walk(self.fdef.body, env)
+        return self.sites
+
+    def _derived(self, env: Dict[str, str], scrutinee: A.Expr) -> str:
+        """Class of variables bound by destructing ``scrutinee``."""
+        cls = class_of_expr(scrutinee, env)
+        return DESC if cls in (PARAM, DESC, GROW) else OTHER
+
+    def walk(self, expr: A.Expr, env: Dict[str, str]) -> None:
+        if isinstance(expr, A.App):
+            for arg in expr.args:
+                self.walk(arg, env)
+            if expr.fname == self.fdef.name:
+                self.sites.append(
+                    (expr, [class_of_expr(arg, env) for arg in expr.args])
+                )
+            return
+        if isinstance(expr, A.Let):
+            self.walk(expr.bound, env)
+            child = dict(env)
+            child[expr.name] = class_of_expr(expr.bound, env)
+            self.walk(expr.body, child)
+            return
+        if isinstance(expr, A.Share):
+            child = dict(env)
+            child[expr.name1] = child[expr.name2] = env.get(expr.name, OTHER)
+            self.walk(expr.body, child)
+            return
+        if isinstance(expr, A.MatchList):
+            self.walk(expr.scrutinee, env)
+            self.walk(expr.nil_branch, env)
+            child = dict(env)
+            child[expr.head_var] = child[expr.tail_var] = self._derived(
+                env, expr.scrutinee
+            )
+            self.walk(expr.cons_branch, child)
+            return
+        if isinstance(expr, A.MatchSum):
+            self.walk(expr.scrutinee, env)
+            derived = self._derived(env, expr.scrutinee)
+            left = dict(env)
+            left[expr.left_var] = derived
+            self.walk(expr.left_branch, left)
+            right = dict(env)
+            right[expr.right_var] = derived
+            self.walk(expr.right_branch, right)
+            return
+        if isinstance(expr, A.MatchTuple):
+            self.walk(expr.scrutinee, env)
+            derived = self._derived(env, expr.scrutinee)
+            child = dict(env)
+            for name in expr.names:
+                child[name] = derived
+            self.walk(expr.body, child)
+            return
+        for sub in expr.children():
+            self.walk(sub, env)
+
+
+# -- path-sensitive "does positive cost flow through a candidate call?" -----
+
+#: abstract path fact: (reaches a candidate call, some path has both a
+#: candidate call and positive cost, incurs positive cost)
+_Fact = Tuple[bool, bool, bool]
+_ZERO: _Fact = (False, False, False)
+
+
+def _seq(a: _Fact, b: _Fact) -> _Fact:
+    return (
+        a[0] or b[0],
+        a[1] or b[1] or (a[0] and b[2]) or (a[2] and b[0]),
+        a[2] or b[2],
+    )
+
+
+def _alt(a: _Fact, b: _Fact) -> _Fact:
+    return (a[0] or b[0], a[1] or b[1], a[2] or b[2])
+
+
+def _cost_through_sites(
+    body: A.Expr,
+    site_ids: set,
+    scc: set,
+    ticking: set,
+) -> bool:
+    """True iff some control path hits a candidate site *and* a positive tick.
+
+    Calls to functions outside the SCC contribute cost via the transitive
+    ``may_tick`` set; calls to SCC members are ignored as cost sources
+    (their cost is what the cycle is being asked to pay for).
+    """
+
+    def analyze(expr: A.Expr) -> _Fact:
+        if isinstance(expr, A.Tick):
+            return (False, False, expr.amount > 0)
+        if isinstance(expr, A.App):
+            fact = _ZERO
+            for arg in expr.args:
+                fact = _seq(fact, analyze(arg))
+            if id(expr) in site_ids:
+                fact = _seq(fact, (True, False, False))
+            elif expr.fname not in scc and expr.fname in ticking:
+                fact = _seq(fact, (False, False, True))
+            return fact
+        if isinstance(expr, A.If):
+            return _seq(
+                analyze(expr.cond),
+                _alt(analyze(expr.then_branch), analyze(expr.else_branch)),
+            )
+        if isinstance(expr, A.MatchList):
+            return _seq(
+                analyze(expr.scrutinee),
+                _alt(analyze(expr.nil_branch), analyze(expr.cons_branch)),
+            )
+        if isinstance(expr, A.MatchSum):
+            return _seq(
+                analyze(expr.scrutinee),
+                _alt(analyze(expr.left_branch), analyze(expr.right_branch)),
+            )
+        fact = _ZERO
+        for sub in expr.children():
+            fact = _seq(fact, analyze(sub))
+        return fact
+
+    return analyze(body)[1]
+
+
+def _describe(classes: Sequence[str]) -> List[str]:
+    notes = []
+    for i, cls in enumerate(classes, start=1):
+        if cls == PARAM:
+            notes.append(f"argument {i} is a parameter passed through unchanged")
+        elif cls == GROW:
+            notes.append(f"argument {i} grows the input (cons onto a parameter)")
+    notes.append(
+        "no argument structurally decreases, and the cycle carries positive "
+        "tick cost: the AARA linear program is infeasible at every degree"
+    )
+    return notes
+
+
+def recursion_diagnostics(
+    functions: Sequence[A.FunDef], path: str = "<input>"
+) -> List[Diagnostic]:
+    functions = list(functions)
+    graph = call_graph(functions)
+    ticking = may_tick(functions, graph)
+    diags: List[Diagnostic] = []
+    by_name = {f.name: f for f in functions}
+
+    for component in tarjan_scc(graph):
+        if len(component) > 1:
+            members = ", ".join(f"'{n}'" for n in sorted(component))
+            for name in sorted(component):
+                fdef = by_name[name]
+                diags.append(
+                    Diagnostic(
+                        code="R043",
+                        severity="error",
+                        message=(
+                            f"'{name}' is mutually recursive with "
+                            f"{members}; univariate AARA cannot bound "
+                            "mutual recursion"
+                        ),
+                        span=_span(fdef.name_pos or fdef.pos),
+                        path=path,
+                        function=name,
+                    )
+                )
+            continue
+
+        name = component[0]
+        if name not in graph.get(name, ()):  # not self-recursive
+            continue
+        fdef = by_name[name]
+        sites = _SiteCollector(fdef).run()
+        candidates = [
+            (node, classes)
+            for node, classes in sites
+            if classes and all(c in (PARAM, GROW) for c in classes)
+        ]
+        if not candidates:
+            continue
+        site_ids = {id(node) for node, _classes in candidates}
+        if not _cost_through_sites(fdef.body, site_ids, set(component), ticking):
+            continue
+        for node, classes in candidates:
+            diags.append(
+                Diagnostic(
+                    code="R042",
+                    severity="error",
+                    message=(
+                        f"recursive call to '{name}' never decreases its "
+                        "input; AARA will report Infeasible here"
+                    ),
+                    span=_span(node.pos),
+                    path=path,
+                    function=name,
+                    notes=tuple(_describe(classes)),
+                )
+            )
+    return diags

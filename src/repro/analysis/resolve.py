@@ -1,0 +1,226 @@
+"""Name, arity and recursion-marker resolution (pass ``resolve``).
+
+Reports the hard errors a program must not have before any later pass
+(or the analysis itself) can trust its shape:
+
+* ``R010`` unbound variable (with a hint when the name is a function),
+* ``R011`` unknown or forward function reference,
+* ``R012`` wrong number of arguments,
+* ``R013`` duplicate parameter name,
+* ``R014`` duplicate top-level definition,
+* ``R015`` recursive call in a function not marked ``rec``,
+
+plus the ``W001`` shadowing warning, which is a frequent source of
+accidental implicit duplication downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..lang import ast as A
+from ..lang.builtins import get_builtin, is_builtin
+from .diagnostics import Diagnostic, Span
+
+
+def _span(pos: Optional[A.Pos], length: int = 1) -> Optional[Span]:
+    if pos is None or pos.line <= 0:
+        return None
+    return Span(pos.line, pos.col, length)
+
+
+def _synthetic(name: str) -> bool:
+    """Compiler-introduced or deliberately-ignored names are exempt."""
+    return name.startswith("$") or name.startswith("_")
+
+
+class _Resolver:
+    def __init__(self, functions: Sequence[A.FunDef], path: str):
+        self.functions = list(functions)
+        self.path = path
+        self.diags: List[Diagnostic] = []
+        self.fun: Optional[A.FunDef] = None
+        #: functions visible at the current definition (earlier + self)
+        self.visible: Dict[str, A.FunDef] = {}
+        self.all_names = {f.name for f in self.functions}
+
+    def emit(self, code: str, severity: str, message: str, pos, notes=()) -> None:
+        length = 1
+        self.diags.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=message,
+                span=_span(pos, length),
+                path=self.path,
+                function=self.fun.name if self.fun else None,
+                notes=tuple(notes),
+            )
+        )
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        seen: Dict[str, A.FunDef] = {}
+        for fdef in self.functions:
+            if fdef.name in seen:
+                first = seen[fdef.name]
+                where = f"{first.pos.line}:{first.pos.col}" if first.pos else "earlier"
+                self.fun = fdef
+                self.emit(
+                    "R014",
+                    "error",
+                    f"function '{fdef.name}' is defined more than once",
+                    fdef.name_pos or fdef.pos,
+                    notes=(f"first definition is at {where}; the later one wins",),
+                )
+            else:
+                seen[fdef.name] = fdef
+            self.fun = fdef
+            self.check_fundef(fdef)
+            self.visible[fdef.name] = fdef
+        self.fun = None
+        return self.diags
+
+    def check_fundef(self, fdef: A.FunDef) -> None:
+        env: Dict[str, str] = {}
+        for idx, pname in enumerate(fdef.params):
+            ppos = None
+            if fdef.param_pos and idx < len(fdef.param_pos):
+                ppos = fdef.param_pos[idx]
+            if pname in env and not _synthetic(pname):
+                self.emit(
+                    "R013",
+                    "error",
+                    f"duplicate parameter '{pname}' in function '{fdef.name}'",
+                    ppos or fdef.pos,
+                )
+            env[pname] = "param"
+        self.check_expr(fdef.body, env)
+
+    # -- expressions --------------------------------------------------------
+
+    def bind(self, env: Dict[str, str], name: str, pos) -> Dict[str, str]:
+        if name in env and not _synthetic(name):
+            kind = "parameter" if env[name] == "param" else "earlier binding"
+            self.emit(
+                "W001",
+                "warning",
+                f"'{name}' shadows a {kind} of the same name",
+                pos,
+                notes=("the outer value becomes unreachable in this scope",),
+            )
+        child = dict(env)
+        child[name] = "local"
+        return child
+
+    def check_call(self, node: A.App) -> None:
+        name = node.fname
+        if is_builtin(name):
+            want = get_builtin(name).arity
+            if len(node.args) != want:
+                self.emit(
+                    "R012",
+                    "error",
+                    f"builtin '{name}' expects {want} argument(s), got {len(node.args)}",
+                    node.pos,
+                )
+            return
+        if self.fun is not None and name == self.fun.name:
+            if not self.fun.recursive:
+                self.emit(
+                    "R015",
+                    "error",
+                    f"recursive call to '{name}' but the definition is not marked 'rec'",
+                    node.pos,
+                    notes=("write 'let rec' to allow self-reference",),
+                )
+            want = len(self.fun.params)
+            if len(node.args) != want:
+                self.emit(
+                    "R012",
+                    "error",
+                    f"function '{name}' expects {want} argument(s), got {len(node.args)}",
+                    node.pos,
+                )
+            return
+        target = self.visible.get(name)
+        if target is None:
+            if name in self.all_names:
+                self.emit(
+                    "R011",
+                    "error",
+                    f"function '{name}' is defined later in the file",
+                    node.pos,
+                    notes=("functions may only reference earlier definitions",),
+                )
+            else:
+                self.emit("R011", "error", f"unknown function '{name}'", node.pos)
+            return
+        want = len(target.params)
+        if len(node.args) != want:
+            self.emit(
+                "R012",
+                "error",
+                f"function '{name}' expects {want} argument(s), got {len(node.args)}",
+                node.pos,
+            )
+
+    def check_expr(self, expr: A.Expr, env: Dict[str, str]) -> None:
+        if isinstance(expr, A.Var):
+            if expr.name not in env:
+                notes = ()
+                if expr.name in self.all_names or is_builtin(expr.name):
+                    notes = (
+                        f"'{expr.name}' is a function; functions are not "
+                        "first-class and must be fully applied",
+                    )
+                self.emit(
+                    "R010", "error", f"unbound variable '{expr.name}'", expr.pos, notes
+                )
+            return
+        if isinstance(expr, A.App):
+            self.check_call(expr)
+            for arg in expr.args:
+                self.check_expr(arg, env)
+            return
+        if isinstance(expr, A.Let):
+            self.check_expr(expr.bound, env)
+            self.check_expr(expr.body, self.bind(env, expr.name, expr.pos))
+            return
+        if isinstance(expr, A.Share):
+            self.check_expr(A.Var(expr.name, pos=expr.pos), env)
+            child = dict(env)
+            child[expr.name1] = "local"
+            child[expr.name2] = "local"
+            self.check_expr(expr.body, child)
+            return
+        if isinstance(expr, A.MatchList):
+            self.check_expr(expr.scrutinee, env)
+            self.check_expr(expr.nil_branch, env)
+            child = env
+            for name in (expr.head_var, expr.tail_var):
+                child = self.bind(child, name, expr.pos)
+            self.check_expr(expr.cons_branch, child)
+            return
+        if isinstance(expr, A.MatchSum):
+            self.check_expr(expr.scrutinee, env)
+            self.check_expr(expr.left_branch, self.bind(env, expr.left_var, expr.pos))
+            self.check_expr(expr.right_branch, self.bind(env, expr.right_var, expr.pos))
+            return
+        if isinstance(expr, A.MatchTuple):
+            self.check_expr(expr.scrutinee, env)
+            child = env
+            for name in expr.names:
+                child = self.bind(child, name, expr.pos)
+            self.check_expr(expr.body, child)
+            return
+        for child_expr in expr.children():
+            self.check_expr(child_expr, env)
+
+
+def resolve_diagnostics(
+    functions: Sequence[A.FunDef], path: str = "<input>"
+) -> List[Diagnostic]:
+    """Run the resolution pass over source-order function definitions."""
+    return _Resolver(functions, path).run()

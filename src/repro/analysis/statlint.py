@@ -1,0 +1,107 @@
+"""Tick / stat placement lints (``statlint``).
+
+``Raml.tick q`` spends ``q`` resource units; ``Raml.stat e`` marks the
+call in ``e`` for data-driven (Bayesian) analysis.  Both are easy to
+misplace in ways the pipeline accepts silently:
+
+* ``W010`` a negative tick *refunds* potential — legal, but usually a
+  typo for a positive cost,
+* ``W011`` ``stat`` wrapping a non-application has nothing to analyze,
+* ``W012`` nested ``stat`` — the inner annotation is subsumed,
+* ``W013`` a ``stat`` in a function unreachable from the entry point
+  never produces runtime data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..lang import ast as A
+from .callgraph import call_graph, reachable
+from .deadcode import entry_function
+from .diagnostics import Diagnostic, Span
+
+
+def _span(pos: Optional[A.Pos]) -> Optional[Span]:
+    if pos is None or pos.line <= 0:
+        return None
+    return Span(pos.line, pos.col, 1)
+
+
+def statlint_diagnostics(
+    functions: Sequence[A.FunDef],
+    entry: Optional[str] = None,
+    path: str = "<input>",
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    root = entry_function(functions, entry)
+    live = None
+    if root is not None:
+        live = reachable(call_graph(functions), [root])
+
+    for fdef in functions:
+        for node in fdef.body.walk():
+            if isinstance(node, A.Tick) and node.amount < 0:
+                diags.append(
+                    Diagnostic(
+                        code="W010",
+                        severity="warning",
+                        message=f"negative tick ({node.amount:g}) refunds potential",
+                        span=_span(node.pos),
+                        path=path,
+                        function=fdef.name,
+                        notes=(
+                            "make sure the refund is intentional; costs are "
+                            "usually non-negative",
+                        ),
+                    )
+                )
+            if not isinstance(node, A.Stat):
+                continue
+            target = node.body
+            if not isinstance(target, A.App):
+                diags.append(
+                    Diagnostic(
+                        code="W011",
+                        severity="warning",
+                        message=(
+                            "'stat' should wrap a function application; "
+                            f"got {type(target).__name__}"
+                        ),
+                        span=_span(node.pos),
+                        path=path,
+                        function=fdef.name,
+                        notes=(
+                            "data-driven analysis estimates the cost of the "
+                            "wrapped call",
+                        ),
+                    )
+                )
+            for inner in target.walk():
+                if isinstance(inner, A.Stat):
+                    diags.append(
+                        Diagnostic(
+                            code="W012",
+                            severity="warning",
+                            message=f"nested 'stat' ({inner.label}) inside '{node.label}'",
+                            span=_span(inner.pos or node.pos),
+                            path=path,
+                            function=fdef.name,
+                            notes=("the outer annotation subsumes the inner one",),
+                        )
+                    )
+            if live is not None and fdef.name not in live:
+                diags.append(
+                    Diagnostic(
+                        code="W013",
+                        severity="warning",
+                        message=(
+                            f"'stat' site '{node.label}' is unreachable from "
+                            f"entry '{root}' and collects no data"
+                        ),
+                        span=_span(node.pos),
+                        path=path,
+                        function=fdef.name,
+                    )
+                )
+    return diags

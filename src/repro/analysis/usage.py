@@ -1,0 +1,98 @@
+"""Affine-usage / share-discipline pass (``usage``).
+
+AARA's type system is affine: a variable may be consumed once.  The
+normalizer silently repairs multiple uses with explicit ``share`` nodes,
+which *split* the potential of the shared value.  That is sound but can
+surprise: a list consumed by two sequential calls only carries half the
+potential into each.  This pass surfaces every implicit duplication as an
+``N001`` note at the node whose sub-expressions both consume the
+variable, using the exact sequential/parallel grouping the normalizer
+itself uses (:func:`repro.lang.normalize.sequential_parts`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..lang import ast as A
+from ..lang.normalize import sequential_parts
+from .diagnostics import Diagnostic, Span
+
+
+def _group_free_vars(expr: A.Expr) -> Optional[List[Set[str]]]:
+    """Free variables of each sequential group, minus binders of ``expr``.
+
+    Binders introduced *at* this node (a ``let`` name, match-arm
+    variables) are removed from their group so that shadowing does not
+    masquerade as duplication — the outer and inner variable merely share
+    a spelling.
+    """
+    parts = sequential_parts(expr)
+    if parts is None:
+        return None
+    if isinstance(expr, A.Let):
+        return [A.free_vars(expr.bound), A.free_vars(expr.body) - {expr.name}]
+    if isinstance(expr, A.MatchList):
+        cons = A.free_vars(expr.cons_branch) - {expr.head_var, expr.tail_var}
+        return [A.free_vars(expr.scrutinee), A.free_vars(expr.nil_branch) | cons]
+    if isinstance(expr, A.MatchSum):
+        left = A.free_vars(expr.left_branch) - {expr.left_var}
+        right = A.free_vars(expr.right_branch) - {expr.right_var}
+        return [A.free_vars(expr.scrutinee), left | right]
+    if isinstance(expr, A.MatchTuple):
+        return [
+            A.free_vars(expr.scrutinee),
+            A.free_vars(expr.body) - set(expr.names),
+        ]
+    if isinstance(expr, A.Share):
+        # explicit duplication — exactly what N001 is *not* about
+        return None
+    groups, _rebuild = parts
+    out: List[Set[str]] = []
+    for group in groups:
+        used: Set[str] = set()
+        for sub in group:
+            used |= A.free_vars(sub)
+        out.append(used)
+    return out
+
+
+def usage_diagnostics(
+    functions: Sequence[A.FunDef], path: str = "<input>"
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for fdef in functions:
+        reported: Set[str] = set()
+        for node in fdef.body.walk():
+            group_vars = _group_free_vars(node)
+            if not group_vars:
+                continue
+            counts = {}
+            for used in group_vars:
+                for var in used:
+                    counts[var] = counts.get(var, 0) + 1
+            for var in sorted(v for v, k in counts.items() if k > 1):
+                if var.startswith("$") or var in reported:
+                    continue
+                reported.add(var)
+                span = None
+                if node.pos is not None and node.pos.line > 0:
+                    span = Span(node.pos.line, node.pos.col, 1)
+                diags.append(
+                    Diagnostic(
+                        code="N001",
+                        severity="note",
+                        message=(
+                            f"'{var}' is consumed more than once; "
+                            "normalization inserts an implicit share"
+                        ),
+                        span=span,
+                        path=path,
+                        function=fdef.name,
+                        notes=(
+                            "AARA splits the potential of a shared value "
+                            "between its uses",
+                        ),
+                    )
+                )
+    return diags

@@ -78,13 +78,24 @@ def _random_inputs(program, entry, sizes, reps, seed):
     return inputs
 
 
+def _load_program(path: str):
+    """Read + compile a source file, caret-rendering front-end failures."""
+    from .analysis import render_source_error
+    from .errors import SourceError
+
+    with open(path) as handle:
+        source = handle.read()
+    try:
+        return source, compile_program(source)
+    except SourceError as exc:
+        raise ReproError(render_source_error(exc, source, path)) from exc
+
+
 def cmd_collect(args) -> int:
     from .inference.serialize import save_dataset
 
     con = get_console()
-    with open(args.program) as handle:
-        source = handle.read()
-    program = compile_program(source)
+    _source, program = _load_program(args.program)
     sizes = _parse_sizes(args.sizes)
     inputs = _random_inputs(program, args.entry, sizes, args.reps, args.seed)
     dataset = collect_dataset(program, args.entry, inputs)
@@ -102,9 +113,7 @@ def cmd_collect(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    with open(args.program) as handle:
-        source = handle.read()
-    program = compile_program(source)
+    _source, program = _load_program(args.program)
     config = AnalysisConfig(
         degree=args.degree,
         num_posterior_samples=args.samples,
@@ -142,9 +151,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_static(args) -> int:
-    with open(args.program) as handle:
-        source = handle.read()
-    program = compile_program(source)
+    _source, program = _load_program(args.program)
     verdict = run_conventional(program, args.entry, max_degree=args.degree)
     con = get_console()
     con.result(f"status : {verdict.status}")
@@ -155,6 +162,81 @@ def cmd_static(args) -> int:
         con.result(f"detail : {verdict.detail}")
     con.result(f"runtime: {verdict.runtime_seconds:.2f}s")
     return 0 if verdict.succeeded else 1
+
+
+def _lint_units(args):
+    """Yield ``(display_path, source, entry)`` for everything to lint.
+
+    ``.py`` files contribute their embedded resource-language constants
+    (``file.py#CONST``); ``--suite`` adds every registry benchmark in all
+    its mode variants with the spec's own entry function.
+    """
+    from .analysis import extract_embedded_sources
+
+    for path in args.programs:
+        with open(path) as handle:
+            text = handle.read()
+        if path.endswith(".py"):
+            for name, source in extract_embedded_sources(text):
+                yield f"{path}#{name}", source, args.entry
+        else:
+            yield path, text, args.entry
+    if args.suite:
+        from .suite import all_benchmarks
+
+        for spec in all_benchmarks():
+            yield (
+                f"suite:{spec.name}/data_driven",
+                spec.data_driven_source,
+                spec.data_driven_entry,
+            )
+            if spec.hybrid_source is not None:
+                yield f"suite:{spec.name}/hybrid", spec.hybrid_source, spec.hybrid_entry
+
+
+def cmd_lint(args) -> int:
+    from .analysis import (
+        dumps_sarif,
+        lint_source,
+        promote_warnings,
+        render_all_text,
+        to_json,
+    )
+
+    con = get_console()
+    units = list(_lint_units(args))
+    if not units:
+        raise ReproError("nothing to lint: pass program files and/or --suite")
+    diagnostics = []
+    sources = {}
+    for path, source, entry in units:
+        sources[path] = source
+        result = lint_source(source, path=path, entry=entry)
+        diagnostics.extend(result.diagnostics)
+    if args.werror:
+        diagnostics = promote_warnings(diagnostics)
+    diagnostics.sort(key=lambda d: d.sort_key())
+
+    if args.format == "json":
+        rendered = json.dumps(to_json(diagnostics), indent=2, sort_keys=True)
+    elif args.format == "sarif":
+        rendered = dumps_sarif(diagnostics)
+    else:
+        rendered = render_all_text(diagnostics, sources)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        con.info(
+            f"{len(diagnostics)} diagnostic(s) over {len(units)} program(s) "
+            f"-> {args.out}",
+            diagnostics=len(diagnostics),
+            programs=len(units),
+            out=args.out,
+        )
+    else:
+        con.result(rendered)
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    return 1 if errors else 0
 
 
 #: env var naming the default parent directory for run journals
@@ -527,6 +609,41 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--seed", type=int, default=0)
     collect.add_argument("--out", required=True)
     collect.set_defaults(func=cmd_collect)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis / diagnostics for resource-language programs",
+    )
+    lint.add_argument(
+        "programs",
+        nargs="*",
+        help="source files to lint (.py files contribute their embedded "
+        "resource-language string constants)",
+    )
+    lint.add_argument(
+        "--suite",
+        action="store_true",
+        help="also lint every registry benchmark in all its mode variants",
+    )
+    lint.add_argument(
+        "--entry",
+        default=None,
+        help="entry function for reachability lints (default: last definition)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format (sarif is GitHub code-scanning compatible)",
+    )
+    lint.add_argument("--out", default=None, help="write the report here instead of stdout")
+    lint.add_argument(
+        "--Werror",
+        dest="werror",
+        action="store_true",
+        help="treat warnings as errors (notes are unaffected)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     static = sub.add_parser("static", help="conventional AARA only")
     static.add_argument("program")

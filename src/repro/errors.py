@@ -50,6 +50,27 @@ class StaticAnalysisError(ReproError):
     """Base class for conventional-AARA failures."""
 
 
+class LintError(StaticAnalysisError):
+    """Raised when ``repro.analysis`` rejects a program before analysis.
+
+    Carries the error-severity :class:`~repro.analysis.Diagnostic` list so
+    callers (CLI, eval harness) can re-render with carets/JSON/SARIF.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
+class IRVerificationError(ReproError):
+    """Raised by the between-stage IR verifier (``repro.analysis.verify_ir``)
+    when a ``normalize`` pass breaks a uniquify/ANF/share invariant."""
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 class UnanalyzableError(StaticAnalysisError):
     """The program uses a construct that is opaque to static analysis.
 
@@ -99,6 +120,10 @@ def failure_stage(exc: BaseException) -> str:
         return "lp"
     if isinstance(exc, SamplerDivergenceError):
         return "sampler"
+    if isinstance(exc, LintError):
+        return "lint"
+    if isinstance(exc, IRVerificationError):
+        return "normalize"
     if isinstance(exc, StaticAnalysisError):
         return "static"
     if isinstance(exc, DatasetError):

@@ -38,7 +38,7 @@ import numpy as np
 
 from .. import checkpoint, faultinject, telemetry
 from ..config import AnalysisConfig, DEFAULT_CONFIG
-from ..errors import ReproError, TaskTimeoutError, failure_stage
+from ..errors import LintError, ReproError, TaskTimeoutError, failure_stage
 from ..telemetry.console import get_console
 from .journal import RunJournal
 
@@ -186,6 +186,38 @@ def expand_grid(
 #: don't recompile the program / re-interpret the runtime-data runs
 _PROGRAM_CACHE: Dict[Tuple[str, str], object] = {}
 _DATASET_CACHE: Dict[Tuple[str, str, int], object] = {}
+#: (benchmark, mode) -> lint verdict, so the lint guard runs once per
+#: worker per program variant, not once per grid cell
+_LINT_CACHE: Dict[Tuple[str, str], object] = {}
+
+
+def _lint_guard(spec, mode: str) -> None:
+    """Reject programs with lint *errors* before compiling them.
+
+    Memoized alongside the program cache; boundability predictions
+    (``R042``/``R043``) are excluded — they are the conventional
+    analyzer's verdict to make (``status='unboundable'``), and data-driven
+    modes can still measure such programs.
+    """
+    from ..analysis import lint_source
+
+    key = (spec.name, mode)
+    with telemetry.span(
+        "lint.guard", benchmark=spec.name, mode=mode, cached=key in _LINT_CACHE
+    ):
+        if key not in _LINT_CACHE:
+            source, entry = _mode_variant(spec, mode)
+            result = lint_source(source, path=f"{spec.name}/{mode}", entry=entry)
+            _LINT_CACHE[key] = result
+    result = _LINT_CACHE[key]
+    fatal = [d for d in result.errors() if d.code not in ("R042", "R043")]
+    if fatal:
+        first = fatal[0]
+        raise LintError(
+            f"lint failed for {spec.name}/{mode}: "
+            f"[{first.code}] {first.message} at {first.location()}",
+            diagnostics=fatal,
+        )
 
 
 def _mode_variant(spec, mode: str) -> Tuple[str, str]:
@@ -207,6 +239,7 @@ def _compiled_program(spec, mode: str):
         "lang.compile", benchmark=spec.name, mode=mode, cached=key in _PROGRAM_CACHE
     ):
         if key not in _PROGRAM_CACHE:
+            _lint_guard(spec, mode)
             source, _entry = _mode_variant(spec, mode)
             _PROGRAM_CACHE[key] = compile_program(source)
     return _PROGRAM_CACHE[key]

@@ -146,6 +146,10 @@ def conventional_label(spec: BenchmarkSpec, verdict: ConventionalVerdict) -> str
         # AARA terminates with no bound at any tried degree — the paper also
         # reports this as Cannot Analyze (e.g. BubbleSort, MedianOfMedians)
         return "Cannot Analyze"
+    if verdict.status == "unboundable":
+        # same Table 1 cell as infeasible, but diagnosed pre-LP by the
+        # recursion-shape lint (verdict.detail carries the R042/R043 message)
+        return "Cannot Analyze"
     if verdict.degree > spec.truth_degree:
         return "Wrong Degree"
     return f"Bound (degree {verdict.degree})"

@@ -350,6 +350,10 @@ class FunDef:
     #: filled by the type checker
     fun_type: Optional[FunType] = field(default=None, compare=False)
     pos: Optional[Pos] = _pos_field()
+    #: position of the name token / of each parameter token (parser-filled;
+    #: excluded from equality like ``pos``)
+    name_pos: Optional[Pos] = _pos_field()
+    param_pos: Optional[Tuple[Pos, ...]] = _pos_field()
 
 
 @dataclass

@@ -370,11 +370,35 @@ def _share(expr: A.Expr, fresh: _Fresh) -> A.Expr:
 # ---------------------------------------------------------------------------
 
 
-def normalize_expr(expr: A.Expr, fresh: _Fresh | None = None) -> A.Expr:
+#: public alias for the lint passes (repro.analysis) — the grouping of a
+#: node's sub-expressions into sequential/parallel groups is exactly the
+#: structure both ``_share`` and the affine-usage lint reason about
+sequential_parts = _sequential_parts
+
+
+def _maybe_verify(expr: A.Expr, stage: str, context: str) -> None:
+    """Run the between-stage IR verifier when REPRO_VERIFY_IR is set.
+
+    Imported lazily: ``repro.analysis`` sits above ``repro.lang`` in the
+    layering, so the dependency must not exist at import time.
+    """
+    import os
+
+    if os.environ.get("REPRO_VERIFY_IR", "") in ("", "0"):
+        return
+    from ..analysis.verify_ir import check_expr
+
+    check_expr(expr, stage, context=context)
+
+
+def normalize_expr(expr: A.Expr, fresh: _Fresh | None = None, context: str = "") -> A.Expr:
     fresh = fresh or _Fresh()
     expr = _uniquify(expr, {}, fresh)
+    _maybe_verify(expr, "uniquify", context)
     expr = _anf(expr, fresh)
+    _maybe_verify(expr, "anf", context)
     expr = _share(expr, fresh)
+    _maybe_verify(expr, "share", context)
     return expr
 
 
@@ -389,9 +413,17 @@ def normalize_program(program: A.Program) -> A.Program:
             if p in seen:
                 raise ReproError(f"duplicate parameter {p!r} in {fdef.name}")
             seen.add(p)
-        body = normalize_expr(fdef.body, fresh)
+        body = normalize_expr(fdef.body, fresh, context=fdef.name)
         functions.append(
-            A.FunDef(fdef.name, fdef.params, body, recursive=fdef.recursive, pos=fdef.pos)
+            A.FunDef(
+                fdef.name,
+                fdef.params,
+                body,
+                recursive=fdef.recursive,
+                pos=fdef.pos,
+                name_pos=fdef.name_pos,
+                param_pos=fdef.param_pos,
+            )
         )
     for fdef in functions:
         _check_normal_form(fdef.body)

@@ -14,8 +14,8 @@ pattern-matrix algorithm).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
 
 from . import ast as A
 from .builtins import is_builtin
@@ -85,20 +85,49 @@ class _FreshNames:
         return f"${hint}{self.counter}"
 
 
-def _compile_match(scrut_var: str, arms, fresh: "_FreshNames", pos) -> A.Expr:
+@dataclass
+class MatchRecord:
+    """Bookkeeping about one surface ``match`` (or ``let``-pattern).
+
+    The pattern-matrix compiler marks which arms were selected in at
+    least one decision-tree leaf (``used``) and whether some leaf fell
+    through to a compiled-in match-failure (``nonexhaustive``); the lint
+    passes turn those into unreachable-arm / non-exhaustive diagnostics.
+    """
+
+    pos: A.Pos
+    kind: str  # 'match' | 'let'
+    arm_pos: List[A.Pos]
+    fun: Optional[str] = None
+    used: Set[int] = field(default_factory=set)
+    nonexhaustive: bool = False
+
+
+def _compile_match(scrut_var: str, arms, fresh: "_FreshNames", pos, record=None) -> A.Expr:
     """Compile ``match scrut_var with arms`` to core destructors.
 
     ``arms`` is a list of ``(pattern, rhs_expr)``.  Implements the pattern
-    matrix algorithm over obligation lists ``[(var, pattern), ...]``.
+    matrix algorithm over obligation lists ``[(var, pattern), ...]``; each
+    row additionally carries the index of the surface arm it came from so
+    arm reachability can be recorded on ``record``.
     """
-    matrix = [([(scrut_var, pat)], rhs) for pat, rhs in arms]
-    return _compile_matrix(matrix, fresh, pos)
+    matrix = [([(scrut_var, pat)], rhs, arm) for arm, (pat, rhs) in enumerate(arms)]
+    return _compile_matrix(matrix, fresh, pos, record)
 
 
-def _compile_matrix(matrix, fresh: "_FreshNames", pos) -> A.Expr:
+def _arm_pos(record, arm, pos):
+    """Best source position for a row: its surface arm's pattern if known."""
+    if record is not None and arm is not None and arm < len(record.arm_pos):
+        return record.arm_pos[arm]
+    return pos
+
+
+def _compile_matrix(matrix, fresh: "_FreshNames", pos, record=None) -> A.Expr:
     if not matrix:
+        if record is not None:
+            record.nonexhaustive = True
         return A.ErrorExpr("match failure", pos=pos)
-    obligations, rhs = matrix[0]
+    obligations, rhs, arm = matrix[0]
 
     # Discharge leading irrefutable obligations of the first row.
     for idx, (var, pat) in enumerate(obligations):
@@ -106,12 +135,15 @@ def _compile_matrix(matrix, fresh: "_FreshNames", pos) -> A.Expr:
             continue
         if isinstance(pat, PTuple) and _is_irrefutable(pat):
             continue
-        return _branch_on(idx, matrix, fresh, pos)
+        return _branch_on(idx, matrix, fresh, pos, record)
 
     # Whole first row is irrefutable: bind and ignore remaining rows.
+    if record is not None and arm is not None:
+        record.used.add(arm)
     body = rhs
+    bind_pos = _arm_pos(record, arm, pos)
     for var, pat in reversed(obligations):
-        body = _bind_irrefutable(var, pat, body, fresh, pos)
+        body = _bind_irrefutable(var, pat, body, fresh, bind_pos)
     return body
 
 
@@ -139,17 +171,17 @@ def _bind_irrefutable(var: str, pat, body: A.Expr, fresh: "_FreshNames", pos) ->
     raise ParseError(f"pattern {pat} is refutable", pos.line if pos else None)
 
 
-def _branch_on(idx: int, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+def _branch_on(idx: int, matrix, fresh: "_FreshNames", pos, record=None) -> A.Expr:
     """Branch on the constructor of obligation ``idx`` of the first row."""
     var = matrix[0][0][idx][0]
     pivot = matrix[0][0][idx][1]
 
     if isinstance(pivot, (PNil, PCons)):
-        return _branch_list(idx, var, matrix, fresh, pos)
+        return _branch_list(idx, var, matrix, fresh, pos, record)
     if isinstance(pivot, PTuple):
-        return _branch_tuple(idx, var, matrix, fresh, pos)
+        return _branch_tuple(idx, var, matrix, fresh, pos, record)
     if isinstance(pivot, (PInl, PInr)):
-        return _branch_sum(idx, var, matrix, fresh, pos)
+        return _branch_sum(idx, var, matrix, fresh, pos, record)
     raise ParseError(f"unsupported pattern {pivot}")
 
 
@@ -161,85 +193,85 @@ def _row_obligation_on(row, var):
     return None
 
 
-def _branch_list(idx: int, var: str, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+def _branch_list(idx: int, var: str, matrix, fresh: "_FreshNames", pos, record=None) -> A.Expr:
     head_var = fresh.fresh("h")
     tail_var = fresh.fresh("t")
     nil_rows = []
     cons_rows = []
-    for obligations, rhs in matrix:
+    for obligations, rhs, arm in matrix:
         k = _row_obligation_on((obligations, rhs), var)
         if k is None:
-            nil_rows.append((list(obligations), rhs))
-            cons_rows.append((list(obligations), rhs))
+            nil_rows.append((list(obligations), rhs, arm))
+            cons_rows.append((list(obligations), rhs, arm))
             continue
         pat = obligations[k][1]
         rest = obligations[:k] + obligations[k + 1 :]
         if isinstance(pat, PNil):
-            nil_rows.append((rest, rhs))
+            nil_rows.append((rest, rhs, arm))
         elif isinstance(pat, PCons):
             cons_rows.append(
-                (rest + [(head_var, pat.head), (tail_var, pat.tail)], rhs)
+                (rest + [(head_var, pat.head), (tail_var, pat.tail)], rhs, arm)
             )
         elif isinstance(pat, PVar):
             # variable matches both; rebind the scrutinee variable
             bound_nil = rest if pat.name == "_" else rest + [(var, pat)]
-            nil_rows.append((bound_nil, rhs))
-            cons_rows.append((list(bound_nil), rhs))
+            nil_rows.append((bound_nil, rhs, arm))
+            cons_rows.append((list(bound_nil), rhs, arm))
         else:
             raise ParseError("list and non-list patterns mixed in match")
-    nil_branch = _compile_matrix(nil_rows, fresh, pos)
-    cons_branch = _compile_matrix(cons_rows, fresh, pos)
+    nil_branch = _compile_matrix(nil_rows, fresh, pos, record)
+    cons_branch = _compile_matrix(cons_rows, fresh, pos, record)
     return A.MatchList(A.Var(var, pos=pos), nil_branch, head_var, tail_var, cons_branch, pos=pos)
 
 
-def _branch_tuple(idx: int, var: str, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+def _branch_tuple(idx: int, var: str, matrix, fresh: "_FreshNames", pos, record=None) -> A.Expr:
     width = len(matrix[0][0][idx][1].items)
     comp_vars = [fresh.fresh("c") for _ in range(width)]
     rows = []
-    for obligations, rhs in matrix:
+    for obligations, rhs, arm in matrix:
         k = _row_obligation_on((obligations, rhs), var)
         if k is None:
-            rows.append((list(obligations), rhs))
+            rows.append((list(obligations), rhs, arm))
             continue
         pat = obligations[k][1]
         rest = obligations[:k] + obligations[k + 1 :]
         if isinstance(pat, PTuple):
             if len(pat.items) != width:
                 raise ParseError("tuple pattern arity mismatch")
-            rows.append((rest + list(zip(comp_vars, pat.items)), rhs))
+            rows.append((rest + list(zip(comp_vars, pat.items)), rhs, arm))
         elif isinstance(pat, PVar):
-            rows.append((rest + ([] if pat.name == "_" else [(var, pat)]), rhs))
+            rows.append((rest + ([] if pat.name == "_" else [(var, pat)]), rhs, arm))
         else:
             raise ParseError("tuple and non-tuple patterns mixed in match")
-    body = _compile_matrix(rows, fresh, pos)
+    body = _compile_matrix(rows, fresh, pos, record)
     return A.MatchTuple(A.Var(var, pos=pos), tuple(comp_vars), body, pos=pos)
 
 
-def _branch_sum(idx: int, var: str, matrix, fresh: "_FreshNames", pos) -> A.Expr:
+def _branch_sum(idx: int, var: str, matrix, fresh: "_FreshNames", pos, record=None) -> A.Expr:
     lvar = fresh.fresh("l")
     rvar = fresh.fresh("r")
     left_rows = []
     right_rows = []
-    for obligations, rhs in matrix:
+    for obligations, rhs, arm in matrix:
         k = _row_obligation_on((obligations, rhs), var)
         if k is None:
-            left_rows.append((list(obligations), rhs))
-            right_rows.append((list(obligations), rhs))
+            left_rows.append((list(obligations), rhs, arm))
+            right_rows.append((list(obligations), rhs, arm))
             continue
         pat = obligations[k][1]
         rest = obligations[:k] + obligations[k + 1 :]
         if isinstance(pat, PInl):
-            left_rows.append((rest + [(lvar, pat.inner)], rhs))
+            left_rows.append((rest + [(lvar, pat.inner)], rhs, arm))
         elif isinstance(pat, PInr):
-            right_rows.append((rest + [(rvar, pat.inner)], rhs))
+            right_rows.append((rest + [(rvar, pat.inner)], rhs, arm))
         elif isinstance(pat, PVar):
             bound = rest if pat.name == "_" else rest + [(var, pat)]
-            left_rows.append((bound, rhs))
-            right_rows.append((list(bound), rhs))
+            left_rows.append((bound, rhs, arm))
+            right_rows.append((list(bound), rhs, arm))
         else:
             raise ParseError("sum and non-sum patterns mixed in match")
-    left_branch = _compile_matrix(left_rows, fresh, pos)
-    right_branch = _compile_matrix(right_rows, fresh, pos)
+    left_branch = _compile_matrix(left_rows, fresh, pos, record)
+    right_branch = _compile_matrix(right_rows, fresh, pos, record)
     return A.MatchSum(A.Var(var, pos=pos), lvar, left_branch, rvar, right_branch, pos=pos)
 
 
@@ -255,6 +287,11 @@ class Parser:
         self.fresh = _FreshNames()
         self.current_fun: Optional[str] = None
         self.stat_counter = 0
+        #: every surface match / let-pattern, for the lint passes
+        self.match_records: List[MatchRecord] = []
+        #: top-level definitions in source order (duplicates preserved;
+        #: ``A.Program`` keeps only the last one per name)
+        self.functions: List[A.FunDef] = []
 
     # -- token helpers ------------------------------------------------------
 
@@ -291,16 +328,15 @@ class Parser:
     # -- program ------------------------------------------------------------
 
     def parse_program(self) -> A.Program:
-        functions: List[A.FunDef] = []
         while not self.at("eof"):
             if self.at_keyword("exception"):
                 self.next()
                 self.expect("ident")
                 continue
-            functions.append(self.parse_fundef())
-        if not functions:
+            self.functions.append(self.parse_fundef())
+        if not self.functions:
             raise ParseError("empty program")
-        return A.Program(functions)
+        return A.Program(self.functions)
 
     def parse_fundef(self) -> A.FunDef:
         pos = self.here()
@@ -316,8 +352,11 @@ class Parser:
         self.current_fun = name
         self.stat_counter = 0
         params: List[str] = []
+        param_pos: List[A.Pos] = []
         while not self.at_symbol("=") and not self.at_symbol(":"):
-            params.append(self.parse_param())
+            pname, ppos = self.parse_param()
+            params.append(pname)
+            param_pos.append(ppos)
         # optional return type annotation
         if self.at_symbol(":"):
             self.next()
@@ -326,14 +365,23 @@ class Parser:
         body = self.parse_expr()
         if not params:
             raise ParseError(f"function {name!r} has no parameters", pos.line, pos.col)
-        return A.FunDef(name, tuple(params), body, recursive=recursive, pos=pos)
+        return A.FunDef(
+            name,
+            tuple(params),
+            body,
+            recursive=recursive,
+            pos=pos,
+            name_pos=A.Pos(name_tok.line, name_tok.col),
+            param_pos=tuple(param_pos),
+        )
 
-    def parse_param(self) -> str:
+    def parse_param(self) -> Tuple[str, A.Pos]:
+        pos = self.here()
         if self.at("ident"):
-            return self.next().text
+            return self.next().text, pos
         if self.at_symbol("_"):
             self.next()
-            return self.fresh.fresh("u")
+            return self.fresh.fresh("u"), pos
         if self.at_symbol("("):
             self.next()
             tok = self.expect("ident")
@@ -341,7 +389,7 @@ class Parser:
                 self.next()
                 self.parse_type()
             self.expect("symbol", ")")
-            return tok.text
+            return tok.text, A.Pos(tok.line, tok.col)
         tok = self.peek()
         raise ParseError(f"expected parameter, found {tok.text!r}", tok.line, tok.col)
 
@@ -485,8 +533,10 @@ class Parser:
         if isinstance(pat, PVar):
             name = pat.name if pat.name != "_" else self.fresh.fresh("u")
             return A.Let(name, bound, body, pos=pos)
+        record = MatchRecord(pos=pos, kind="let", arm_pos=[pos], fun=self.current_fun)
+        self.match_records.append(record)
         tmp = self.fresh.fresh("b")
-        compiled = _compile_match(tmp, [(pat, body)], self.fresh, pos)
+        compiled = _compile_match(tmp, [(pat, body)], self.fresh, pos, record)
         return A.Let(tmp, bound, compiled, pos=pos)
 
     def parse_match(self) -> A.Expr:
@@ -495,9 +545,11 @@ class Parser:
         scrut = self.parse_expr()
         self.expect("keyword", "with")
         arms = []
+        arm_pos: List[A.Pos] = []
         if self.at_symbol("|"):
             self.next()
         while True:
+            arm_pos.append(self.here())
             pat = self.parse_pattern()
             self.expect("symbol", "->")
             rhs = self.parse_expr()
@@ -506,10 +558,12 @@ class Parser:
                 self.next()
                 continue
             break
+        record = MatchRecord(pos=pos, kind="match", arm_pos=arm_pos, fun=self.current_fun)
+        self.match_records.append(record)
         if isinstance(scrut, A.Var):
-            return _compile_match(scrut.name, arms, self.fresh, pos)
+            return _compile_match(scrut.name, arms, self.fresh, pos, record)
         tmp = self.fresh.fresh("s")
-        compiled = _compile_match(tmp, arms, self.fresh, pos)
+        compiled = _compile_match(tmp, arms, self.fresh, pos, record)
         return A.Let(tmp, scrut, compiled, pos=pos)
 
     def parse_or(self) -> A.Expr:
@@ -685,9 +739,31 @@ class Parser:
         raise ParseError(f"expected expression, found {tok.text!r}", tok.line, tok.col)
 
 
+@dataclass
+class ParseResult:
+    """Everything the lint passes need that ``A.Program`` discards.
+
+    ``functions`` preserves source order *including duplicate names*
+    (``A.Program`` keeps only the last definition per name), and
+    ``match_records`` carries per-arm positions plus the reachability
+    facts recorded during pattern-matrix compilation.
+    """
+
+    program: A.Program
+    functions: List[A.FunDef]
+    match_records: List[MatchRecord]
+
+
 def parse_program(source: str) -> A.Program:
     """Parse a whole program from source text."""
     return Parser(source).parse_program()
+
+
+def parse_program_ex(source: str) -> ParseResult:
+    """Parse a whole program, keeping the lint-facing side channel."""
+    parser = Parser(source)
+    program = parser.parse_program()
+    return ParseResult(program, parser.functions, parser.match_records)
 
 
 def parse_expr(source: str) -> A.Expr:

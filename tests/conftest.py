@@ -8,9 +8,16 @@ autouse fixture redirects run journals into ``tmp_path`` and restores
 every activation variable afterwards.
 """
 
+import os
+
 import pytest
 
 from repro import checkpoint, faultinject, telemetry
+
+# the IR verifier is always on in tests: every normalize call in the whole
+# suite doubles as a uniquify/ANF/share invariant check (violations raise
+# IRVerificationError with V0xx diagnostics instead of silent corruption)
+os.environ.setdefault("REPRO_VERIFY_IR", "1")
 
 _ENV_VARS = (
     "REPRO_RUNS_DIR",

@@ -1,0 +1,112 @@
+"""Mutation tests: seed a defect into a known-clean program, assert the
+linter reports exactly the right code at exactly the right line:col.
+
+The base program is the paper's quicksort pipeline (clean by the sweep
+test); each mutation is a small textual edit with a hand-computed span.
+"""
+
+import pytest
+
+from repro.analysis import lint_source
+
+BASE = """\
+let rec append l1 l2 =
+  match l1 with
+  | [] -> l2
+  | hd :: tl -> let _ = Raml.tick 1.0 in hd :: append tl l2
+
+let rec length xs =
+  match xs with
+  | [] -> 0
+  | hd :: tl -> 1 + length tl
+
+let main ys = length (append ys (append ys []))
+"""
+
+
+def _codes_at(result, code):
+    return [(d.span.line, d.span.col) for d in result.diagnostics if d.code == code]
+
+
+def test_base_program_is_clean():
+    result = lint_source(BASE, path="base.ml")
+    assert result.clean(), [
+        (d.code, d.message) for d in result.errors() + result.warnings()
+    ]
+
+
+def test_mutation_shadowed_variable():
+    # shadow the parameter `ys` inside main
+    mutated = BASE.replace(
+        "let main ys = length (append ys (append ys []))",
+        "let main ys = let ys = append ys [] in length ys",
+    )
+    result = lint_source(mutated, path="mut.ml")
+    assert _codes_at(result, "W001") == [(11, 15)]
+
+
+def test_mutation_negative_tick():
+    mutated = BASE.replace("Raml.tick 1.0", "Raml.tick (-1.0)")
+    result = lint_source(mutated, path="mut.ml")
+    assert _codes_at(result, "W010") == [(4, 25)]
+
+
+def test_mutation_unreachable_arm():
+    # a wildcard arm before the cons arm makes the cons arm unreachable
+    mutated = BASE.replace(
+        "  | [] -> 0\n  | hd :: tl -> 1 + length tl",
+        "  | [] -> 0\n  | _ -> 1\n  | hd :: tl -> 1 + length tl",
+    )
+    result = lint_source(mutated, path="mut.ml")
+    assert _codes_at(result, "W004") == [(10, 5)]
+
+
+def test_mutation_unbound_variable():
+    mutated = BASE.replace("1 + length tl", "1 + length zl")
+    result = lint_source(mutated, path="mut.ml")
+    assert _codes_at(result, "R010") == [(9, 28)]
+    assert result.errors()
+
+
+def test_mutation_wrong_arity():
+    # drop one argument from the outer append call
+    mutated = BASE.replace(
+        "let main ys = length (append ys (append ys []))",
+        "let main ys = length (append (append ys []))",
+    )
+    result = lint_source(mutated, path="mut.ml")
+    assert _codes_at(result, "R012") == [(11, 23)]
+
+
+def test_mutation_missing_rec_marker():
+    mutated = BASE.replace("let rec length xs", "let length xs")
+    result = lint_source(mutated, path="mut.ml")
+    assert _codes_at(result, "R015") == [(9, 21)]
+
+
+def test_mutation_nonstructural_recursion_gets_r042():
+    # recurse on the whole list instead of the tail (the append cycle
+    # carries tick cost, so this is provably unboundable)
+    mutated = BASE.replace("hd :: append tl l2", "hd :: append l1 l2")
+    result = lint_source(mutated, path="mut.ml")
+    assert _codes_at(result, "R042") == [(4, 48)]
+
+
+def test_mutation_duplicate_function():
+    mutated = BASE + "\nlet length n = n\n"
+    result = lint_source(mutated, path="mut.ml", entry="main")
+    assert _codes_at(result, "R014") == [(13, 5)]
+
+
+@pytest.mark.parametrize(
+    "needle,replacement,code",
+    [
+        ("append tl l2", "append2 tl l2", "R011"),  # unknown function
+        ("let main ys", "let main ys ys", "R013"),  # duplicate parameter
+    ],
+)
+def test_mutation_table(needle, replacement, code):
+    mutated = BASE.replace(needle, replacement)
+    result = lint_source(mutated, path="mut.ml")
+    hits = [d for d in result.diagnostics if d.code == code]
+    assert hits and all(d.severity == "error" for d in hits)
