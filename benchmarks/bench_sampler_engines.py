@@ -1,0 +1,161 @@
+"""Sampler engine microbenchmark: ``batched`` vs ``perchain``.
+
+A perf-regression guard for the lockstep sampler core.  Each test runs
+the same cell-shaped sampling workload under both engines and
+
+* **fails only on correctness** — the engines must produce bit-identical
+  draws chain for chain (the equivalence contract), and
+* **warns on slowdown** — if the batched engine is slower than perchain
+  the test emits a warning and records the ratio in ``extra_info``, but
+  stays green: wall-clock on shared CI runners is too noisy to gate on.
+
+CI's bench-smoke job records the timings as ``BENCH_sampler.json``
+(``--benchmark-json``) so engine-level perf history is diffable across
+commits.  Locally::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sampler_engines.py \
+        --benchmark-json BENCH_sampler.json -q
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import BayesWCConfig
+from repro.inference.bayespc import BayesPCDensity, LikelihoodRow
+from repro.inference.bayeswc import build_survival_model
+from repro.inference.dataset import Observation, StatDataset
+from repro.inference.hyperparams import BayesPCHyperparams
+from repro.lp import LinExpr
+from repro.stats import BATCHED, ENV_SAMPLER, PERCHAIN
+from repro.stats.hmc import HMCConfig, hmc_sample_chains
+from repro.stats.polytope import AffineMap, Polytope, ReducedPolytope
+from repro.stats.reflective_hmc import reflective_hmc_chains
+
+pytestmark = pytest.mark.slow
+
+#: cell shape mirroring a ``bench all`` stat label (chains × warmup)
+CFG = HMCConfig(n_samples=32, n_warmup=150, n_leapfrog=20, initial_step_size=0.05)
+N_CHAINS = 2
+
+
+def under(engine, fn):
+    previous = os.environ.get(ENV_SAMPLER)
+    os.environ[ENV_SAMPLER] = engine
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_SAMPLER, None)
+        else:
+            os.environ[ENV_SAMPLER] = previous
+
+
+def survival_cell():
+    """BayesWC-shaped workload: fused survival density + starts."""
+    observations = [
+        Observation(env=(("n", i),), value=i, cost=0.7 * i + 0.5) for i in range(1, 13)
+    ]
+    model = build_survival_model(StatDataset("t", observations), BayesWCConfig())
+    density = model.batched_density()
+    dim = model.dim
+    starts = np.random.default_rng(7).normal(size=(N_CHAINS, dim)) * 0.1
+    return density, starts
+
+
+def bayespc_cell():
+    """BayesPC-shaped workload: fused reduced density + box polytope."""
+    rng = np.random.default_rng(3)
+    names = [f"c{i}" for i in range(4)]
+    rows = [
+        LikelihoodRow(
+            LinExpr(
+                {name: float(rng.uniform(0.2, 2.0)) for name in names},
+                float(rng.uniform(0.0, 1.0)),
+            ),
+            float(rng.uniform(0.0, 0.4)),
+        )
+        for _ in range(25)
+    ]
+    density = BayesPCDensity(
+        names, rows, BayesPCHyperparams(gamma0=5.0, theta0=1.0, theta1=1.0), names
+    )
+    dim = len(names)
+    A = np.vstack([np.eye(dim), -np.eye(dim)])
+    b = np.concatenate([np.full(dim, 2.0), np.zeros(dim)])
+    polytope = Polytope(A=A, b=b, names=names)
+    reduced = ReducedPolytope(
+        polytope=polytope,
+        affine=AffineMap(x0=np.zeros(dim), N=np.eye(dim)),
+        names=names,
+    )
+    fused = density.scaled_reduced_density(reduced, np.ones(dim))
+    starts = np.full((N_CHAINS, dim), 1.0) + rng.normal(size=(N_CHAINS, dim)) * 0.05
+    return fused, polytope, starts
+
+
+def assert_bit_identical(a, b):
+    np.testing.assert_array_equal(a.samples, b.samples)
+    assert a.divergences == b.divergences
+    assert a.chain_diagnostics == b.chain_diagnostics
+
+
+def record_ratio(benchmark, batched_s, perchain_s):
+    ratio = perchain_s / batched_s if batched_s > 0 else float("inf")
+    benchmark.extra_info["perchain_seconds"] = round(perchain_s, 4)
+    benchmark.extra_info["batched_seconds"] = round(batched_s, 4)
+    benchmark.extra_info["batched_speedup"] = round(ratio, 3)
+    if ratio < 1.0:
+        warnings.warn(
+            f"batched engine slower than perchain ({batched_s:.3f}s vs "
+            f"{perchain_s:.3f}s, ratio {ratio:.2f}x) — perf regression, "
+            "not a failure",
+            stacklevel=2,
+        )
+
+
+def test_hmc_engines(benchmark):
+    import time
+
+    density, starts = survival_cell()
+
+    def run(engine):
+        return under(
+            engine,
+            lambda: hmc_sample_chains(
+                density, starts, CFG, np.random.default_rng(11)
+            ),
+        )
+
+    t0 = time.perf_counter()
+    perchain = run(PERCHAIN)
+    perchain_s = time.perf_counter() - t0
+    batched = benchmark.pedantic(lambda: run(BATCHED), rounds=3, iterations=1)
+    batched_s = benchmark.stats.stats.min
+    assert_bit_identical(batched, perchain)  # hard gate: correctness
+    record_ratio(benchmark, batched_s, perchain_s)
+
+
+def test_reflective_engines(benchmark):
+    import time
+
+    fused, polytope, starts = bayespc_cell()
+
+    def run(engine):
+        return under(
+            engine,
+            lambda: reflective_hmc_chains(
+                fused, polytope, starts, CFG, np.random.default_rng(13)
+            ),
+        )
+
+    t0 = time.perf_counter()
+    perchain = run(PERCHAIN)
+    perchain_s = time.perf_counter() - t0
+    batched = benchmark.pedantic(lambda: run(BATCHED), rounds=3, iterations=1)
+    batched_s = benchmark.stats.stats.min
+    assert_bit_identical(batched, perchain)
+    assert np.array_equal(batched.n_reflections, perchain.n_reflections)
+    record_ratio(benchmark, batched_s, perchain_s)

@@ -214,14 +214,24 @@ class ChainCheckpoint:
             os.unlink(self.path)
 
 
-def chain_cursor(key: Optional[str], config, start: np.ndarray) -> Optional[ChainCheckpoint]:
+def chain_cursor(
+    key: Optional[str],
+    config,
+    start: np.ndarray,
+    engine: Optional[str] = None,
+) -> Optional[ChainCheckpoint]:
     """A checkpoint cursor for one chain, or None when inactive.
 
     The fingerprint covers the chain key, the full sampler config
     (including the healing ``restart_index``, so each self-healing
     attempt gets its own snapshot file) and a hash of the start point;
     the file name is a digest of the fingerprint, so mismatched
-    configurations can never clobber each other's snapshots.
+    configurations can never clobber each other's snapshots.  When the
+    caller passes its sampler ``engine`` name (``batched``/``perchain``)
+    it joins the fingerprint too: the engines produce bit-identical
+    chains, but a resume must still never silently mix engine labels —
+    diagnosing a cross-engine discrepancy requires knowing which engine
+    produced every draw of a chain.
     """
     if key is None or _dir is None or _task_dir is None:
         return None
@@ -230,6 +240,8 @@ def chain_cursor(key: Optional[str], config, start: np.ndarray) -> Optional[Chai
         "start_sha": array_sha(start),
         "config": dataclasses.asdict(config),
     }
+    if engine is not None:
+        fingerprint["engine"] = engine
     digest = hashlib.sha256(
         json.dumps(fingerprint, sort_keys=True, default=str).encode()
     ).hexdigest()[:24]

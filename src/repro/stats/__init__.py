@@ -1,6 +1,9 @@
 """Bayesian inference substrate: distributions, HMC, polytope samplers."""
 
+from .densities import BatchedDensity, LoopDensity, as_batched
 from .diagnostics import effective_sample_size, percentile_bands, split_rhat
+from .engine import BATCHED, ENV_SAMPLER, PERCHAIN, spawn_streams
+from .engine import current as current_engine
 from .distributions import (
     GumbelMin,
     HalfNormal,
@@ -28,6 +31,14 @@ from .reflective_hmc import (
 )
 
 __all__ = [
+    "BatchedDensity",
+    "LoopDensity",
+    "as_batched",
+    "BATCHED",
+    "ENV_SAMPLER",
+    "PERCHAIN",
+    "spawn_streams",
+    "current_engine",
     "effective_sample_size",
     "percentile_bands",
     "split_rhat",

@@ -1,0 +1,294 @@
+"""Shared sampler substrate: configs, results, healing, legacy kernels.
+
+Split out of ``hmc.py`` so that the batched engine core
+(:mod:`repro.stats.batched`) and the per-sampler adapter modules
+(``hmc.py``, ``nuts.py``, ``reflective_hmc.py``) can share the
+config/result dataclasses and the self-healing restart driver without a
+circular import.  The public names are still re-exported from their
+historical homes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..errors import InferenceError, SamplerDivergenceError
+
+LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
+
+
+@dataclass
+class HMCConfig:
+    n_samples: int = 1000
+    n_warmup: int = 500
+    n_leapfrog: int = 24
+    initial_step_size: float = 0.1
+    target_accept: float = 0.8
+    max_step_size: float = 2.0
+    jitter_steps: bool = True
+    #: self-healing: restart a divergent chain with a halved initial step
+    #: at most this many times …
+    max_restarts: int = 3
+    #: … when more than this fraction of post-warmup draws diverged
+    divergence_tolerance: float = 0.25
+    #: which self-healing attempt this config belongs to (0 = first try);
+    #: distinguishes checkpoint fingerprints between restart attempts
+    restart_index: int = 0
+
+
+@dataclass
+class HMCResult:
+    samples: np.ndarray  # (n_samples, dim)
+    accept_rate: float
+    step_size: float
+    logdensities: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: post-warmup iterations whose proposal was rejected outright
+    #: (non-finite trajectory or an energy error past float underflow)
+    divergences: int = 0
+    #: self-healing restarts spent producing this result
+    retries: int = 0
+    #: total leapfrog integration steps taken (warmup included)
+    leapfrog_steps: int = 0
+    #: per-chain diagnostics when this result aggregates several chains
+    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
+
+
+@dataclass
+class ReflectiveHMCResult:
+    samples: np.ndarray
+    accept_rate: float
+    step_size: float
+    n_reflections: int
+    #: post-warmup iterations whose proposal was rejected outright
+    divergences: int = 0
+    #: self-healing restarts spent producing this result
+    retries: int = 0
+    #: per-chain diagnostics when this result aggregates several chains
+    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
+
+
+class _DualAveraging:
+    """Nesterov dual averaging of log step size (Hoffman & Gelman 2014).
+
+    Scalar variant, used by the NUTS chain loop; the lockstep engine uses
+    the vectorized :class:`repro.stats.batched._BatchedDualAveraging`.
+    """
+
+    def __init__(self, initial_step: float, target: float):
+        self.mu = math.log(10.0 * initial_step)
+        self.target = target
+        self.log_step = math.log(initial_step)
+        self.log_step_bar = 0.0
+        self.h_bar = 0.0
+        self.gamma = 0.05
+        self.t0 = 10.0
+        self.kappa = 0.75
+        self.iteration = 0
+
+    def update(self, accept_prob: float) -> float:
+        self.iteration += 1
+        m = self.iteration
+        eta = 1.0 / (m + self.t0)
+        self.h_bar = (1.0 - eta) * self.h_bar + eta * (self.target - accept_prob)
+        self.log_step = self.mu - math.sqrt(m) / self.gamma * self.h_bar
+        weight = m**-self.kappa
+        self.log_step_bar = weight * self.log_step + (1.0 - weight) * self.log_step_bar
+        return math.exp(self.log_step)
+
+    def final(self) -> float:
+        return math.exp(self.log_step_bar)
+
+    def state(self) -> Dict[str, float]:
+        """JSON-safe snapshot of the adapter (for chain checkpoints)."""
+        return {
+            "mu": self.mu,
+            "target": self.target,
+            "log_step": self.log_step,
+            "log_step_bar": self.log_step_bar,
+            "h_bar": self.h_bar,
+            "gamma": self.gamma,
+            "t0": self.t0,
+            "kappa": self.kappa,
+            "iteration": self.iteration,
+        }
+
+    def restore(self, state: Dict[str, float]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+def leapfrog(
+    position: np.ndarray,
+    momentum: np.ndarray,
+    grad: np.ndarray,
+    step_size: float,
+    n_steps: int,
+    logdensity_and_grad: LogDensityAndGrad,
+):
+    """Standard leapfrog integration; returns (q, p, logp, grad).
+
+    Scalar variant (one chain); the engines integrate whole batches via
+    :func:`repro.stats.batched.leapfrog_batch`.
+    """
+    q = position.copy()
+    with np.errstate(over="ignore", invalid="ignore"):
+        p = momentum + 0.5 * step_size * grad
+        logp = -np.inf
+        g = grad
+        for step in range(n_steps):
+            q = q + step_size * p
+            if not np.all(np.isfinite(q)):
+                return q, p, -np.inf, g
+            logp, g = logdensity_and_grad(q)
+            if not np.all(np.isfinite(g)) or not np.isfinite(logp):
+                return q, p, -np.inf, g
+            if step < n_steps - 1:
+                p = p + step_size * g
+        p = p + 0.5 * step_size * g
+    return q, p, logp, g
+
+
+def _find_initial_step_unconstrained(
+    logdensity_and_grad: LogDensityAndGrad,
+    q: np.ndarray,
+    logp: float,
+    grad: np.ndarray,
+    rng: np.random.Generator,
+    start: float,
+) -> float:
+    """Stan's heuristic: scale the step so one leapfrog step accepts ≈ 1/2."""
+    step = start
+    momentum = rng.normal(size=q.size)
+    h0 = -logp + 0.5 * float(momentum @ momentum)
+
+    def accept_prob(step_size: float) -> float:
+        qn, pn, lpn, _gn = leapfrog(
+            q.copy(), momentum.copy(), grad, step_size, 1, logdensity_and_grad
+        )
+        if not np.isfinite(lpn):
+            return 0.0
+        h1 = -lpn + 0.5 * float(pn @ pn)
+        return math.exp(min(0.0, h0 - h1))
+
+    a = accept_prob(step)
+    direction = 1 if a > 0.5 else -1
+    for _ in range(60):
+        step_next = step * (2.0 if direction == 1 else 0.5)
+        a_next = accept_prob(step_next)
+        if (direction == 1 and a_next < 0.5) or (direction == -1 and a_next > 0.5):
+            return step_next if direction == -1 else step
+        step = step_next
+        if step < 1e-14 or step > 1e6:
+            break
+    return step
+
+
+def sample_with_healing(sample_fn, config, rng):
+    """Run one chain with bounded self-healing restarts.
+
+    ``sample_fn(cfg, rng)`` runs the chain and returns a result with
+    ``divergences`` / ``retries`` attributes (HMCResult, NUTSResult or
+    ReflectiveHMCResult).  When the chain raises :class:`InferenceError`
+    or more than ``config.divergence_tolerance × config.n_samples`` of
+    its draws diverged, it is restarted with a halved initial step, at
+    most ``config.max_restarts`` times.  The happy path calls
+    ``sample_fn`` exactly once with the unmodified config, so fault-free
+    runs consume the rng stream identically to the pre-healing code.
+
+    The lockstep engine runs attempt 0 for all chains in one batch and
+    feeds each chain's outcome to :func:`heal_continue`, which applies
+    the identical restart schedule — so healing behaves the same under
+    both engines (each restart's checkpoint fingerprint is keyed by the
+    config's ``restart_index`` *and* the engine name; see
+    :func:`repro.checkpoint.chain_cursor`).
+
+    Raises :class:`SamplerDivergenceError` when every restart still
+    produced a fully divergent (or crashing) chain.
+    """
+    result = None
+    error: Optional[InferenceError] = None
+    try:
+        result = sample_fn(config, rng)
+    except SamplerDivergenceError:
+        raise
+    except InferenceError as exc:
+        error = exc
+    return heal_continue(sample_fn, config, rng, result, error)
+
+
+def heal_continue(sample_fn, config, rng, result, error):
+    """The restart schedule of :func:`sample_with_healing`, continued from
+    a pre-computed attempt-0 outcome (``result`` or ``error``)."""
+    step = config.initial_step_size
+    retries = 0
+    best = None
+    last_error: Optional[InferenceError] = error
+    while True:
+        if result is not None:
+            if result.divergences <= config.divergence_tolerance * config.n_samples:
+                result.retries = retries
+                return result
+            if best is None or result.divergences < best.divergences:
+                best = result
+        if retries >= config.max_restarts:
+            break
+        retries += 1
+        step *= 0.5
+        cfg = dataclasses.replace(config, initial_step_size=step, restart_index=retries)
+        result = None
+        try:
+            result = sample_fn(cfg, rng)
+        except SamplerDivergenceError:
+            raise
+        except InferenceError as exc:
+            last_error = exc
+    if best is not None and best.divergences < config.n_samples:
+        # degraded but usable: some draws are real; surface the retry count
+        best.retries = retries
+        return best
+    raise SamplerDivergenceError(
+        f"chain fully divergent after {retries} restart(s)"
+        + (f": {last_error}" if last_error is not None else "")
+    )
+
+
+def count_gradient_evals(logdensity_and_grad: LogDensityAndGrad):
+    """Observation-only wrapper counting calls; rng streams are untouched.
+
+    Returns ``(wrapped, counts)`` where ``counts[0]`` is the running call
+    count.  Applied only when telemetry is enabled, so the disabled path
+    pays nothing (not even an extra frame per gradient evaluation).
+    """
+    counts = [0]
+
+    def wrapped(q: np.ndarray) -> Tuple[float, np.ndarray]:
+        counts[0] += 1
+        return logdensity_and_grad(q)
+
+    return wrapped, counts
+
+
+def _sampler_counters(
+    kind: str,
+    accept_rate: float,
+    divergences: int,
+    retries: int,
+    leapfrog_steps: int,
+    grad_evals,
+) -> None:
+    """Shared per-run sampler metrics (used by HMC, NUTS and reflective HMC)."""
+    telemetry.gauge("sampler.accept_rate", round(accept_rate, 4), sampler=kind)
+    if leapfrog_steps:
+        telemetry.counter("sampler.leapfrog_steps", leapfrog_steps, sampler=kind)
+    if grad_evals is not None and grad_evals[0]:
+        telemetry.counter("sampler.gradient_evals", grad_evals[0], sampler=kind)
+    if divergences:
+        telemetry.counter("sampler.divergences", divergences, sampler=kind)
+    if retries:
+        telemetry.counter("sampler.healing_restarts", retries, sampler=kind)

@@ -3,165 +3,38 @@
 Used for the unconstrained posterior of BayesWC's survival model
 (Eq. 5.12).  Plain leapfrog HMC with a diagonal unit mass matrix and the
 Hoffman–Gelman dual-averaging schedule for the step size during warmup.
+
+This module is a thin adapter over the lockstep batched core
+(:mod:`repro.stats.batched`): a single chain runs as a batch of one, and
+:func:`hmc_sample_chains` stacks all chains of a cell into one lockstep
+batch under the default ``batched`` engine (``REPRO_SAMPLER=perchain``
+restores chain-at-a-time execution; the two are bit-identical — see
+:mod:`repro.stats.engine`).  The shared dataclasses and the healing
+driver live in :mod:`repro.stats.base` and are re-exported here under
+their historical names.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from .. import checkpoint, faultinject, telemetry
-from ..errors import InferenceError, SamplerDivergenceError
-
-LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
-
-
-@dataclass
-class HMCConfig:
-    n_samples: int = 1000
-    n_warmup: int = 500
-    n_leapfrog: int = 24
-    initial_step_size: float = 0.1
-    target_accept: float = 0.8
-    max_step_size: float = 2.0
-    jitter_steps: bool = True
-    #: self-healing: restart a divergent chain with a halved initial step
-    #: at most this many times …
-    max_restarts: int = 3
-    #: … when more than this fraction of post-warmup draws diverged
-    divergence_tolerance: float = 0.25
-    #: which self-healing attempt this config belongs to (0 = first try);
-    #: distinguishes checkpoint fingerprints between restart attempts
-    restart_index: int = 0
-
-
-@dataclass
-class HMCResult:
-    samples: np.ndarray  # (n_samples, dim)
-    accept_rate: float
-    step_size: float
-    logdensities: np.ndarray = field(default_factory=lambda: np.zeros(0))
-    #: post-warmup iterations whose proposal was rejected outright
-    #: (non-finite trajectory or an energy error past float underflow)
-    divergences: int = 0
-    #: self-healing restarts spent producing this result
-    retries: int = 0
-    #: total leapfrog integration steps taken (warmup included)
-    leapfrog_steps: int = 0
-    #: per-chain diagnostics when this result aggregates several chains
-    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
-
-
-class _DualAveraging:
-    """Nesterov dual averaging of log step size (Hoffman & Gelman 2014)."""
-
-    def __init__(self, initial_step: float, target: float):
-        self.mu = math.log(10.0 * initial_step)
-        self.target = target
-        self.log_step = math.log(initial_step)
-        self.log_step_bar = 0.0
-        self.h_bar = 0.0
-        self.gamma = 0.05
-        self.t0 = 10.0
-        self.kappa = 0.75
-        self.iteration = 0
-
-    def update(self, accept_prob: float) -> float:
-        self.iteration += 1
-        m = self.iteration
-        eta = 1.0 / (m + self.t0)
-        self.h_bar = (1.0 - eta) * self.h_bar + eta * (self.target - accept_prob)
-        self.log_step = self.mu - math.sqrt(m) / self.gamma * self.h_bar
-        weight = m**-self.kappa
-        self.log_step_bar = weight * self.log_step + (1.0 - weight) * self.log_step_bar
-        return math.exp(self.log_step)
-
-    def final(self) -> float:
-        return math.exp(self.log_step_bar)
-
-    def state(self) -> Dict[str, float]:
-        """JSON-safe snapshot of the adapter (for chain checkpoints)."""
-        return {
-            "mu": self.mu,
-            "target": self.target,
-            "log_step": self.log_step,
-            "log_step_bar": self.log_step_bar,
-            "h_bar": self.h_bar,
-            "gamma": self.gamma,
-            "t0": self.t0,
-            "kappa": self.kappa,
-            "iteration": self.iteration,
-        }
-
-    def restore(self, state: Dict[str, float]) -> None:
-        for name, value in state.items():
-            setattr(self, name, value)
-
-
-def leapfrog(
-    position: np.ndarray,
-    momentum: np.ndarray,
-    grad: np.ndarray,
-    step_size: float,
-    n_steps: int,
-    logdensity_and_grad: LogDensityAndGrad,
-):
-    """Standard leapfrog integration; returns (q, p, logp, grad)."""
-    q = position.copy()
-    with np.errstate(over="ignore", invalid="ignore"):
-        p = momentum + 0.5 * step_size * grad
-        logp = -np.inf
-        g = grad
-        for step in range(n_steps):
-            q = q + step_size * p
-            if not np.all(np.isfinite(q)):
-                return q, p, -np.inf, g
-            logp, g = logdensity_and_grad(q)
-            if not np.all(np.isfinite(g)) or not np.isfinite(logp):
-                return q, p, -np.inf, g
-            if step < n_steps - 1:
-                p = p + step_size * g
-        p = p + 0.5 * step_size * g
-    return q, p, logp, g
-
-
-def _find_initial_step_unconstrained(
-    logdensity_and_grad: LogDensityAndGrad,
-    q: np.ndarray,
-    logp: float,
-    grad: np.ndarray,
-    rng: np.random.Generator,
-    start: float,
-) -> float:
-    """Stan's heuristic: scale the step so one leapfrog step accepts ≈ 1/2."""
-    step = start
-    momentum = rng.normal(size=q.size)
-    h0 = -logp + 0.5 * float(momentum @ momentum)
-
-    def accept_prob(step_size: float) -> float:
-        qn, pn, lpn, _gn = leapfrog(
-            q.copy(), momentum.copy(), grad, step_size, 1, logdensity_and_grad
-        )
-        if not np.isfinite(lpn):
-            return 0.0
-        h1 = -lpn + 0.5 * float(pn @ pn)
-        return math.exp(min(0.0, h0 - h1))
-
-    a = accept_prob(step)
-    direction = 1 if a > 0.5 else -1
-    for _ in range(60):
-        step_next = step * (2.0 if direction == 1 else 0.5)
-        a_next = accept_prob(step_next)
-        if (direction == 1 and a_next < 0.5) or (direction == -1 and a_next > 0.5):
-            return step_next if direction == -1 else step
-        step = step_next
-        if step < 1e-14 or step > 1e6:
-            break
-    return step
+from . import batched, engine
+from .base import (  # noqa: F401  (re-exported public/historical API)
+    HMCConfig,
+    HMCResult,
+    LogDensityAndGrad,
+    _DualAveraging,
+    _find_initial_step_unconstrained,
+    _sampler_counters,
+    count_gradient_evals,
+    heal_continue,
+    leapfrog,
+    sample_with_healing,
+)
+from .densities import CountingDensity, LoopDensity, as_batched
+from .. import faultinject, telemetry
 
 
 def hmc_sample(
@@ -179,201 +52,14 @@ def hmc_sample(
     bit-generator — and transparently resumes mid-chain on rerun,
     producing draws identical to an uninterrupted chain.
     """
-    position = np.asarray(initial, dtype=float).copy()
-    dim = position.size
-    cursor = checkpoint.chain_cursor(checkpoint_key, config, position)
-    saved = cursor.load() if cursor is not None else None
-    if saved is not None and saved["status"] == "done":
-        # the whole chain already ran; replay its result and leave the rng
-        # exactly where the uninterrupted chain would have left it
-        checkpoint.restore_rng(rng, saved["rng"])
-        return HMCResult(
-            np.asarray(saved["samples"], dtype=float).reshape(config.n_samples, dim),
-            saved["accept_rate"],
-            saved["step_size"],
-            np.asarray(saved["logdensities"], dtype=float),
-            divergences=saved["divergences"],
-            leapfrog_steps=saved["leapfrog_steps"],
-        )
-
-    samples = np.empty((config.n_samples, dim))
-    logdensities = np.empty(config.n_samples)
-    start_iteration = 0
-    if saved is not None:
-        position = np.asarray(saved["position"], dtype=float)
-        logp = float(saved["logp"])
-        grad = np.asarray(saved["grad"], dtype=float)
-        step_size = float(saved["step_size"])
-        adapter = _DualAveraging(config.initial_step_size, config.target_accept)
-        adapter.restore(saved["adapter"])
-        collected = int(saved["collected"])
-        if collected:
-            samples[:collected] = np.asarray(saved["samples"], dtype=float).reshape(
-                collected, dim
-            )
-            logdensities[:collected] = np.asarray(saved["logdensities"], dtype=float)
-        accepted = saved["accepted"]
-        total_post_warmup = saved["total_post_warmup"]
-        divergences = saved["divergences"]
-        leapfrog_steps = saved["leapfrog_steps"]
-        start_iteration = int(saved["iteration"])
-        checkpoint.restore_rng(rng, saved["rng"])
-    else:
-        logp, grad = logdensity_and_grad(position)
-        if not np.isfinite(logp):
-            raise InferenceError("HMC initial position has zero density")
-        step_size = _find_initial_step_unconstrained(
-            logdensity_and_grad, position, logp, grad, rng, config.initial_step_size
-        )
-        adapter = _DualAveraging(step_size, config.target_accept)
-        accepted = 0
-        total_post_warmup = 0
-        divergences = 0
-        leapfrog_steps = 0
-
-    n_total = config.n_warmup + config.n_samples
-    for iteration in range(start_iteration, n_total):
-        if cursor is not None and cursor.due(iteration):
-            collected = max(0, iteration - config.n_warmup)
-            cursor.save(
-                {
-                    "status": "running",
-                    "iteration": iteration,
-                    "position": position.tolist(),
-                    "logp": logp,
-                    "grad": grad.tolist(),
-                    "step_size": step_size,
-                    "adapter": adapter.state(),
-                    "collected": collected,
-                    "samples": samples[:collected].tolist(),
-                    "logdensities": logdensities[:collected].tolist(),
-                    "accepted": accepted,
-                    "total_post_warmup": total_post_warmup,
-                    "divergences": divergences,
-                    "leapfrog_steps": leapfrog_steps,
-                    "rng": checkpoint.rng_state(rng),
-                }
-            )
-        momentum = rng.normal(size=dim)
-        current_h = -logp + 0.5 * float(momentum @ momentum)
-        n_steps = config.n_leapfrog
-        if config.jitter_steps:
-            n_steps = max(1, int(round(config.n_leapfrog * rng.uniform(0.6, 1.4))))
-        leapfrog_steps += n_steps
-        q, p, new_logp, new_grad = leapfrog(
-            position, momentum, grad, step_size, n_steps, logdensity_and_grad
-        )
-        if np.isfinite(new_logp):
-            proposal_h = -new_logp + 0.5 * float(p @ p)
-            log_accept = current_h - proposal_h
-            accept_prob = min(1.0, math.exp(min(0.0, log_accept)))
-        else:
-            accept_prob = 0.0
-        if rng.uniform() < accept_prob:
-            position, logp, grad = q, new_logp, new_grad
-        if iteration < config.n_warmup:
-            step_size = min(adapter.update(accept_prob), config.max_step_size)
-            if iteration == config.n_warmup - 1:
-                step_size = min(adapter.final(), config.max_step_size)
-        else:
-            idx = iteration - config.n_warmup
-            samples[idx] = position
-            logdensities[idx] = logp
-            total_post_warmup += 1
-            accepted += accept_prob
-            if accept_prob == 0.0:
-                divergences += 1
-    accept_rate = accepted / max(1, total_post_warmup)
-    if cursor is not None:
-        cursor.save(
-            {
-                "status": "done",
-                "iteration": n_total,
-                "samples": samples.tolist(),
-                "logdensities": logdensities.tolist(),
-                "accept_rate": accept_rate,
-                "step_size": step_size,
-                "divergences": divergences,
-                "leapfrog_steps": leapfrog_steps,
-                "rng": checkpoint.rng_state(rng),
-            }
-        )
-    return HMCResult(
-        samples,
-        accept_rate,
-        step_size,
-        logdensities,
-        divergences=divergences,
-        leapfrog_steps=leapfrog_steps,
+    return batched.single_hmc(
+        as_batched(logdensity_and_grad),
+        np.asarray(initial, dtype=float),
+        config,
+        rng,
+        checkpoint_key,
+        engine.current(),
     )
-
-
-def sample_with_healing(sample_fn, config, rng):
-    """Run one chain with bounded self-healing restarts.
-
-    ``sample_fn(cfg, rng)`` runs the chain and returns a result with
-    ``divergences`` / ``retries`` attributes (HMCResult, NUTSResult or
-    ReflectiveHMCResult).  When the chain raises :class:`InferenceError`
-    or more than ``config.divergence_tolerance × config.n_samples`` of
-    its draws diverged, it is restarted with a halved initial step, at
-    most ``config.max_restarts`` times.  The happy path calls
-    ``sample_fn`` exactly once with the unmodified config, so fault-free
-    runs consume the rng stream identically to the pre-healing code.
-
-    Raises :class:`SamplerDivergenceError` when every restart still
-    produced a fully divergent (or crashing) chain.
-    """
-    step = config.initial_step_size
-    retries = 0
-    best = None
-    last_error: Optional[InferenceError] = None
-    while True:
-        cfg = (
-            dataclasses.replace(config, initial_step_size=step, restart_index=retries)
-            if retries
-            else config
-        )
-        result = None
-        try:
-            result = sample_fn(cfg, rng)
-        except SamplerDivergenceError:
-            raise
-        except InferenceError as exc:
-            last_error = exc
-        if result is not None:
-            if result.divergences <= config.divergence_tolerance * config.n_samples:
-                result.retries = retries
-                return result
-            if best is None or result.divergences < best.divergences:
-                best = result
-        if retries >= config.max_restarts:
-            break
-        retries += 1
-        step *= 0.5
-    if best is not None and best.divergences < config.n_samples:
-        # degraded but usable: some draws are real; surface the retry count
-        best.retries = retries
-        return best
-    raise SamplerDivergenceError(
-        f"chain fully divergent after {retries} restart(s)"
-        + (f": {last_error}" if last_error is not None else "")
-    )
-
-
-def count_gradient_evals(logdensity_and_grad: LogDensityAndGrad):
-    """Observation-only wrapper counting calls; rng streams are untouched.
-
-    Returns ``(wrapped, counts)`` where ``counts[0]`` is the running call
-    count.  Applied only when telemetry is enabled, so the disabled path
-    pays nothing (not even an extra frame per gradient evaluation).
-    """
-    counts = [0]
-
-    def wrapped(q: np.ndarray) -> Tuple[float, np.ndarray]:
-        counts[0] += 1
-        return logdensity_and_grad(q)
-
-    return wrapped, counts
 
 
 def hmc_sample_chains(
@@ -383,14 +69,36 @@ def hmc_sample_chains(
     rng: np.random.Generator,
     fault_key: str = "hmc",
 ) -> HMCResult:
-    """Run several self-healing chains from different starts; concatenates draws."""
-    logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
+    """Run several self-healing chains from different starts; concatenates draws.
+
+    Chains draw from independent per-chain rng streams spawned off
+    ``rng`` (see :func:`repro.stats.engine.spawn_streams`), which is what
+    lets the ``batched`` engine advance them in lockstep.  Fault-injected
+    densities force the ``perchain`` engine so injected-clause counters
+    fire in chain order.
+    """
+    raw = logdensity_and_grad
+    wrapped = faultinject.wrap_logdensity(raw, fault_key)
+    mode = engine.current()
+    if wrapped is not raw:
+        mode = engine.PERCHAIN
+        density = LoopDensity(wrapped)
+    else:
+        density = as_batched(raw)
     grad_evals = None
     if telemetry.enabled():
-        logdensity_and_grad, grad_evals = count_gradient_evals(logdensity_and_grad)
+        grad_evals = [0]
+        density = CountingDensity(density, grad_evals)
     with telemetry.span(
-        "sampler.hmc", n_samples=config.n_samples, n_warmup=config.n_warmup
+        "sampler.hmc",
+        n_samples=config.n_samples,
+        n_warmup=config.n_warmup,
+        engine=mode,
     ) as tspan:
+        starts = [np.asarray(p, dtype=float) for p in initial_points]
+        streams = engine.spawn_streams(rng, len(starts))
+        keys = [f"hmc/{fault_key}/chain{i}" for i in range(len(starts))]
+        results = batched.run_hmc_batch(density, starts, config, streams, keys, mode)
         chains = []
         rates = []
         logps = []
@@ -398,16 +106,7 @@ def hmc_sample_chains(
         divergences = 0
         retries = 0
         leapfrog_steps = 0
-        for chain_index, initial in enumerate(initial_points):
-            start = np.asarray(initial, float)
-            ckpt_key = f"hmc/{fault_key}/chain{chain_index}"
-            result = sample_with_healing(
-                lambda cfg, r, _start=start, _key=ckpt_key: hmc_sample(
-                    logdensity_and_grad, _start, cfg, r, checkpoint_key=_key
-                ),
-                config,
-                rng,
-            )
+        for chain_index, result in enumerate(results):
             chains.append(result.samples)
             logps.append(result.logdensities)
             rates.append(result.accept_rate)
@@ -438,23 +137,3 @@ def hmc_sample_chains(
             leapfrog_steps=leapfrog_steps,
             chain_diagnostics=diagnostics,
         )
-
-
-def _sampler_counters(
-    kind: str,
-    accept_rate: float,
-    divergences: int,
-    retries: int,
-    leapfrog_steps: int,
-    grad_evals,
-) -> None:
-    """Shared per-run sampler metrics (used by HMC, NUTS and reflective HMC)."""
-    telemetry.gauge("sampler.accept_rate", round(accept_rate, 4), sampler=kind)
-    if leapfrog_steps:
-        telemetry.counter("sampler.leapfrog_steps", leapfrog_steps, sampler=kind)
-    if grad_evals is not None and grad_evals[0]:
-        telemetry.counter("sampler.gradient_evals", grad_evals[0], sampler=kind)
-    if divergences:
-        telemetry.counter("sampler.divergences", divergences, sampler=kind)
-    if retries:
-        telemetry.counter("sampler.healing_restarts", retries, sampler=kind)

@@ -4,6 +4,15 @@ An optional drop-in replacement for plain HMC in BayesWC's unconstrained
 survival posterior (the paper's "innovations from the sampling algorithm
 literature").  Implements the slice-variant recursive tree doubling with
 dual-averaging step-size adaptation during warmup.
+
+NUTS is the one sampler the lockstep batched engine does not stack: the
+recursive tree consumes the rng a data-dependent number of times per
+iteration, so chains cannot share a batched density evaluation without
+changing their bit-streams.  Both engines therefore run the same
+sequential per-chain loop below — trivially bit-identical — over the
+same per-chain rng streams (:func:`repro.stats.engine.spawn_streams`)
+that HMC and reflective HMC use, so a cell's chain ``i`` sees the same
+stream regardless of algorithm choice.
 """
 
 from __future__ import annotations
@@ -14,7 +23,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .hmc import (
+from . import engine as engine_mod
+from .base import (
     HMCConfig,
     HMCResult,
     _DualAveraging,
@@ -130,7 +140,9 @@ def nuts_sample(
     """
     q = np.asarray(initial, dtype=float).copy()
     dim = q.size
-    cursor = checkpoint.chain_cursor(checkpoint_key, config, q)
+    cursor = checkpoint.chain_cursor(
+        checkpoint_key, config, q, engine=engine_mod.current()
+    )
     saved = cursor.load() if cursor is not None else None
     if saved is not None and saved["status"] == "done":
         checkpoint.restore_rng(rng, saved["rng"])
@@ -281,21 +293,25 @@ def nuts_sample_chains(
     if telemetry.enabled():
         logdensity_and_grad, grad_evals = count_gradient_evals(logdensity_and_grad)
     with telemetry.span(
-        "sampler.nuts", n_samples=config.n_samples, n_warmup=config.n_warmup
+        "sampler.nuts",
+        n_samples=config.n_samples,
+        n_warmup=config.n_warmup,
+        engine=engine_mod.current(),
     ) as tspan:
+        starts = [np.asarray(p, float) for p in initial_points]
+        streams = engine_mod.spawn_streams(rng, len(starts))
         chains, logps, rates = [], [], []
         diagnostics: List[Dict[str, float]] = []
         divergences = 0
         retries = 0
-        for chain_index, initial in enumerate(initial_points):
-            start = np.asarray(initial, float)
+        for chain_index, start in enumerate(starts):
             ckpt_key = f"nuts/{fault_key}/chain{chain_index}"
             result = sample_with_healing(
                 lambda cfg, r, _start=start, _key=ckpt_key: nuts_sample(
                     logdensity_and_grad, _start, cfg, r, checkpoint_key=_key
                 ),
                 config,
-                rng,
+                streams[chain_index],
             )
             chains.append(result.samples)
             logps.append(result.logdensities)

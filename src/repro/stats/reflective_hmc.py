@@ -6,48 +6,54 @@ trajectories whose position updates reflect off the facets of
 algorithm behind the Volesti library the paper uses).  Between
 reflections the dynamics are standard HMC, so the stationary distribution
 is the target density restricted to the polytope.
+
+Sampling runs on the lockstep batched core (:mod:`repro.stats.batched`):
+:func:`reflective_hmc_sample` is a batch-of-one adapter and
+:func:`reflective_hmc_chains` stacks a cell's chains into one batch under
+the default ``batched`` engine (``REPRO_SAMPLER=perchain`` restores
+chain-at-a-time execution, bit-identically).  The scalar drift/leapfrog
+kernels below are kept as the reference implementation the property
+tests compare the batched geometry against, and for the warm-start
+helpers (:func:`map_estimate` etc.) that don't sample at all.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .hmc import HMCConfig, _DualAveraging, _sampler_counters, count_gradient_evals, sample_with_healing
+from . import batched
+from . import engine as engine_mod
+from .base import (  # noqa: F401  (re-exported public/historical API)
+    HMCConfig,
+    ReflectiveHMCResult,
+    _DualAveraging,
+    _sampler_counters,
+    count_gradient_evals,
+    sample_with_healing,
+)
+from .densities import CountingDensity, LoopDensity, as_batched
 from .polytope import Polytope
-from .. import checkpoint, faultinject, telemetry
-from ..errors import InferenceError
+from .. import faultinject, telemetry
 
 LogDensityAndGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
 
 #: maximum wall reflections within a single leapfrog position update
-MAX_REFLECTIONS = 64
-
-
-@dataclass
-class ReflectiveHMCResult:
-    samples: np.ndarray
-    accept_rate: float
-    step_size: float
-    n_reflections: int
-    #: post-warmup iterations whose proposal was rejected outright
-    divergences: int = 0
-    #: self-healing restarts spent producing this result
-    retries: int = 0
-    #: per-chain diagnostics when this result aggregates several chains
-    chain_diagnostics: List[Dict[str, float]] = field(default_factory=list)
+MAX_REFLECTIONS = batched.MAX_REFLECTIONS
 
 
 class _DriftEngine:
-    """Precomputed reflection geometry for one polytope.
+    """Precomputed reflection geometry for one polytope (scalar reference).
 
     Caches the Gram matrix ``G = A Aᵀ`` so that, inside a drift, the facet
     products ``A·p`` and the slacks are updated *incrementally*: a
     reflection off facet ``h`` changes ``A·p`` by ``-2α·G[:,h]`` (O(m))
-    instead of requiring a fresh O(m·n) matvec.
+    instead of requiring a fresh O(m·n) matvec.  The samplers use the
+    batched :class:`repro.stats.batched.BatchedDriftEngine`; this scalar
+    twin is the oracle the property tests check it against.
     """
 
     def __init__(self, polytope: Polytope):
@@ -104,7 +110,7 @@ def _reflective_drift(
     dt: float,
     polytope: Polytope,
 ) -> Tuple[np.ndarray, np.ndarray, int, bool]:
-    """Uncached single drift (kept for tests; samplers use _DriftEngine)."""
+    """Uncached single drift (kept for tests; samplers use the batched engine)."""
     return _DriftEngine(polytope).drift(q, p, dt)
 
 
@@ -117,17 +123,18 @@ def _leapfrog_reflective(
     logdensity_and_grad: LogDensityAndGrad,
     polytope_or_engine,
 ):
-    engine = (
+    """Scalar reflective leapfrog (reference for the property tests)."""
+    drift_engine = (
         polytope_or_engine
         if isinstance(polytope_or_engine, _DriftEngine)
         else _DriftEngine(polytope_or_engine)
     )
-    polytope = engine.polytope
+    polytope = drift_engine.polytope
     total_reflections = 0
     p = p + 0.5 * step_size * grad
     logp, g = -np.inf, grad
     for step in range(n_steps):
-        q, p, refl, ok = engine.drift(q, p, step_size)
+        q, p, refl, ok = drift_engine.drift(q, p, step_size)
         total_reflections += refl
         # require the proposal to stay inside: accepting a state even
         # marginally outside the polytope wedges the chain forever
@@ -195,125 +202,14 @@ def reflective_hmc_sample(
     deterministically from the polytope, but the step clamp (derived from
     the rng-consuming initial-step search) is part of the snapshot.
     """
-    q = np.asarray(initial, dtype=float).copy()
-    dim = q.size
-    cursor = checkpoint.chain_cursor(checkpoint_key, config, q)
-    saved = cursor.load() if cursor is not None else None
-    if saved is not None and saved["status"] == "done":
-        checkpoint.restore_rng(rng, saved["rng"])
-        return ReflectiveHMCResult(
-            np.asarray(saved["samples"], dtype=float).reshape(config.n_samples, dim),
-            saved["accept_rate"],
-            saved["step_size"],
-            saved["n_reflections"],
-            divergences=saved["divergences"],
-        )
-
-    engine = _DriftEngine(polytope)
-    samples = np.empty((config.n_samples, dim))
-    start_iteration = 0
-    if saved is not None:
-        q = np.asarray(saved["position"], dtype=float)
-        logp = float(saved["logp"])
-        grad = np.asarray(saved["grad"], dtype=float)
-        step_size = float(saved["step_size"])
-        step_floor = float(saved["step_floor"])
-        step_cap = float(saved["step_cap"])
-        adapter = _DualAveraging(config.initial_step_size, config.target_accept)
-        adapter.restore(saved["adapter"])
-        collected = int(saved["collected"])
-        if collected:
-            samples[:collected] = np.asarray(saved["samples"], dtype=float).reshape(
-                collected, dim
-            )
-        accepted = saved["accepted"]
-        n_reflections = saved["n_reflections"]
-        divergences = saved["divergences"]
-        start_iteration = int(saved["iteration"])
-        checkpoint.restore_rng(rng, saved["rng"])
-    else:
-        if not polytope.contains(q, tol=1e-9):
-            raise InferenceError("reflective HMC must start from an interior point")
-        logp, grad = logdensity_and_grad(q)
-        if not np.isfinite(logp):
-            raise InferenceError("initial point has zero density")
-        step_size = _find_initial_step(
-            logdensity_and_grad, engine, q, logp, grad, rng, config.initial_step_size
-        )
-        # clamp adaptation so one burst of hard rejections (e.g. a corner of
-        # the polytope) cannot spiral the step size into oblivion
-        step_floor = step_size * 1e-4
-        step_cap = min(step_size * 1e4, config.max_step_size)
-        adapter = _DualAveraging(step_size, config.target_accept)
-        accepted = 0.0
-        n_reflections = 0
-        divergences = 0
-    n_total = config.n_warmup + config.n_samples
-
-    for iteration in range(start_iteration, n_total):
-        if cursor is not None and cursor.due(iteration):
-            collected = max(0, iteration - config.n_warmup)
-            cursor.save(
-                {
-                    "status": "running",
-                    "iteration": iteration,
-                    "position": q.tolist(),
-                    "logp": logp,
-                    "grad": grad.tolist(),
-                    "step_size": step_size,
-                    "step_floor": step_floor,
-                    "step_cap": step_cap,
-                    "adapter": adapter.state(),
-                    "collected": collected,
-                    "samples": samples[:collected].tolist(),
-                    "accepted": accepted,
-                    "n_reflections": n_reflections,
-                    "divergences": divergences,
-                    "rng": checkpoint.rng_state(rng),
-                }
-            )
-        momentum = rng.normal(size=dim)
-        current_h = -logp + 0.5 * float(momentum @ momentum)
-        n_steps = config.n_leapfrog
-        if config.jitter_steps:
-            n_steps = max(1, int(round(config.n_leapfrog * rng.uniform(0.6, 1.4))))
-        q_new, p_new, new_logp, new_grad, refl = _leapfrog_reflective(
-            q.copy(), momentum, grad, step_size, n_steps, logdensity_and_grad, engine
-        )
-        n_reflections += refl
-        if np.isfinite(new_logp):
-            proposal_h = -new_logp + 0.5 * float(p_new @ p_new)
-            accept_prob = min(1.0, math.exp(min(0.0, current_h - proposal_h)))
-        else:
-            accept_prob = 0.0
-        if rng.uniform() < accept_prob:
-            q, logp, grad = q_new, new_logp, new_grad
-        if iteration < config.n_warmup:
-            step_size = float(np.clip(adapter.update(accept_prob), step_floor, step_cap))
-            if iteration == config.n_warmup - 1:
-                step_size = float(np.clip(adapter.final(), step_floor, step_cap))
-        else:
-            samples[iteration - config.n_warmup] = q
-            accepted += accept_prob
-            if accept_prob == 0.0:
-                divergences += 1
-
-    accept_rate = accepted / max(1, config.n_samples)
-    if cursor is not None:
-        cursor.save(
-            {
-                "status": "done",
-                "iteration": n_total,
-                "samples": samples.tolist(),
-                "accept_rate": accept_rate,
-                "step_size": step_size,
-                "n_reflections": n_reflections,
-                "divergences": divergences,
-                "rng": checkpoint.rng_state(rng),
-            }
-        )
-    return ReflectiveHMCResult(
-        samples, accept_rate, step_size, n_reflections, divergences=divergences
+    return batched.single_reflective(
+        as_batched(logdensity_and_grad),
+        polytope,
+        np.asarray(initial, dtype=float),
+        config,
+        rng,
+        checkpoint_key,
+        engine_mod.current(),
     )
 
 
@@ -450,33 +346,45 @@ def reflective_hmc_chains(
     rng: np.random.Generator,
     fault_key: str = "bayespc",
 ) -> ReflectiveHMCResult:
-    """Several self-healing chains, concatenated draws."""
-    logdensity_and_grad = faultinject.wrap_logdensity(logdensity_and_grad, fault_key)
+    """Several self-healing chains, concatenated draws.
+
+    Chains draw from independent per-chain rng streams spawned off
+    ``rng``, which is what lets the ``batched`` engine advance them in
+    lockstep.  Fault-injected densities force the ``perchain`` engine so
+    injected-clause counters fire in chain order.
+    """
+    raw = logdensity_and_grad
+    wrapped = faultinject.wrap_logdensity(raw, fault_key)
+    mode = engine_mod.current()
+    if wrapped is not raw:
+        mode = engine_mod.PERCHAIN
+        density = LoopDensity(wrapped)
+    else:
+        density = as_batched(raw)
     grad_evals = None
     if telemetry.enabled():
-        logdensity_and_grad, grad_evals = count_gradient_evals(logdensity_and_grad)
+        grad_evals = [0]
+        density = CountingDensity(density, grad_evals)
     with telemetry.span(
         "sampler.reflective",
         n_samples=config.n_samples,
         n_warmup=config.n_warmup,
         facets=int(polytope.A.shape[0]),
+        engine=mode,
     ) as tspan:
+        starts = [np.asarray(p, dtype=float) for p in initial_points]
+        streams = engine_mod.spawn_streams(rng, len(starts))
+        keys = [f"reflective/{fault_key}/chain{i}" for i in range(len(starts))]
+        results = batched.run_reflective_batch(
+            density, polytope, starts, config, streams, keys, mode
+        )
         chains = []
         rates = []
         reflections = 0
         diagnostics: List[Dict[str, float]] = []
         divergences = 0
         retries = 0
-        for chain_index, initial in enumerate(initial_points):
-            start = initial
-            ckpt_key = f"reflective/{fault_key}/chain{chain_index}"
-            result = sample_with_healing(
-                lambda cfg, r, _start=start, _key=ckpt_key: reflective_hmc_sample(
-                    logdensity_and_grad, polytope, _start, cfg, r, checkpoint_key=_key
-                ),
-                config,
-                rng,
-            )
+        for chain_index, result in enumerate(results):
             chains.append(result.samples)
             rates.append(result.accept_rate)
             reflections += result.n_reflections
