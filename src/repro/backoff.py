@@ -1,0 +1,69 @@
+"""Deterministic retry backoff shared by every retry loop in the repo.
+
+Retries happen in three places — the eval runner's task retry loop, the
+bound-inference daemon's worker-pool resubmission path, and ad-hoc test
+drivers — and all of them need the same two properties:
+
+* **exponential growth** so a persistently failing dependency is not
+  hammered, and
+* **deterministic, seed-derived jitter** so tasks that failed *together*
+  (a killed pool takes every in-flight task with it) retry *fanned out*
+  instead of in lockstep, without touching any global RNG state that the
+  samplers' golden tests depend on.
+
+The jitter is a SHA-256 hash of ``(seed, "backoff", attempt)`` mapped
+into ``[0.5, 1.5)`` — identical across processes, interpreter sessions
+and call sites, which is what makes retry schedules reproducible in
+chaos tests: the same fault plan yields the same sleep sequence every
+run, byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import List
+
+
+def derive_u63(root_seed: int, *parts: object) -> int:
+    """A stable 63-bit integer from ``(root_seed, *parts)``.
+
+    SHA-256 rather than ``hash()`` so the derivation is identical across
+    interpreter sessions and worker processes (string hashing is salted
+    per-process by PYTHONHASHSEED).  This is the same construction as
+    :func:`repro.evalharness.runner.derive_seed`, which delegates here.
+    """
+    payload = json.dumps([int(root_seed), *[str(p) for p in parts]]).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def jitter(seed: int, attempt: int) -> float:
+    """Deterministic jitter factor in ``[0.5, 1.5)`` for one retry."""
+    return 0.5 + derive_u63(seed, "backoff", attempt) / 2**63
+
+
+def backoff_delay(base_seconds: float, attempt: int, seed: int = 0) -> float:
+    """The sleep before retry ``attempt`` (1-based): exponential × jitter.
+
+    ``base_seconds <= 0`` disables backoff entirely (returns 0.0), which
+    is what tests use to keep retry loops instant.
+    """
+    if base_seconds <= 0:
+        return 0.0
+    base = base_seconds * (2 ** (max(attempt, 1) - 1))
+    return base * jitter(seed, attempt)
+
+
+def backoff_schedule(base_seconds: float, attempts: int, seed: int = 0) -> List[float]:
+    """The full sleep schedule for ``attempts`` retries (diagnostics/tests)."""
+    return [backoff_delay(base_seconds, a, seed) for a in range(1, attempts + 1)]
+
+
+def sleep_backoff(base_seconds: float, attempt: int, seed: int = 0) -> float:
+    """Sleep the schedule's delay for this retry; returns the delay slept."""
+    delay = backoff_delay(base_seconds, attempt, seed)
+    if delay > 0:
+        time.sleep(delay)
+    return delay

@@ -548,11 +548,55 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_runs(args) -> int:
+    import os
+
+    from .evalharness.journal import gc_runs
+
+    con = get_console()
+    root = args.dir or os.environ.get(ENV_RUNS_DIR) or "runs"
+    max_age = None if args.max_age_days is None else args.max_age_days * 86400.0
+    max_bytes = None if args.max_mb is None else int(args.max_mb * 1024 * 1024)
+    if max_age is None and max_bytes is None and not args.dry_run:
+        raise ReproError(
+            "runs gc needs at least one of --max-age-days / --max-mb "
+            "(or --dry-run to preview)"
+        )
+    stats = gc_runs(
+        root, max_age_seconds=max_age, max_bytes=max_bytes, dry_run=args.dry_run
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    con.info(
+        f"runs gc: kept {stats['kept']} run(s) ({stats['bytes']} bytes), "
+        f"{verb} {stats['removed']} run(s) ({stats['bytes_removed']} bytes), "
+        f"skipped {stats['skipped']} non-run entry(ies) under {root}",
+        root=root,
+        dry_run=args.dry_run,
+        **stats,
+    )
+    return 0
+
+
 def cmd_trace(args) -> int:
-    from .telemetry.chrome import write_chrome_trace
+    import os
+
+    from .telemetry.chrome import trace_files, write_chrome_trace
     from .telemetry.summary import render_summary, summarize_trace_dir
 
     con = get_console()
+    # fail cleanly (one line, exit 2) before touching the directory: a
+    # missing/empty trace dir is a usage error, not a traceback — and
+    # `trace export` must never create trace.json inside a bad target
+    if not os.path.isdir(args.dir):
+        raise ReproError(
+            f"trace directory {args.dir!r} does not exist (expected a "
+            "directory produced by bench --trace / REPRO_TRACE)"
+        )
+    if not trace_files(args.dir):
+        raise ReproError(
+            f"no trace files (trace-<pid>.jsonl) in {args.dir!r}: "
+            "is this really a bench --trace directory?"
+        )
     if args.trace_command == "summary":
         summary = summarize_trace_dir(args.dir, top=args.top)
         if not summary.events:
@@ -568,6 +612,63 @@ def cmd_trace(args) -> int:
         raise ReproError(f"no trace events found in {args.dir}")
     out = args.out or f"{args.dir}/trace.json"
     con.info(f"wrote {n_events} event(s) -> {out}", events=n_events, out=str(out))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import os
+
+    from .server.app import serve
+    from .server.core import ServerConfig
+
+    runs_dir = args.runs_dir or os.environ.get(ENV_RUNS_DIR) or "runs"
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_capacity=args.queue_capacity,
+        rate=args.rate,
+        burst=args.burst,
+        default_deadline=args.deadline,
+        latency_budget=args.latency_budget,
+        breaker_cooldown=args.breaker_cooldown,
+        max_retries=args.max_retries,
+        shutdown_grace=args.grace,
+        cache_dir=args.cache_dir,
+        runs_dir=runs_dir,
+    )
+    return serve(config)
+
+
+def cmd_loadgen(args) -> int:
+    from .server.loadgen import LoadgenConfig, run_loadgen
+
+    con = get_console()
+    config = LoadgenConfig(
+        url=args.url,
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        benchmarks=tuple(args.benchmarks.split(",")),
+        methods=tuple(args.methods.split(",")),
+        samples=args.samples,
+        seeds=args.seeds,
+        wait_timeout=args.wait_timeout,
+        out=args.out,
+        check=args.check,
+    )
+    report = run_loadgen(config)
+    latency = report["latency_seconds"]
+    taxonomy = ", ".join(f"{k}={v}" for k, v in report["taxonomy"].items())
+    con.result(
+        f"loadgen: {report['config']['requests']} request(s) in "
+        f"{report['wall_seconds']:.1f}s ({taxonomy}); "
+        f"p50={latency['p50'] if latency['p50'] is None else round(latency['p50'], 3)}s "
+        f"p95={latency['p95'] if latency['p95'] is None else round(latency['p95'], 3)}s "
+        f"p99={latency['p99'] if latency['p99'] is None else round(latency['p99'], 3)}s"
+    )
+    if config.out:
+        con.info(f"wrote {config.out}")
     return 0
 
 
@@ -771,6 +872,39 @@ def build_parser() -> argparse.ArgumentParser:
     cache_wipe.add_argument("dir", help="cache directory (from bench --cache)")
     cache_wipe.set_defaults(func=cmd_cache)
 
+    runs = sub.add_parser("runs", help="manage the run-journal directory")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_gc = runs_sub.add_parser(
+        "gc",
+        help="prune old runs/<run-id>/ directories by age and total-size cap "
+        "(mirrors 'cache gc'; only directories holding a journal.jsonl are "
+        "touched)",
+    )
+    runs_gc.add_argument(
+        "dir",
+        nargs="?",
+        default=None,
+        help="runs directory (default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    runs_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="remove runs whose journal is older than this many days",
+    )
+    runs_gc.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="evict oldest runs until the directory is under this size",
+    )
+    runs_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    runs_gc.set_defaults(func=cmd_runs)
+
     trace = sub.add_parser("trace", help="inspect a --trace directory")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     trace_summary = trace_sub.add_parser(
@@ -789,6 +923,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="output path (default: DIR/trace.json)"
     )
     trace_export.set_defaults(func=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the bound-inference daemon (POST /analyze, GET /status/<id>, GET /healthz)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument("--jobs", type=int, default=2, help="pool worker processes")
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=16,
+        help="bounded admission queue depth (full => 429 + Retry-After)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        help="per-client sustained requests/second (<= 0 disables rate limiting)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=40.0, help="per-client token-bucket burst"
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        help="default per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--latency-budget",
+        type=float,
+        default=10.0,
+        help="sampler-stage latency budget feeding the circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds before the breaker decays one degradation level",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, help="attempts per request after worker crashes"
+    )
+    serve.add_argument(
+        "--grace",
+        type=float,
+        default=10.0,
+        help="SIGTERM drain window for in-flight requests (exit 75)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared result cache; hits are served even when shedding load",
+    )
+    serve.add_argument(
+        "--runs-dir",
+        default=None,
+        help=f"request journal root (default ${ENV_RUNS_DIR} or ./runs)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator replaying the benchmark suite against a daemon",
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8787")
+    loadgen.add_argument("--requests", type=int, default=50)
+    loadgen.add_argument(
+        "--rate", type=float, default=10.0, help="mean arrival rate, requests/second"
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="arrival-schedule seed")
+    loadgen.add_argument(
+        "--benchmarks",
+        default=",".join(("MapAppend", "Concat")),
+        help="comma-separated registry names to draw from",
+    )
+    loadgen.add_argument(
+        "--methods",
+        default="bayespc,bayeswc,opt",
+        help="comma-separated methods to draw from",
+    )
+    loadgen.add_argument("--samples", type=int, default=10, help="posterior samples per request")
+    loadgen.add_argument(
+        "--seeds",
+        type=int,
+        default=2,
+        help="distinct request seeds (small pool => repeat requests hit the cache)",
+    )
+    loadgen.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=120.0,
+        help="per-request long-poll bound in seconds",
+    )
+    loadgen.add_argument(
+        "--out", default="BENCH_server.json", help="latency/taxonomy report path"
+    )
+    loadgen.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 2 unless every request reached a terminal response",
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
 
     return parser
 

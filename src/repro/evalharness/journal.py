@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -171,6 +172,89 @@ class JournalReplay:
             for task, outcome in self.finished.items()
             if outcome.get("ok")
         }
+
+
+def _dir_size(path: str) -> int:
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(path):
+        for name in filenames:
+            try:
+                total += os.path.getsize(os.path.join(dirpath, name))
+            except OSError:
+                pass
+    return total
+
+
+def gc_runs(
+    runs_root: os.PathLike,
+    max_age_seconds: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    dry_run: bool = False,
+) -> Dict[str, int]:
+    """Prune old run directories by age and a total-size cap.
+
+    Mirrors ``ResultCache.gc``: runs whose journal is older than
+    ``max_age_seconds`` are removed first, then the oldest remaining runs
+    are evicted until the total footprint fits under ``max_bytes``.  Only
+    directories that actually contain a ``journal.jsonl`` are candidates;
+    anything else under the runs root is left alone (and counted as
+    ``skipped``).  Removal is atomic per run: the directory is renamed to
+    ``<name>.trash.<pid>`` first, so a crash mid-delete can never leave a
+    half-deleted run that still looks resumable.  ``dry_run`` reports
+    what *would* happen without touching the filesystem.
+    """
+    root = str(runs_root)
+    stats = {"kept": 0, "removed": 0, "skipped": 0, "bytes": 0, "bytes_removed": 0}
+    if not os.path.isdir(root):
+        return stats
+    now = time.time()
+    candidates = []  # (journal mtime, size, run dir path)
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if not os.path.isdir(path):
+            stats["skipped"] += 1
+            continue
+        journal_path = os.path.join(path, JOURNAL_NAME)
+        if not os.path.isfile(journal_path):
+            stats["skipped"] += 1
+            continue
+        try:
+            mtime = os.path.getmtime(journal_path)
+        except OSError:
+            stats["skipped"] += 1
+            continue
+        candidates.append((mtime, _dir_size(path), path))
+
+    def _remove(path: str, size: int) -> None:
+        stats["removed"] += 1
+        stats["bytes_removed"] += size
+        if dry_run:
+            return
+        trash = f"{path}.trash.{os.getpid()}"
+        try:
+            os.replace(path, trash)
+        except OSError:
+            return
+        shutil.rmtree(trash, ignore_errors=True)
+
+    survivors = []
+    for mtime, size, path in candidates:
+        if max_age_seconds is not None and now - mtime > max_age_seconds:
+            _remove(path, size)
+        else:
+            survivors.append((mtime, size, path))
+    total = sum(size for _mtime, size, _path in survivors)
+    if max_bytes is not None and total > max_bytes:
+        survivors.sort()  # oldest first
+        while survivors and total > max_bytes:
+            _mtime, size, path = survivors.pop(0)
+            _remove(path, size)
+            total -= size
+    stats["kept"] = len(survivors)
+    stats["bytes"] = total
+    if stats["removed"] and not dry_run:
+        telemetry.counter("runs.gc_removed", stats["removed"])
+    return stats
 
 
 def replay(run_dir: os.PathLike) -> JournalReplay:

@@ -36,7 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from .. import checkpoint, faultinject, telemetry
+from .. import backoff, checkpoint, faultinject, telemetry
 from ..config import AnalysisConfig, DEFAULT_CONFIG
 from ..errors import LintError, ReproError, TaskTimeoutError, failure_stage
 from ..telemetry.console import get_console
@@ -87,10 +87,10 @@ def derive_seed(root_seed: int, *parts: object) -> int:
     Uses SHA-256 rather than Python's ``hash()`` so the derivation is
     identical across interpreter sessions and worker processes
     (``hash()`` of strings is salted per-process by PYTHONHASHSEED).
+    Delegates to :func:`repro.backoff.derive_u63` so the runner and the
+    server share one derivation.
     """
-    payload = json.dumps([int(root_seed), *[str(p) for p in parts]]).encode()
-    digest = hashlib.sha256(payload).digest()
-    return int.from_bytes(digest[:8], "big") >> 1
+    return backoff.derive_u63(root_seed, *parts)
 
 
 def input_seed(root_seed: int, benchmark: str) -> int:
@@ -1011,14 +1011,11 @@ class EvalRunner:
             )
 
     def _backoff(self, attempt: int, seed: int = 0) -> None:
-        if self.backoff_seconds <= 0:
-            return
-        base = self.backoff_seconds * (2 ** (max(attempt, 1) - 1))
         # deterministic jitter in [0.5, 1.5), derived from the task seed:
         # tasks that failed together retry fanned out, not in lockstep,
-        # without touching any global rng state
-        jitter = 0.5 + derive_seed(seed, "backoff", attempt) / 2**63
-        time.sleep(base * jitter)
+        # without touching any global rng state (shared with the server's
+        # pool supervisor — see repro.backoff)
+        backoff.sleep_backoff(self.backoff_seconds, attempt, seed)
 
     def _timeout_error(self, task: EvalTask) -> TaskTimeoutError:
         return TaskTimeoutError(

@@ -1,0 +1,267 @@
+"""Admission control for the bound-inference daemon.
+
+Three independent mechanisms, each a small deterministic class with an
+injectable clock so chaos tests can drive them without sleeping:
+
+* :class:`TokenBucketTable` — per-client token buckets.  A client that
+  exceeds its sustained rate gets ``429`` with an honest ``Retry-After``
+  telling it when the next token lands.
+* :class:`BoundedPriorityQueue` — the only queue between admission and
+  the worker pool.  It is *bounded* on purpose: when the daemon is
+  saturated, new work is shed explicitly at the front door (429) instead
+  of accumulating latency invisibly.  Lower priority numbers dequeue
+  first; FIFO within a priority class.
+* :class:`CircuitBreaker` — watches the sampler stage.  When recent
+  requests breach their latency budget (or fail in the sampler), the
+  breaker trips and the daemon *degrades* instead of queueing doomed
+  work: BayesPC requests are served with BayesWC, and at the second trip
+  level every sampler method falls back to the conventional/Opt path
+  (LP only, no MCMC).  Responses carry the fallback honestly
+  (``degraded: {requested, served, reason}``) and ``/healthz`` exposes
+  the breaker state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class TokenBucket:
+    """One client's bucket: ``rate`` tokens/second, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def acquire(self, now: float) -> Tuple[bool, float]:
+        """Take one token; returns ``(allowed, retry_after_seconds)``."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.rate <= 0:
+            return False, 60.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class TokenBucketTable:
+    """Per-client token buckets with a bounded LRU client table."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 1024,
+        clock=time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self.clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def acquire(self, client: str) -> Tuple[bool, float]:
+        """Take one token for ``client``; ``(allowed, retry_after)``."""
+        if self.rate <= 0:  # rate limiting disabled
+            return True, 0.0
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket  # re-insert: most recently used
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+            return bucket.acquire(now)
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`BoundedPriorityQueue.put` when shedding load."""
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        super().__init__(f"queue full; retry after {retry_after:.1f}s")
+
+
+class BoundedPriorityQueue:
+    """Thread-safe bounded priority queue with explicit load shedding.
+
+    ``put`` never blocks: a full queue raises :class:`QueueFull` carrying
+    a ``Retry-After`` estimate (current backlog / recent service rate) so
+    shed clients back off for roughly as long as the backlog needs to
+    drain, not a magic constant.
+    """
+
+    def __init__(self, capacity: int, clock=time.monotonic):
+        self.capacity = int(capacity)
+        self.clock = clock
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        #: recent (dequeue-time, seconds-per-item) samples for Retry-After
+        self._service: deque = deque(maxlen=32)
+        self._last_pop: Optional[float] = None
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def put(self, item: Any, priority: int = 5) -> int:
+        """Enqueue; returns the queue depth after insert.  Raises
+        :class:`QueueFull` when at capacity."""
+        with self._cond:
+            if len(self._heap) >= self.capacity:
+                raise QueueFull(self.retry_after_locked())
+            heapq.heappush(self._heap, (int(priority), next(self._seq), item))
+            depth = len(self._heap)
+            self._cond.notify()
+            return depth
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the highest-priority item, or None on timeout."""
+        with self._cond:
+            if not self._heap and timeout:
+                self._cond.wait(timeout)
+            if not self._heap:
+                return None
+            _prio, _seq, item = heapq.heappop(self._heap)
+            now = self.clock()
+            if self._last_pop is not None:
+                self._service.append(now - self._last_pop)
+            self._last_pop = now
+            return item
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything queued (shutdown path)."""
+        with self._cond:
+            items = [item for _p, _s, item in sorted(self._heap)]
+            self._heap.clear()
+            return items
+
+    def retry_after_locked(self) -> float:
+        """Backlog-drain estimate in seconds (call with the lock held or
+        accept a small race — it is advisory)."""
+        per_item = (
+            sum(self._service) / len(self._service) if self._service else 1.0
+        )
+        estimate = max(1.0, len(self._heap) * per_item)
+        return min(60.0, math.ceil(estimate))
+
+
+class CircuitBreaker:
+    """Sampler-stage circuit breaker driving the degradation ladder.
+
+    Records one sample per completed sampler-method request: the sampler
+    stage's latency and whether it succeeded.  A *breach* is a failure or
+    a latency over ``latency_budget``.  When at least ``threshold`` of
+    the last ``window`` samples are breaches, the breaker trips: the
+    degradation level rises one rung (capped at 2) and the sample window
+    resets.  Levels decay one rung per ``cooldown`` seconds with no new
+    trip — the half-open probe is simply the next undegraded request
+    admitted after decay; if it breaches again the breaker re-trips.
+
+    Level 0 (closed)  : serve the requested method.
+    Level 1 (open)    : BayesPC → BayesWC.
+    Level 2 (open)    : BayesPC/BayesWC → conventional Opt (no sampler).
+    """
+
+    MAX_LEVEL = 2
+
+    def __init__(
+        self,
+        latency_budget: float = 10.0,
+        window: int = 8,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ):
+        self.latency_budget = float(latency_budget)
+        self.window = int(window)
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=self.window)
+        self._level = 0
+        self._changed_at: Optional[float] = None
+        self.trips = 0
+        self.breaches = 0
+
+    def record(self, sampler_latency: float, ok: bool) -> None:
+        """Feed one completed sampler request into the window."""
+        breach = (not ok) or sampler_latency > self.latency_budget
+        with self._lock:
+            self._decay_locked()
+            if breach:
+                self.breaches += 1
+            self._events.append(breach)
+            if (
+                self._level < self.MAX_LEVEL or breach
+            ) and sum(self._events) >= self.threshold:
+                self._level = min(self.MAX_LEVEL, self._level + 1)
+                self._changed_at = self.clock()
+                self._events.clear()
+                self.trips += 1
+
+    def _decay_locked(self) -> None:
+        if self._level == 0 or self._changed_at is None:
+            return
+        elapsed = self.clock() - self._changed_at
+        while self._level > 0 and elapsed >= self.cooldown:
+            self._level -= 1
+            elapsed -= self.cooldown
+            self._changed_at = self.clock() - elapsed
+        if self._level == 0:
+            self._changed_at = None
+
+    def level(self) -> int:
+        with self._lock:
+            self._decay_locked()
+            return self._level
+
+    def degrade(self, method: str) -> Tuple[str, Optional[str]]:
+        """Effective method for a request, plus the reason when degraded.
+
+        Methods outside the ladder (``opt``, ``conventional``) pass
+        through untouched at every level.
+        """
+        level = self.level()
+        if level == 0:
+            return method, None
+        reason = f"breaker-open:level={level}:sampler-latency-budget={self.latency_budget:g}s"
+        if level == 1:
+            if method == "bayespc":
+                return "bayeswc", reason
+            return method, None
+        if method in ("bayespc", "bayeswc"):
+            return "opt", reason
+        return method, None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """State for ``/healthz``."""
+        with self._lock:
+            self._decay_locked()
+            return {
+                "state": "open" if self._level else "closed",
+                "level": self._level,
+                "latency_budget_seconds": self.latency_budget,
+                "window": self.window,
+                "threshold": self.threshold,
+                "cooldown_seconds": self.cooldown,
+                "recent_breaches": sum(self._events),
+                "total_breaches": self.breaches,
+                "trips": self.trips,
+            }

@@ -1,0 +1,284 @@
+"""The asyncio HTTP front end for the bound-inference daemon.
+
+Three routes over :mod:`repro.server.httpio` framing:
+
+* ``POST /analyze`` — admit a request.  Returns 200 with the full
+  record for synchronous completions (cache hits, or ``?wait=1``
+  long-polls), 202 with the request id otherwise, 400 for malformed
+  specs, 429 + ``Retry-After`` when rate-limited or shed, 503 while
+  draining.
+* ``GET /status/<id>`` — the request record; ``?wait=1`` long-polls
+  until terminal, ``?stream=1`` streams progress events as NDJSON.
+* ``GET /healthz`` — daemon health: queue depth, in-flight count,
+  circuit-breaker state, pool replacement counters.
+
+Shutdown mirrors the batch harness: the first SIGTERM/SIGINT stops
+accepting connections and drains in-flight requests within the grace
+window, then the process exits **75** (``EX_TEMPFAIL`` — interrupted,
+partial results journalled); a second signal abandons the grace window
+immediately (unresolved requests are journalled as resumable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+from typing import Optional
+
+from .. import telemetry
+from ..errors import EXIT_INTERRUPTED
+from ..telemetry.console import get_console
+from .core import AdmissionError, ServerConfig, ServerCore
+from .httpio import (
+    ProtocolError,
+    Request,
+    error_body,
+    read_request,
+    response_bytes,
+    retry_after_headers,
+    stream_head,
+)
+from .model import RequestRecord, SpecError
+
+#: default long-poll bound for ``?wait=1`` (seconds)
+WAIT_TIMEOUT = 60.0
+
+
+class ServerApp:
+    """One daemon process: a :class:`ServerCore` behind asyncio sockets."""
+
+    def __init__(self, core: ServerCore):
+        self.core = core
+        self.host = core.config.host
+        self.port = core.config.port  # replaced by the bound port on start
+        self._stop = asyncio.Event()
+        self._signals = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Programmatic clean stop (tests); exits 0, not 75."""
+        self._stop.set()
+
+    def _on_signal(self, signame: str) -> None:
+        self._signals += 1
+        if self._signals == 1:
+            get_console().warn(
+                f"{signame}: draining in-flight requests "
+                f"(grace {self.core.config.shutdown_grace:g}s; signal again to abandon)"
+            )
+            self._stop.set()
+        else:
+            get_console().warn(f"second {signame}: abandoning in-flight requests")
+            self.core.supervisor.interrupt()
+            self._stop.set()
+
+    async def run(self) -> int:
+        """Serve until stopped; returns the process exit code."""
+        telemetry.ensure_from_env()
+        self.core.start()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        # Deliberately NOT loop.add_signal_handler: that installs a
+        # set_wakeup_fd self-pipe which fork-started pool workers inherit,
+        # so a SIGTERM delivered to a worker (concurrent.futures's
+        # broken-pool cleanup terminates survivors) would be relayed into
+        # the parent's pipe and dispatched as a phantom parent shutdown.
+        # worker_init() detaches the fd, but a worker signalled before its
+        # initializer runs still hits the window — a plain handler that
+        # pid-guards at delivery time closes it for good.
+        parent_pid = os.getpid()
+
+        def _handler(signum, _frame):
+            if os.getpid() != parent_pid:
+                # forked worker, signalled before worker_init() could
+                # reset dispositions: take the default death, touch
+                # nothing shared with the parent
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+                return
+            name = signal.Signals(signum).name
+            loop.call_soon_threadsafe(self._on_signal, name)
+
+        with contextlib.suppress(ValueError, OSError, RuntimeError):
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, _handler)
+        # machine-readable readiness line (tests and the loadgen parse it)
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": self.host,
+                    "port": self.port,
+                    "run_id": self.core.run_id,
+                }
+            ),
+            flush=True,
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            grace = 0.0 if self._signals > 1 else None
+            stats = await asyncio.to_thread(self.core.stop, grace)
+            get_console().warn(
+                f"daemon stopped: {stats['resolved']} resolved, "
+                f"{stats['cancelled']} cancelled (journalled as resumable)"
+            )
+        return EXIT_INTERRUPTED if self._signals else 0
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(read_request(reader), timeout=30.0)
+            except asyncio.TimeoutError:
+                writer.write(response_bytes(408, error_body(408, "request timed out")))
+                return
+            except ProtocolError as exc:
+                writer.write(response_bytes(exc.status, error_body(exc.status, str(exc))))
+                return
+            if request is None:
+                return
+            await self._route(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as exc:  # a handler bug must not kill the daemon
+            telemetry.counter("server.internal_errors", 1, error=type(exc).__name__)
+            with contextlib.suppress(Exception):
+                writer.write(
+                    response_bytes(500, error_body(500, f"{type(exc).__name__}: {exc}"))
+                )
+        finally:
+            with contextlib.suppress(Exception):
+                writer.write_eof()
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _route(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        if request.path == "/healthz" and request.method == "GET":
+            writer.write(response_bytes(200, self.core.healthz()))
+            return
+        if request.path == "/analyze":
+            if request.method != "POST":
+                writer.write(response_bytes(405, error_body(405, "use POST /analyze")))
+                return
+            await self._analyze(request, writer)
+            return
+        if request.path.startswith("/status/") and request.method == "GET":
+            await self._status(request, writer)
+            return
+        writer.write(response_bytes(404, error_body(404, f"no route {request.path}")))
+
+    def _client_of(self, request: Request, writer: asyncio.StreamWriter) -> str:
+        explicit = request.headers.get("x-client")
+        if explicit:
+            return explicit
+        peer = writer.get_extra_info("peername")
+        return str(peer[0]) if peer else "anonymous"
+
+    async def _analyze(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        client = self._client_of(request, writer)
+        try:
+            body = request.json()
+            record = await asyncio.to_thread(self.core.submit, body, client)
+        except ProtocolError as exc:
+            writer.write(response_bytes(exc.status, error_body(exc.status, str(exc))))
+            return
+        except SpecError as exc:
+            writer.write(response_bytes(400, error_body(400, str(exc))))
+            return
+        except AdmissionError as exc:
+            writer.write(
+                response_bytes(
+                    exc.status,
+                    error_body(exc.status, str(exc), retry_after=exc.retry_after),
+                    headers=retry_after_headers(exc.retry_after),
+                )
+            )
+            return
+        if request.query.get("wait"):
+            timeout = _float(request.query.get("timeout"), WAIT_TIMEOUT)
+            await self._await_terminal(record, timeout)
+        status = 200 if record.terminal() else 202
+        writer.write(response_bytes(status, record.to_json()))
+
+    async def _status(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        request_id = request.path[len("/status/") :]
+        record = self.core.get(request_id)
+        if record is None:
+            writer.write(
+                response_bytes(404, error_body(404, f"unknown request {request_id!r}"))
+            )
+            return
+        if request.query.get("stream"):
+            await self._stream(record, writer)
+            return
+        if request.query.get("wait"):
+            timeout = _float(request.query.get("timeout"), WAIT_TIMEOUT)
+            await self._await_terminal(record, timeout)
+        writer.write(response_bytes(200, record.to_json()))
+
+    # -- record waiting / streaming ----------------------------------------
+
+    async def _next_event(self, record: RequestRecord, timeout: float) -> None:
+        """Wait until the record emits any event (or the timeout lapses)."""
+        loop = asyncio.get_running_loop()
+        woke = asyncio.Event()
+        record.add_waiter(lambda: loop.call_soon_threadsafe(woke.set))
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(woke.wait(), timeout=timeout)
+
+    async def _await_terminal(self, record: RequestRecord, timeout: float) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout)
+        while not record.terminal():
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return
+            await self._next_event(record, min(remaining, 1.0))
+
+    async def _stream(self, record: RequestRecord, writer: asyncio.StreamWriter) -> None:
+        """NDJSON progress stream: every record event as its own line,
+        closed with a final full-record summary line."""
+        writer.write(stream_head())
+        await writer.drain()
+        cursor = 0
+        while True:
+            doc = record.to_json(include_result=False, since_event=cursor)
+            for event in doc["events"]:
+                writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
+                cursor += 1
+            await writer.drain()
+            if doc["state"] in ("done", "error", "timeout", "cancelled"):
+                break
+            await self._next_event(record, 1.0)
+        writer.write(
+            (json.dumps(record.to_json(), sort_keys=True) + "\n").encode()
+        )
+        await writer.drain()
+
+
+def _float(raw: Optional[str], default: float) -> float:
+    try:
+        return float(raw) if raw is not None else default
+    except ValueError:
+        return default
+
+
+def serve(config: ServerConfig) -> int:
+    """Blocking entry point used by ``hybrid-aara serve``."""
+    core = ServerCore(config)
+    app = ServerApp(core)
+    try:
+        return asyncio.run(app.run())
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED

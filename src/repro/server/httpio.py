@@ -1,0 +1,148 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The daemon needs exactly three routes and ``Connection: close``
+semantics, so this is a deliberately small, strict parser — not a web
+framework.  Anything malformed gets a 400 and the connection dropped;
+request bodies are capped so a misbehaving client cannot balloon the
+daemon's memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+MAX_HEAD_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed request (rendered as 400/413 and connection close)."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError:
+            raise ProtocolError(400, "request body is not valid JSON")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` on clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, "request head too large")
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ProtocolError(400, "bad Content-Length")
+        if size > MAX_BODY_BYTES:
+            raise ProtocolError(413, "request body too large")
+        if size:
+            try:
+                body = await reader.readexactly(size)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(400, "truncated request body")
+    return Request(
+        method=method, path=split.path, query=query, headers=headers, body=body
+    )
+
+
+def response_bytes(
+    status: int,
+    body: Any = None,
+    headers: Optional[Dict[str, str]] = None,
+    content_type: str = "application/json",
+) -> bytes:
+    """One full HTTP/1.1 response (always ``Connection: close``)."""
+    if body is None:
+        payload = b""
+    elif isinstance(body, bytes):
+        payload = body
+    else:
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+    head = [
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + payload
+
+
+def stream_head(status: int = 200) -> bytes:
+    """Response head for a chunked-less NDJSON event stream (the body is
+    newline-delimited JSON objects, terminated by connection close)."""
+    return (
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'OK')}\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode()
+
+
+def error_body(status: int, message: str, **extra: Any) -> Dict[str, Any]:
+    return {"error": {"status": status, "message": message, **extra}}
+
+
+def retry_after_headers(retry_after: Optional[float]) -> Dict[str, str]:
+    if retry_after is None:
+        return {}
+    return {"Retry-After": str(max(1, int(round(retry_after))))}

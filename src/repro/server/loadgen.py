@@ -1,0 +1,277 @@
+"""Open-loop load generator for the bound-inference daemon.
+
+Replays the benchmark suite as synthetic traffic: arrivals follow a
+seeded Poisson process at ``--rate`` requests/second, and every arrival
+fires on schedule whether or not earlier requests have completed (open
+loop — the generator never backs off, so daemon overload shows up as
+429s and latency, not as a silently throttled workload).  Each request
+long-polls ``POST /analyze?wait=1`` to a terminal state and is
+classified into an error taxonomy::
+
+    done | done_degraded | cached | error | timeout | cancelled
+         | rate_limited | shed | rejected | draining | incomplete
+         | transport_error
+
+Latency percentiles (p50/p95/p99, nearest-rank) plus the taxonomy and a
+final ``/healthz`` snapshot are written atomically to
+``BENCH_server.json``.  ``--check`` turns the soak invariants into an
+exit code: every scheduled request must reach a terminal response
+(nothing dropped, no transport errors), which is what the CI soak job
+asserts while chaos faults are active in the daemon.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+
+#: taxonomy classes that mean "the daemon gave this request a terminal
+#: answer" — the soak invariant is that every request lands in one
+TERMINAL_CLASSES = frozenset(
+    {
+        "done",
+        "done_degraded",
+        "cached",
+        "error",
+        "timeout",
+        "cancelled",
+        "rate_limited",
+        "shed",
+        "rejected",
+        "draining",
+    }
+)
+
+DEFAULT_BENCHMARKS = ("MapAppend", "Concat")
+DEFAULT_METHODS = ("bayespc", "bayeswc", "opt")
+
+
+@dataclass
+class LoadgenConfig:
+    url: str = "http://127.0.0.1:8787"
+    requests: int = 50
+    rate: float = 10.0  # mean arrivals/second (open loop)
+    seed: int = 0
+    benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS
+    methods: Tuple[str, ...] = DEFAULT_METHODS
+    samples: int = 10
+    seeds: int = 2  # distinct request seeds (small pool ⇒ cache hits)
+    wait_timeout: float = 120.0
+    client: str = "loadgen"
+    out: Optional[str] = "BENCH_server.json"
+    check: bool = False
+
+
+@dataclass
+class Sample:
+    index: int
+    offset: float
+    klass: str = "incomplete"
+    status: int = 0
+    latency: Optional[float] = None
+    request_id: Optional[str] = None
+    detail: Optional[str] = None
+    body: Dict[str, Any] = field(default_factory=dict)
+
+
+def _classify(status: int, doc: Dict[str, Any]) -> str:
+    if status in (200, 202):
+        state = doc.get("state")
+        if state == "done":
+            if doc.get("cache_hit"):
+                return "cached"
+            if doc.get("degraded"):
+                return "done_degraded"
+            return "done"
+        if state in ("error", "timeout", "cancelled"):
+            return str(state)
+        return "incomplete"
+    if status == 429:
+        message = str(doc.get("error", {}).get("message", ""))
+        return "rate_limited" if "rate" in message else "shed"
+    if status == 400:
+        return "rejected"
+    if status == 503:
+        return "draining"
+    return f"http_{status}"
+
+
+def _fire(base: str, sample: Sample, wait_timeout: float, client: str) -> None:
+    split = urlsplit(base)
+    started = time.monotonic()
+    try:
+        conn = http.client.HTTPConnection(
+            split.hostname, split.port or 80, timeout=wait_timeout + 30.0
+        )
+        try:
+            conn.request(
+                "POST",
+                f"/analyze?wait=1&timeout={wait_timeout:g}",
+                body=json.dumps(sample.body),
+                headers={"Content-Type": "application/json", "X-Client": client},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        sample.latency = time.monotonic() - started
+        sample.status = response.status
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            doc = {}
+        sample.request_id = doc.get("id")
+        sample.klass = _classify(response.status, doc)
+        if sample.klass in ("error", "timeout"):
+            sample.detail = doc.get("error")
+    except Exception as exc:
+        sample.latency = time.monotonic() - started
+        sample.klass = "transport_error"
+        sample.detail = f"{type(exc).__name__}: {exc}"
+
+
+def build_plan(config: LoadgenConfig) -> List[Sample]:
+    """The deterministic arrival schedule: (offset, request body) pairs."""
+    rng = random.Random(config.seed)
+    plan: List[Sample] = []
+    offset = 0.0
+    for index in range(config.requests):
+        if config.rate > 0:
+            offset += rng.expovariate(config.rate)
+        body = {
+            "benchmark": rng.choice(list(config.benchmarks)),
+            "method": rng.choice(list(config.methods)),
+            "mode": "data-driven",
+            "samples": config.samples,
+            "seed": rng.randrange(max(1, config.seeds)),
+            "client": config.client,
+        }
+        plan.append(Sample(index=index, offset=offset, body=body))
+    return plan
+
+
+def percentile(latencies: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile (no interpolation, no numpy needed)."""
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    rank = max(1, min(len(ordered), int(round(fraction * len(ordered) + 0.5))))
+    return ordered[rank - 1]
+
+
+def _healthz(base: str) -> Optional[Dict[str, Any]]:
+    split = urlsplit(base)
+    try:
+        conn = http.client.HTTPConnection(split.hostname, split.port or 80, timeout=10.0)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            return json.loads(response.read())
+        finally:
+            conn.close()
+    except Exception:
+        return None
+
+
+def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
+    """Run the open-loop replay; returns (and optionally writes) the report."""
+    plan = build_plan(config)
+    start = time.monotonic()
+    threads: List[threading.Thread] = []
+
+    def _scheduled(sample: Sample) -> None:
+        delay = sample.offset - (time.monotonic() - start)
+        if delay > 0:
+            time.sleep(delay)
+        _fire(config.url, sample, config.wait_timeout, config.client)
+
+    for sample in plan:
+        thread = threading.Thread(target=_scheduled, args=(sample,), daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - start
+
+    taxonomy: Dict[str, int] = {}
+    for sample in plan:
+        taxonomy[sample.klass] = taxonomy.get(sample.klass, 0) + 1
+    latencies = [s.latency for s in plan if s.latency is not None]
+    report = {
+        "version": 1,
+        "config": {
+            "url": config.url,
+            "requests": config.requests,
+            "rate": config.rate,
+            "seed": config.seed,
+            "benchmarks": list(config.benchmarks),
+            "methods": list(config.methods),
+            "samples": config.samples,
+            "seeds": config.seeds,
+        },
+        "wall_seconds": round(wall, 3),
+        "achieved_rps": round(config.requests / wall, 3) if wall > 0 else None,
+        "taxonomy": dict(sorted(taxonomy.items())),
+        "latency_seconds": {
+            "count": len(latencies),
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "mean": sum(latencies) / len(latencies) if latencies else None,
+            "max": max(latencies) if latencies else None,
+        },
+        "healthz": _healthz(config.url),
+        "failures": [
+            {"index": s.index, "class": s.klass, "detail": s.detail}
+            for s in plan
+            if s.klass in ("transport_error", "incomplete")
+        ],
+    }
+    if config.out:
+        _write_atomic(config.out, report)
+    if config.check:
+        check_invariants(report)
+    return report
+
+
+def check_invariants(report: Dict[str, Any]) -> None:
+    """The soak invariants: raise :class:`ReproError` when violated."""
+    taxonomy = report["taxonomy"]
+    total = sum(taxonomy.values())
+    expected = report["config"]["requests"]
+    problems = []
+    if total != expected:
+        problems.append(f"{expected - total} request(s) unaccounted for")
+    non_terminal = {
+        klass: count for klass, count in taxonomy.items() if klass not in TERMINAL_CLASSES
+    }
+    if non_terminal:
+        problems.append(f"non-terminal responses: {non_terminal}")
+    if problems:
+        raise ReproError("soak invariants violated: " + "; ".join(problems))
+
+
+def _write_atomic(path: str, report: Dict[str, Any]) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=os.path.basename(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -35,6 +35,48 @@ _ENV_VARS = (
 _AMBIENT_SAMPLER = os.environ.get(sampler_engine.ENV_SAMPLER)
 
 
+@pytest.fixture
+def spawn_daemon(tmp_path):
+    """Factory starting a `hybrid-aara serve` subprocess on a free port.
+
+    Returns ``(proc, port)`` once the daemon prints its readiness line;
+    every spawned daemon is SIGKILLed at teardown if still alive.
+    """
+    import json
+    import signal
+    import subprocess
+    import sys
+
+    procs = []
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+    def _spawn(*extra_args, env=None, cache=True):
+        cmd = [
+            sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+            "--runs-dir", str(tmp_path / "server-runs"),
+        ]
+        if cache:
+            cmd += ["--cache-dir", str(tmp_path / "server-cache")]
+        cmd += list(extra_args)
+        full_env = {**os.environ, "PYTHONPATH": src, **(env or {})}
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=full_env,
+        )
+        procs.append(proc)
+        line = proc.stdout.readline()
+        assert line, f"daemon died before announcing: {proc.stderr.read()}"
+        return proc, json.loads(line)["port"]
+
+    yield _spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        proc.stdout.close()
+        proc.stderr.close()
+
+
 @pytest.fixture(autouse=True)
 def _durable_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

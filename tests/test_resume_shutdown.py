@@ -262,6 +262,84 @@ class TestCliKillAndResume:
 
 
 @pytest.mark.slow
+class TestSigtermDrainSubprocess:
+    """External SIGTERM against a real pool-mode ``bench`` process.
+
+    The contract mirrors the daemon's: the first signal drains in-flight
+    cells within the grace window and exits 75 with a well-formed
+    interrupted report; a second signal during the grace window abandons
+    the drain immediately (still 75, hung cells stay resumable)."""
+
+    def _spawn(self, tmp_path, run_id, hang_delay):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["REPRO_RUNS_DIR"] = str(tmp_path / "runs")
+        env["REPRO_FAULTS_STATE"] = str(tmp_path / "fault-state")
+        env.pop(faultinject.ENV_SPEC, None)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "bench", "MapAppend",
+                "--method", "opt", "--samples", "3", "--jobs", "2",
+                "--run-id", run_id,
+                "--faults",
+                "worker-hang:match=MapAppend/data-driven/opt:count=1"
+                f":delay={hang_delay}",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        # wait until the grid is actually in flight before signalling
+        journal_path = tmp_path / "runs" / run_id / "journal.jsonl"
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if journal_path.exists() and "task-start" in journal_path.read_text():
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            raise AssertionError("bench never started its grid")
+        time.sleep(0.5)
+        return proc
+
+    def test_first_sigterm_drains_within_grace_and_exits_75(self, tmp_path):
+        # the hang (2s) fits inside the 5s grace: the cell must be
+        # *drained*, not abandoned
+        proc = self._spawn(tmp_path, "drain1", hang_delay=2)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == EXIT_INTERRUPTED, out
+        assert "resume with" in out
+        replayed = replay(tmp_path / "runs" / "drain1")
+        assert replayed.shutdowns == ["signal:SIGTERM"]
+        # the hung cell resolved *during the drain* — the interrupted
+        # report is complete for everything that was in flight
+        completed = set(replayed.completed_ok())
+        assert "MapAppend/data-driven/opt" in completed
+        assert len(completed) >= 2
+
+    def test_second_sigterm_cuts_the_grace_window_short(self, tmp_path):
+        # the hang (600s) can never drain: without a second signal this
+        # would sit out the full 5s grace window
+        proc = self._spawn(tmp_path, "drain2", hang_delay=600)
+        started = time.monotonic()
+        proc.send_signal(signal.SIGTERM)
+        time.sleep(0.5)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        elapsed = time.monotonic() - started
+        assert proc.returncode == EXIT_INTERRUPTED, out
+        assert elapsed < 4.5, f"second signal did not cut the drain short ({elapsed:.1f}s)"
+        replayed = replay(tmp_path / "runs" / "drain2")
+        assert replayed.shutdowns == ["signal:SIGTERM"]
+        # the hung cell was abandoned, not completed: it stays resumable
+        assert not replayed.run_finished
+        completed = set(replayed.completed_ok())
+        assert "MapAppend/data-driven/opt" not in completed
+
+
+@pytest.mark.slow
 class TestSigkillSubprocess:
     def test_sigkill_mid_grid_then_resume(self, tmp_path):
         env = dict(os.environ)

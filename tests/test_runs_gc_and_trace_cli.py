@@ -1,0 +1,161 @@
+"""Housekeeping CLI tests: ``runs gc`` pruning and ``trace`` error paths.
+
+``runs gc`` mirrors ``cache gc``: age pruning first, then oldest-first
+eviction down to a size cap, atomic per-run removal, and ``--dry-run``
+that never touches the filesystem.  The ``trace`` subcommands must fail
+with one clean line + exit 2 on a missing/empty trace directory — and
+``trace export`` must never create ``trace.json`` inside a bad target.
+"""
+
+import json
+import os
+import time
+
+from repro.cli import main
+from repro.evalharness.journal import JOURNAL_NAME, gc_runs
+
+
+def make_run(root, name, age_seconds=0.0, payload_bytes=0):
+    """A plausible run directory: journal + optional payload, aged."""
+    run_dir = root / name
+    run_dir.mkdir(parents=True)
+    journal = run_dir / JOURNAL_NAME
+    journal.write_text(json.dumps({"ev": "run-start", "run_id": name}) + "\n")
+    if payload_bytes:
+        (run_dir / "report.json").write_bytes(b"x" * payload_bytes)
+    if age_seconds:
+        old = time.time() - age_seconds
+        os.utime(journal, (old, old))
+    return run_dir
+
+
+# -- gc_runs (library) ------------------------------------------------------
+
+
+def test_gc_removes_runs_past_max_age(tmp_path):
+    old = make_run(tmp_path, "run-old", age_seconds=10 * 86400)
+    fresh = make_run(tmp_path, "run-fresh")
+    stats = gc_runs(tmp_path, max_age_seconds=86400.0)
+    assert stats["removed"] == 1 and stats["kept"] == 1
+    assert not old.exists()
+    assert fresh.exists()
+
+
+def test_gc_evicts_oldest_until_under_size_cap(tmp_path):
+    make_run(tmp_path, "run-a", age_seconds=300, payload_bytes=4096)
+    make_run(tmp_path, "run-b", age_seconds=200, payload_bytes=4096)
+    make_run(tmp_path, "run-c", age_seconds=100, payload_bytes=4096)
+    stats = gc_runs(tmp_path, max_bytes=9000)
+    # only the oldest needs to go to get under the cap
+    assert stats["removed"] == 1
+    assert not (tmp_path / "run-a").exists()
+    assert (tmp_path / "run-b").exists() and (tmp_path / "run-c").exists()
+    assert stats["bytes"] <= 9000
+
+
+def test_gc_leaves_non_run_entries_alone(tmp_path):
+    make_run(tmp_path, "run-old", age_seconds=10 * 86400)
+    (tmp_path / "not-a-run").mkdir()  # no journal.jsonl inside
+    (tmp_path / "stray-file.txt").write_text("keep me")
+    stats = gc_runs(tmp_path, max_age_seconds=86400.0)
+    assert stats["skipped"] == 2
+    assert (tmp_path / "not-a-run").exists()
+    assert (tmp_path / "stray-file.txt").exists()
+
+
+def test_gc_dry_run_reports_without_deleting(tmp_path):
+    doomed = make_run(tmp_path, "run-old", age_seconds=10 * 86400)
+    stats = gc_runs(tmp_path, max_age_seconds=86400.0, dry_run=True)
+    assert stats["removed"] == 1
+    assert stats["bytes_removed"] > 0
+    assert doomed.exists()  # nothing actually touched
+    assert (doomed / JOURNAL_NAME).exists()
+
+
+def test_gc_missing_root_is_a_noop(tmp_path):
+    stats = gc_runs(tmp_path / "nowhere", max_age_seconds=1.0)
+    assert stats == {
+        "kept": 0, "removed": 0, "skipped": 0, "bytes": 0, "bytes_removed": 0,
+    }
+
+
+def test_gc_leaves_no_trash_behind(tmp_path):
+    """Removal goes through an atomic rename; the trash name must not
+    survive a normal gc."""
+    make_run(tmp_path, "run-old", age_seconds=10 * 86400)
+    gc_runs(tmp_path, max_age_seconds=86400.0)
+    assert os.listdir(tmp_path) == []
+
+
+# -- runs gc (CLI) ----------------------------------------------------------
+
+
+def test_cli_runs_gc_prunes_by_age(tmp_path):
+    make_run(tmp_path, "run-old", age_seconds=10 * 86400)
+    keep = make_run(tmp_path, "run-fresh")
+    assert main(["runs", "gc", str(tmp_path), "--max-age-days", "1"]) == 0
+    assert not (tmp_path / "run-old").exists()
+    assert keep.exists()
+
+
+def test_cli_runs_gc_without_limits_is_exit_2(tmp_path, capsys):
+    make_run(tmp_path, "run-x")
+    assert main(["runs", "gc", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "--max-age-days" in err
+    assert len([l for l in err.strip().splitlines() if l]) == 1
+    assert (tmp_path / "run-x").exists()
+
+
+def test_cli_runs_gc_dry_run_needs_no_limits(tmp_path):
+    survivor = make_run(tmp_path, "run-x", age_seconds=10 * 86400)
+    assert main(["runs", "gc", str(tmp_path), "--dry-run"]) == 0
+    assert survivor.exists()
+
+
+# -- trace summary / export error paths -------------------------------------
+
+
+def test_trace_summary_missing_dir_is_one_line_exit_2(tmp_path, capsys):
+    assert main(["trace", "summary", str(tmp_path / "no-such-dir")]) == 2
+    err = capsys.readouterr().err
+    assert "does not exist" in err
+    assert len([l for l in err.strip().splitlines() if l]) == 1
+
+
+def test_trace_summary_empty_dir_is_one_line_exit_2(tmp_path, capsys):
+    empty = tmp_path / "empty-trace"
+    empty.mkdir()
+    assert main(["trace", "summary", str(empty)]) == 2
+    err = capsys.readouterr().err
+    assert "no trace files" in err
+    assert len([l for l in err.strip().splitlines() if l]) == 1
+
+
+def test_trace_export_missing_dir_creates_nothing(tmp_path, capsys):
+    target = tmp_path / "no-such-dir"
+    assert main(["trace", "export", str(target)]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    assert not target.exists()  # export must not mkdir/write into a bad target
+
+
+def test_trace_export_empty_dir_creates_nothing(tmp_path, capsys):
+    empty = tmp_path / "empty-trace"
+    empty.mkdir()
+    assert main(["trace", "export", str(empty)]) == 2
+    assert "no trace files" in capsys.readouterr().err
+    assert os.listdir(empty) == []  # no trace.json conjured out of nothing
+
+
+def test_trace_summary_still_works_on_a_real_trace(tmp_path):
+    """The error guards must not break the happy path."""
+    trace_dir = tmp_path / "trace"
+    code = main([
+        "bench", "MapAppend", "--method", "opt", "--samples", "3",
+        "--no-journal", "--trace", str(trace_dir),
+    ])
+    assert code == 0
+    assert main(["trace", "summary", str(trace_dir)]) == 0
+    out = tmp_path / "exported.json"
+    assert main(["trace", "export", str(trace_dir), "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["traceEvents"]

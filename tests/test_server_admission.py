@@ -1,0 +1,215 @@
+"""Unit tests for the daemon's admission-control primitives.
+
+All three mechanisms take an injectable clock, so these tests never
+sleep: time is a number we move by hand.
+"""
+
+import threading
+
+import pytest
+
+from repro.server.admission import (
+    BoundedPriorityQueue,
+    CircuitBreaker,
+    QueueFull,
+    TokenBucket,
+    TokenBucketTable,
+)
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# -- token bucket -----------------------------------------------------------
+
+
+def test_bucket_allows_burst_then_refuses():
+    bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+    assert [bucket.acquire(0.0)[0] for _ in range(3)] == [True, True, True]
+    allowed, retry_after = bucket.acquire(0.0)
+    assert not allowed
+    assert 0 < retry_after <= 1.0
+
+
+def test_bucket_refills_at_rate():
+    bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+    assert bucket.acquire(0.0)[0]
+    assert not bucket.acquire(0.0)[0]
+    assert bucket.acquire(0.6)[0]  # 0.6s * 2/s = 1.2 tokens
+
+
+def test_table_isolates_clients():
+    clock = Clock()
+    table = TokenBucketTable(rate=1.0, burst=1.0, clock=clock)
+    assert table.acquire("a")[0]
+    assert not table.acquire("a")[0]
+    assert table.acquire("b")[0]  # b has its own bucket
+
+
+def test_table_rate_zero_disables():
+    table = TokenBucketTable(rate=0.0, burst=0.0)
+    assert all(table.acquire("x")[0] for _ in range(100))
+
+
+def test_table_bounds_client_count():
+    clock = Clock()
+    table = TokenBucketTable(rate=1.0, burst=1.0, max_clients=2, clock=clock)
+    table.acquire("a"), table.acquire("b"), table.acquire("c")
+    assert len(table._buckets) == 2
+    # "a" was evicted (LRU), so it gets a fresh bucket — full burst again
+    assert table.acquire("a")[0]
+
+
+# -- bounded priority queue -------------------------------------------------
+
+
+def test_queue_orders_by_priority_then_fifo():
+    queue = BoundedPriorityQueue(capacity=10)
+    queue.put("low-1", priority=9)
+    queue.put("high", priority=0)
+    queue.put("low-2", priority=9)
+    assert queue.pop() == "high"
+    assert queue.pop() == "low-1"
+    assert queue.pop() == "low-2"
+    assert queue.pop() is None
+
+
+def test_queue_sheds_at_capacity_with_retry_after():
+    queue = BoundedPriorityQueue(capacity=2)
+    queue.put("a")
+    queue.put("b")
+    with pytest.raises(QueueFull) as info:
+        queue.put("c")
+    assert 1.0 <= info.value.retry_after <= 60.0
+    assert len(queue) == 2  # the shed item never entered
+
+
+def test_queue_retry_after_tracks_service_rate():
+    clock = Clock()
+    queue = BoundedPriorityQueue(capacity=4, clock=clock)
+    for i in range(4):
+        queue.put(i)
+    # drain two items 2 seconds apart => observed service time 2s/item
+    queue.pop()
+    clock.now = 2.0
+    queue.pop()
+    queue.put("x"), queue.put("y")
+    with pytest.raises(QueueFull) as info:
+        queue.put("z")
+    # 4 queued * 2s/item = 8s backlog estimate
+    assert info.value.retry_after == pytest.approx(8.0)
+
+
+def test_queue_drain_returns_everything_in_priority_order():
+    queue = BoundedPriorityQueue(capacity=10)
+    queue.put("b", priority=5)
+    queue.put("a", priority=1)
+    assert queue.drain() == ["a", "b"]
+    assert len(queue) == 0
+
+
+def test_queue_pop_timeout_wakes_on_put():
+    queue = BoundedPriorityQueue(capacity=4)
+    got = []
+    thread = threading.Thread(target=lambda: got.append(queue.pop(timeout=5.0)))
+    thread.start()
+    queue.put("item")
+    thread.join(timeout=5.0)
+    assert got == ["item"]
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+def make_breaker(clock, **kw):
+    kw.setdefault("latency_budget", 1.0)
+    kw.setdefault("window", 4)
+    kw.setdefault("threshold", 2)
+    kw.setdefault("cooldown", 10.0)
+    return CircuitBreaker(clock=clock, **kw)
+
+
+def test_breaker_stays_closed_under_budget():
+    breaker = make_breaker(Clock())
+    for _ in range(20):
+        breaker.record(0.5, ok=True)
+    assert breaker.level() == 0
+    assert breaker.degrade("bayespc") == ("bayespc", None)
+
+
+def test_breaker_trips_on_latency_breaches():
+    breaker = make_breaker(Clock())
+    breaker.record(5.0, ok=True)
+    assert breaker.level() == 0  # one breach < threshold
+    breaker.record(5.0, ok=True)
+    assert breaker.level() == 1
+
+
+def test_breaker_trips_on_failures_too():
+    breaker = make_breaker(Clock())
+    breaker.record(0.1, ok=False)
+    breaker.record(0.1, ok=False)
+    assert breaker.level() == 1
+
+
+def test_degradation_ladder():
+    clock = Clock()
+    breaker = make_breaker(clock)
+    for _ in range(2):
+        breaker.record(5.0, ok=True)
+    assert breaker.level() == 1
+    served, reason = breaker.degrade("bayespc")
+    assert served == "bayeswc" and "breaker-open" in reason
+    assert breaker.degrade("bayeswc") == ("bayeswc", None)
+    assert breaker.degrade("opt") == ("opt", None)
+    # keep breaching: level 2 falls everything back to the LP-only path
+    for _ in range(2):
+        breaker.record(5.0, ok=True)
+    assert breaker.level() == 2
+    assert breaker.degrade("bayespc")[0] == "opt"
+    assert breaker.degrade("bayeswc")[0] == "opt"
+    assert breaker.degrade("opt") == ("opt", None)
+
+
+def test_breaker_decays_one_level_per_cooldown():
+    clock = Clock()
+    breaker = make_breaker(clock, cooldown=10.0)
+    for _ in range(4):
+        breaker.record(5.0, ok=True)
+    assert breaker.level() == 2
+    clock.now += 10.0
+    assert breaker.level() == 1
+    clock.now += 10.0
+    assert breaker.level() == 0
+    assert breaker.degrade("bayespc") == ("bayespc", None)
+
+
+def test_breaker_retrips_after_decay():
+    clock = Clock()
+    breaker = make_breaker(clock)
+    for _ in range(2):
+        breaker.record(5.0, ok=True)
+    clock.now += 20.0
+    assert breaker.level() == 0
+    for _ in range(2):
+        breaker.record(5.0, ok=True)
+    assert breaker.level() == 1
+    assert breaker.trips == 2
+
+
+def test_breaker_snapshot_shape():
+    breaker = make_breaker(Clock())
+    snap = breaker.snapshot()
+    assert snap["state"] == "closed"
+    breaker.record(9.0, ok=True)
+    breaker.record(9.0, ok=True)
+    snap = breaker.snapshot()
+    assert snap["state"] == "open"
+    assert snap["level"] == 1
+    assert snap["trips"] == 1
+    assert snap["total_breaches"] == 2

@@ -1,0 +1,147 @@
+"""End-to-end HTTP tests against a real ``hybrid-aara serve`` subprocess.
+
+The crown-jewel assertion lives here: a daemon sharing the batch
+harness's cache directory serves cache hits whose bounds are
+byte-identical to the batch harness's own outcome for the same
+(program, config) cell.
+"""
+
+import http.client
+import json
+import signal
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.evalharness.runner import EvalRunner, EvalTask
+
+pytestmark = pytest.mark.slow
+
+
+def request(port, method, path, body=None, headers=None, timeout=120.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw) if raw else {}, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def test_analyze_status_healthz_roundtrip(spawn_daemon):
+    proc, port = spawn_daemon("--jobs", "1")
+
+    status, health, _ = request(port, "GET", "/healthz")
+    assert status == 200
+    assert health["status"] == "ok"
+    assert health["breaker"]["state"] == "closed"
+    assert health["queue_capacity"] > 0
+
+    body = {"benchmark": "MapAppend", "method": "opt", "samples": 5, "seed": 0}
+    status, doc, _ = request(port, "POST", "/analyze?wait=1&timeout=90", body)
+    assert status == 200
+    assert doc["state"] == "done"
+    assert doc["cache_hit"] is False
+    assert doc["result"]["ok"] is True
+    assert doc["served_method"] == "opt"
+    assert doc["degraded"] is None
+
+    status, again, _ = request(port, "GET", f"/status/{doc['id']}")
+    assert status == 200
+    assert again["state"] == "done"
+    assert [e["ev"] for e in again["events"]] == [
+        "admitted", "queued", "started", "finished",
+    ]
+
+    # same request again: served from the content-addressed cache
+    status, repeat, _ = request(port, "POST", "/analyze", body)
+    assert status == 200
+    assert repeat["cache_hit"] is True
+    assert json.dumps(repeat["result"], sort_keys=True) == json.dumps(
+        doc["result"], sort_keys=True
+    )
+
+    # error surfaces
+    assert request(port, "POST", "/analyze", {"benchmark": "Nope"})[0] == 400
+    assert request(port, "GET", "/status/r999999-beef")[0] == 404
+    assert request(port, "GET", "/nowhere")[0] == 404
+    assert request(port, "GET", "/analyze")[0] == 405
+
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 75
+
+
+def test_cache_hits_are_byte_identical_to_batch_harness(tmp_path, spawn_daemon):
+    """The daemon maps requests onto the exact EvalTask the batch harness
+    builds, so a shared cache yields byte-identical bounds."""
+    cache_dir = tmp_path / "shared-cache"
+    task = EvalTask(
+        kind="analysis",
+        benchmark="Concat",
+        root_seed=0,
+        config=AnalysisConfig(num_posterior_samples=5, seed=0),
+        mode="data-driven",
+        method="opt",
+    )
+    with EvalRunner(jobs=1, cache_dir=cache_dir) as runner:
+        report = runner.run_tasks([task])
+    batch_outcome = report.outcomes[0]
+    assert batch_outcome["ok"]
+
+    proc, port = spawn_daemon("--cache-dir", str(cache_dir), cache=False)
+    body = {"benchmark": "Concat", "method": "opt", "samples": 5, "seed": 0}
+    status, doc, _ = request(port, "POST", "/analyze", body)
+    assert status == 200
+    assert doc["cache_hit"] is True, "daemon missed the batch harness's cache entry"
+    assert json.dumps(doc["result"]["result"], sort_keys=True) == json.dumps(
+        batch_outcome["result"], sort_keys=True
+    )
+
+
+def test_rate_limit_answers_429_with_retry_after(spawn_daemon):
+    _proc, port = spawn_daemon("--rate", "0.5", "--burst", "1")
+    body = {"benchmark": "MapAppend", "method": "opt", "samples": 5}
+    first = request(
+        port, "POST", "/analyze?wait=1&timeout=90", dict(body, seed=1),
+        headers={"X-Client": "greedy"},
+    )
+    assert first[0] == 200
+    status, doc, headers = request(
+        port, "POST", "/analyze", dict(body, seed=2), headers={"X-Client": "greedy"}
+    )
+    assert status == 429
+    assert "rate" in doc["error"]["message"]
+    assert int(headers["Retry-After"]) >= 1
+    # another client is unaffected (202 accepted or 200 done)
+    other = request(
+        port, "POST", "/analyze", dict(body, seed=3), headers={"X-Client": "polite"}
+    )
+    assert other[0] in (200, 202)
+
+
+def test_status_stream_emits_ndjson_events(spawn_daemon):
+    _proc, port = spawn_daemon("--jobs", "1")
+    body = {"benchmark": "MapAppend", "method": "opt", "samples": 5, "seed": 5}
+    status, doc, _ = request(port, "POST", "/analyze", body)
+    assert status in (200, 202)
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request("GET", f"/status/{doc['id']}?stream=1")
+        response = conn.getresponse()
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        lines = [json.loads(line) for line in response.read().splitlines()]
+    finally:
+        conn.close()
+    # every progress event as its own line, then a full-record summary
+    kinds = [line["ev"] for line in lines if "ev" in line]
+    assert kinds[0] == "admitted"
+    assert "finished" in kinds
+    summary = lines[-1]
+    assert summary["state"] == "done"
+    assert summary["id"] == doc["id"]

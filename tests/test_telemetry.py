@@ -332,7 +332,7 @@ class TestCLI:
         from repro.cli import main
 
         assert main(["trace", "summary", str(tmp_path)]) == 2
-        assert "no trace events" in capsys.readouterr().err
+        assert "no trace files" in capsys.readouterr().err
 
     def test_quiet_flag_suppresses_status(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main
