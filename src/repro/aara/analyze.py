@@ -21,7 +21,12 @@ from .bound import ResourceBound
 from .signatures import FunSignature
 from .typecheck import ConstraintGenerator, GenStats, StatHandler
 from .. import telemetry
-from ..errors import InfeasibleError, StaticAnalysisError, UnanalyzableError
+from ..errors import (
+    InfeasibleError,
+    ResourceLimitError,
+    StaticAnalysisError,
+    UnanalyzableError,
+)
 from ..lang import ast as A
 from ..lp import LPProblem, LPSolution, LinExpr, solve_lexicographic
 
@@ -82,10 +87,23 @@ def build_analysis(
     stat_mode: str = "handler",
     pin_root_output: bool = True,
     lp: Optional[LPProblem] = None,
+    budget=None,
 ) -> Analysis:
-    """Generate the full constraint system for ``fname`` at ``degree``."""
+    """Generate the full constraint system for ``fname`` at ``degree``.
+
+    ``budget`` (an :class:`~repro.config.ExecutionBudget`) caps the LP's
+    variable/constraint counts: adversarial recursion shapes that would
+    make constraint generation blow up raise
+    :class:`~repro.errors.ResourceLimitError` mid-build instead.
+    """
     if fname not in program:
         raise StaticAnalysisError(f"unknown function {fname!r}")
+    if lp is None and budget is not None:
+        lp = LPProblem(
+            "aara",
+            max_variables=getattr(budget, "lp_variables", None),
+            max_constraints=getattr(budget, "lp_constraints", None),
+        )
     with telemetry.span(
         "aara.build", fname=fname, degree=degree, stat_mode=stat_mode
     ) as tspan:
@@ -132,9 +150,10 @@ def analyze_program(
     stat_handler: Optional[StatHandler] = None,
     stat_mode: str = "handler",
     extra_objectives: Sequence[LinExpr] = (),
+    budget=None,
 ) -> AARAResult:
     """Build and solve in one call."""
-    analysis = build_analysis(program, fname, degree, stat_handler, stat_mode)
+    analysis = build_analysis(program, fname, degree, stat_handler, stat_mode, budget=budget)
     return solve_analysis(analysis, extra_objectives)
 
 
@@ -147,7 +166,7 @@ def analyze_program(
 class ConventionalVerdict:
     """Outcome of running purely static AARA on a benchmark program."""
 
-    status: str  # 'bound' | 'cannot-analyze' | 'infeasible' | 'unboundable'
+    status: str  # 'bound' | 'cannot-analyze' | 'infeasible' | 'unboundable' | 'resource-limit'
     bound: Optional[ResourceBound] = None
     degree: int = 0
     detail: str = ""
@@ -160,13 +179,15 @@ class ConventionalVerdict:
 
 
 def run_conventional(
-    program: A.Program, fname: str, max_degree: int = 3
+    program: A.Program, fname: str, max_degree: int = 3, budget=None
 ) -> ConventionalVerdict:
     """Try conventional AARA at degrees 1..max_degree (stat is transparent).
 
     Returns the lowest-degree feasible bound; ``cannot-analyze`` when the
     program contains statically intractable code, ``infeasible`` when no
-    tried degree admits a bound.
+    tried degree admits a bound, ``resource-limit`` when ``budget`` caps
+    the LP size and constraint generation exceeds it (an honest "the
+    analysis itself would be too expensive", not a solver failure).
 
     Before touching the LP, the recursion-shape lint pass runs over the
     reachable call graph: when it proves the LP infeasible at *every*
@@ -198,10 +219,20 @@ def run_conventional(
     first_result: Optional[AARAResult] = None
     for degree in range(1, max_degree + 1):
         try:
-            result = analyze_program(program, fname, degree, stat_mode="transparent")
+            result = analyze_program(
+                program, fname, degree, stat_mode="transparent", budget=budget
+            )
         except UnanalyzableError as exc:
             return ConventionalVerdict(
                 "cannot-analyze", detail=str(exc), runtime_seconds=time.perf_counter() - start
+            )
+        except ResourceLimitError as exc:
+            return ConventionalVerdict(
+                "resource-limit",
+                detail=str(exc),
+                degree=degree,
+                runtime_seconds=time.perf_counter() - start,
+                feasible_degrees=tuple(feasible),
             )
         except (InfeasibleError, StaticAnalysisError) as exc:
             last_detail = str(exc)

@@ -22,7 +22,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import LexError, ParseError, SourceError, TypeMismatchError
+from ..errors import (
+    LexError,
+    NestingDepthError,
+    ParseError,
+    SourceError,
+    TypeMismatchError,
+)
 
 #: severity names, most severe first (used for sorting and for --Werror)
 SEVERITIES = ("error", "warning", "note")
@@ -34,6 +40,7 @@ CODES: Dict[str, str] = {
     "R001": "lexical error",
     "R002": "syntax error",
     "R003": "type error",
+    "R004": "nesting depth limit exceeded",
     "R010": "unbound variable",
     "R011": "unknown function",
     "R012": "wrong number of arguments",
@@ -237,8 +244,10 @@ def dumps_sarif(diags: Sequence[Diagnostic]) -> str:
 # Bridging the exception hierarchy
 # ---------------------------------------------------------------------------
 
+# subclasses before their bases: the first isinstance match wins
 _SOURCE_ERROR_CODES = (
     (LexError, "R001"),
+    (NestingDepthError, "R004"),
     (ParseError, "R002"),
     (TypeMismatchError, "R003"),
 )

@@ -67,12 +67,22 @@ PASSES: Tuple[Tuple[str, Callable], ...] = (
 
 
 def lint_source(
-    source: str, path: str = "<input>", entry: Optional[str] = None
+    source: str, path: str = "<input>", entry: Optional[str] = None, budget=None
 ) -> LintResult:
-    """Run every lint pass over one program source."""
+    """Run every lint pass over one program source.
+
+    ``budget`` (an :class:`~repro.config.ExecutionBudget`) caps source
+    size, token count, and nesting depth for untrusted input; breaches
+    surface as ordinary diagnostics (R001/R004), never exceptions.
+    """
     try:
         with telemetry.span("lint.parse", path=path):
-            parsed = parse_program_ex(source)
+            parsed = parse_program_ex(
+                source,
+                max_chars=getattr(budget, "max_source_chars", None),
+                max_tokens=getattr(budget, "max_tokens", None),
+                max_depth=getattr(budget, "max_nesting_depth", None),
+            )
     except (LexError, ParseError) as exc:
         return LintResult(
             path=path, diagnostics=[from_source_error(exc, path)], source=source

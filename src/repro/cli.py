@@ -616,10 +616,36 @@ def cmd_trace(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import dataclasses
     import os
 
+    from .config import ExecutionBudget
     from .server.app import serve
     from .server.core import ServerConfig
+
+    api_keys = []
+    for pair in args.api_key or ():
+        key, sep, tenant = pair.partition("=")
+        if not sep or not key or not tenant:
+            raise ReproError(f"--api-key wants KEY=TENANT, got {pair!r}")
+        api_keys.append((key, tenant))
+    budget = ExecutionBudget.untrusted()
+    overrides = {
+        name: getattr(args, f"budget_{name}")
+        for name in (
+            "max_source_chars",
+            "max_tokens",
+            "max_nesting_depth",
+            "eval_steps",
+            "eval_call_depth",
+            "eval_value_size",
+            "lp_variables",
+            "lp_constraints",
+        )
+        if getattr(args, f"budget_{name}") is not None
+    }
+    if overrides:
+        budget = dataclasses.replace(budget, **overrides)
 
     runs_dir = args.runs_dir or os.environ.get(ENV_RUNS_DIR) or "runs"
     config = ServerConfig(
@@ -636,6 +662,11 @@ def cmd_serve(args) -> int:
         shutdown_grace=args.grace,
         cache_dir=args.cache_dir,
         runs_dir=runs_dir,
+        api_keys=tuple(api_keys),
+        quota_concurrency=args.quota_concurrency,
+        quota_cpu_seconds=args.quota_cpu_seconds,
+        quota_window=args.quota_window,
+        budget=budget,
     )
     return serve(config)
 
@@ -656,6 +687,9 @@ def cmd_loadgen(args) -> int:
         wait_timeout=args.wait_timeout,
         out=args.out,
         check=args.check,
+        hostile_dir=args.hostile,
+        hostile_fraction=args.hostile_fraction,
+        api_key=args.api_key,
     )
     report = run_loadgen(config)
     latency = report["latency_seconds"]
@@ -985,6 +1019,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"request journal root (default ${ENV_RUNS_DIR} or ./runs)",
     )
+    serve.add_argument(
+        "--api-key",
+        action="append",
+        metavar="KEY=TENANT",
+        help="accept KEY as TENANT's credential (repeatable; unset disables auth)",
+    )
+    serve.add_argument(
+        "--quota-concurrency",
+        type=int,
+        default=0,
+        help="per-tenant in-flight request cap (<= 0 disables)",
+    )
+    serve.add_argument(
+        "--quota-cpu-seconds",
+        type=float,
+        default=0.0,
+        help="per-tenant worker cpu-seconds per quota window (<= 0 disables)",
+    )
+    serve.add_argument(
+        "--quota-window",
+        type=float,
+        default=60.0,
+        help="sliding window for the cpu-second quota, in seconds",
+    )
+    budgets = serve.add_argument_group(
+        "execution budgets",
+        "caps applied to ad-hoc 'source' submissions (defaults: the "
+        "untrusted profile; registry benchmarks run unbudgeted)",
+    )
+    budgets.add_argument("--budget-max-source-chars", type=int, default=None, metavar="N")
+    budgets.add_argument("--budget-max-tokens", type=int, default=None, metavar="N")
+    budgets.add_argument("--budget-max-nesting-depth", type=int, default=None, metavar="N")
+    budgets.add_argument("--budget-eval-steps", type=int, default=None, metavar="N")
+    budgets.add_argument("--budget-eval-call-depth", type=int, default=None, metavar="N")
+    budgets.add_argument("--budget-eval-value-size", type=int, default=None, metavar="N")
+    budgets.add_argument("--budget-lp-variables", type=int, default=None, metavar="N")
+    budgets.add_argument("--budget-lp-constraints", type=int, default=None, metavar="N")
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser(
@@ -1027,6 +1098,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="exit 2 unless every request reached a terminal response",
+    )
+    loadgen.add_argument(
+        "--hostile",
+        default=None,
+        metavar="DIR",
+        help="mix in programs from DIR as raw 'source' submissions",
+    )
+    loadgen.add_argument(
+        "--hostile-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of arrivals drawn from the hostile corpus",
+    )
+    loadgen.add_argument(
+        "--api-key", default=None, help="X-Api-Key header for every request"
     )
     loadgen.set_defaults(func=cmd_loadgen)
 

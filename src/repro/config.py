@@ -50,6 +50,56 @@ class BayesPCConfig:
 
 
 @dataclass(frozen=True)
+class ExecutionBudget:
+    """Resource caps for analyzing untrusted program source.
+
+    Every stage that executes or elaborates user source (lexer, parser,
+    interpreter, constraint generation, LP) consults its cap; ``None``
+    disables that cap (the trusted-suite default).  Budgets can only
+    *abort* an analysis — they never change what a successful analysis
+    computes — so they are execution knobs, excluded from result-cache
+    keys alongside ``jobs``/``task_timeout``.
+    """
+
+    #: lexer: maximum source length in characters
+    max_source_chars: Optional[int] = None
+    #: lexer: maximum number of tokens produced
+    max_tokens: Optional[int] = None
+    #: parser: maximum expression/pattern nesting depth
+    max_nesting_depth: Optional[int] = None
+    #: interpreter: maximum eval steps per top-level run (fuel)
+    eval_steps: Optional[int] = None
+    #: interpreter: maximum user-function call depth
+    eval_call_depth: Optional[int] = None
+    #: interpreter: maximum constructed value size (list/tuple cells)
+    eval_value_size: Optional[int] = None
+    #: LP: maximum declared variables
+    lp_variables: Optional[int] = None
+    #: LP: maximum registered constraints
+    lp_constraints: Optional[int] = None
+
+    @classmethod
+    def untrusted(cls) -> "ExecutionBudget":
+        """Tight defaults for source submitted by unauthenticated tenants.
+
+        Generous enough that every suite benchmark analyzes unchanged
+        (verified by the source↔benchmark equivalence tests), tight
+        enough that the hostile corpus terminates in well under a second
+        per stage.
+        """
+        return cls(
+            max_source_chars=256_000,
+            max_tokens=100_000,
+            max_nesting_depth=100,
+            eval_steps=2_000_000,
+            eval_call_depth=10_000,
+            eval_value_size=1_000_000,
+            lp_variables=200_000,
+            lp_constraints=200_000,
+        )
+
+
+@dataclass(frozen=True)
 class AnalysisConfig:
     """Everything one analysis run needs besides program + data."""
 
@@ -76,6 +126,10 @@ class AnalysisConfig:
     task_timeout: Optional[float] = None
     #: False aborts the whole run on the first failed cell (--fail-fast)
     keep_going: bool = True
+    #: resource caps for untrusted source (None = uncapped trusted path).
+    #: An execution knob like the others: budgets abort, never alter, a
+    #: successful analysis, and aborted (non-ok) outcomes are never cached.
+    budget: Optional[ExecutionBudget] = None
 
     def with_(self, **kwargs) -> "AnalysisConfig":
         return replace(self, **kwargs)

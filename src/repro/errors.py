@@ -38,12 +38,32 @@ class ParseError(SourceError):
     """Raised when the parser cannot build an AST."""
 
 
+class NestingDepthError(ParseError):
+    """Raised when a program nests expressions or patterns deeper than the
+    parser's depth cap.  A :class:`ParseError` subclass so existing callers
+    keep working, but distinguishable so the linter can render it as its
+    own diagnostic (R004) instead of a generic syntax error."""
+
+
 class TypeMismatchError(SourceError):
     """Raised by the simple type checker for ill-typed programs."""
 
 
 class EvalError(ReproError):
     """Raised by the interpreter (e.g. ``error`` builtin, bad application)."""
+
+
+class BudgetExceededError(EvalError):
+    """Raised when an interpreter run exhausts its execution budget
+    (step fuel, call depth, or constructed-value size).
+
+    Carries which cap tripped so failure reports can say *why* a hostile
+    run was aborted, not just that it was."""
+
+    def __init__(self, message: str, kind: str = "steps", limit: int | None = None):
+        self.kind = kind  # 'steps' | 'call-depth' | 'value-size'
+        self.limit = limit
+        super().__init__(message)
 
 
 class StaticAnalysisError(ReproError):
@@ -81,6 +101,18 @@ class UnanalyzableError(StaticAnalysisError):
 
 class InfeasibleError(StaticAnalysisError):
     """The AARA linear program has no solution at the requested degree."""
+
+
+class ResourceLimitError(StaticAnalysisError):
+    """Constraint generation exceeded the configured LP size budget
+    (variables/constraints).  An honest "the analysis itself would be too
+    expensive" verdict for adversarial recursion shapes, reported as the
+    ``resource-limit`` status rather than an infeasibility or a crash."""
+
+    def __init__(self, message: str, kind: str = "variables", limit: int | None = None):
+        self.kind = kind  # 'variables' | 'constraints'
+        self.limit = limit
+        super().__init__(message)
 
 
 class LPError(ReproError):
@@ -124,6 +156,8 @@ def failure_stage(exc: BaseException) -> str:
         return "lint"
     if isinstance(exc, IRVerificationError):
         return "normalize"
+    if isinstance(exc, ResourceLimitError):
+        return "resource-limit"
     if isinstance(exc, StaticAnalysisError):
         return "static"
     if isinstance(exc, DatasetError):
@@ -132,6 +166,8 @@ def failure_stage(exc: BaseException) -> str:
         return "inference"
     if isinstance(exc, SourceError):
         return "frontend"
+    if isinstance(exc, BudgetExceededError):
+        return "eval-budget"
     if isinstance(exc, EvalError):
         return "eval"
     if isinstance(exc, ReproError):

@@ -125,6 +125,13 @@ class EvalTask:
     mode: Optional[str] = None  # analysis tasks only
     method: Optional[str] = None  # analysis tasks only
     conventional_max_degree: int = 3
+    #: ad-hoc source tasks (untrusted-source path): when ``source`` is
+    #: set, ``benchmark`` is the synthetic content address ``user:<sha12>``
+    #: and the worker builds a spec from the source itself (see
+    #: :mod:`repro.evalharness.adhoc`) instead of the suite registry
+    source: Optional[str] = None
+    entry: Optional[str] = None
+    degree: Optional[int] = None
 
     @property
     def task_id(self) -> str:
@@ -191,7 +198,7 @@ _DATASET_CACHE: Dict[Tuple[str, str, int], object] = {}
 _LINT_CACHE: Dict[Tuple[str, str], object] = {}
 
 
-def _lint_guard(spec, mode: str) -> None:
+def _lint_guard(spec, mode: str, budget=None) -> None:
     """Reject programs with lint *errors* before compiling them.
 
     Memoized alongside the program cache; boundability predictions
@@ -201,13 +208,19 @@ def _lint_guard(spec, mode: str) -> None:
     """
     from ..analysis import lint_source
 
-    key = (spec.name, mode)
+    key = (spec.name, mode, budget)
     with telemetry.span(
         "lint.guard", benchmark=spec.name, mode=mode, cached=key in _LINT_CACHE
     ):
         if key not in _LINT_CACHE:
             source, entry = _mode_variant(spec, mode)
-            result = lint_source(source, path=f"{spec.name}/{mode}", entry=entry)
+            path = f"{spec.name}/{mode}"
+            if budget is None:
+                # three-arg call when unbudgeted: tests stub lint_source
+                # with a (source, path, entry) callable
+                result = lint_source(source, path=path, entry=entry)
+            else:
+                result = lint_source(source, path=path, entry=entry, budget=budget)
             _LINT_CACHE[key] = result
     result = _LINT_CACHE[key]
     fatal = [d for d in result.errors() if d.code not in ("R042", "R043")]
@@ -220,6 +233,22 @@ def _lint_guard(spec, mode: str) -> None:
         )
 
 
+#: worker-local ad-hoc spec memo: (source digest, entry, degree, budget)
+_ADHOC_CACHE: Dict[Tuple, object] = {}
+
+
+def _adhoc_spec_cached(task: "EvalTask"):
+    """Build (and memoize) the synthetic spec for a source task."""
+    from .adhoc import adhoc_spec, source_digest
+
+    key = (source_digest(task.source), task.entry, task.degree, task.config.budget)
+    if key not in _ADHOC_CACHE:
+        _ADHOC_CACHE[key] = adhoc_spec(
+            task.source, task.entry, degree=task.degree, budget=task.config.budget
+        )
+    return _ADHOC_CACHE[key]
+
+
 def _mode_variant(spec, mode: str) -> Tuple[str, str]:
     if mode == "hybrid":
         if spec.hybrid_source is None:
@@ -228,10 +257,10 @@ def _mode_variant(spec, mode: str) -> Tuple[str, str]:
     return spec.data_driven_source, spec.data_driven_entry
 
 
-def _compiled_program(spec, mode: str):
+def _compiled_program(spec, mode: str, budget=None):
     from ..lang import compile_program
 
-    key = (spec.name, mode)
+    key = (spec.name, mode, budget)
     # the span is emitted even on a memo hit (dur ≈ 0, cached=True) so
     # every cell's trace shows the full stage pipeline, not just the
     # first cell each worker happened to compile for
@@ -239,25 +268,30 @@ def _compiled_program(spec, mode: str):
         "lang.compile", benchmark=spec.name, mode=mode, cached=key in _PROGRAM_CACHE
     ):
         if key not in _PROGRAM_CACHE:
-            _lint_guard(spec, mode)
+            # positional two-arg call when unbudgeted: tests stub the
+            # guard with a (spec, mode) callable
+            if budget is None:
+                _lint_guard(spec, mode)
+            else:
+                _lint_guard(spec, mode, budget=budget)
             source, _entry = _mode_variant(spec, mode)
-            _PROGRAM_CACHE[key] = compile_program(source)
+            _PROGRAM_CACHE[key] = compile_program(source, budget=budget)
     return _PROGRAM_CACHE[key]
 
 
-def _mode_dataset(spec, mode: str, root_seed: int):
+def _mode_dataset(spec, mode: str, root_seed: int, budget=None):
     from ..inference import collect_dataset
 
-    key = (spec.name, mode, root_seed)
+    key = (spec.name, mode, root_seed, budget)
     with telemetry.span(
         "data.dataset", benchmark=spec.name, mode=mode, cached=key in _DATASET_CACHE
     ):
         if key not in _DATASET_CACHE:
             rng = np.random.default_rng(input_seed(root_seed, spec.name))
             inputs = spec.inputs(rng)
-            program = _compiled_program(spec, mode)
+            program = _compiled_program(spec, mode, budget=budget)
             _source, entry = _mode_variant(spec, mode)
-            _DATASET_CACHE[key] = collect_dataset(program, entry, inputs)
+            _DATASET_CACHE[key] = collect_dataset(program, entry, inputs, budget=budget)
     return _DATASET_CACHE[key]
 
 
@@ -346,13 +380,16 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
         # not like a recorded per-cell analysis error
         faultinject.fault_point(faultinject.WORKER_CRASH, task.task_id)
         faultinject.fault_point(faultinject.WORKER_HANG, task.task_id)
+        budget = task.config.budget
         try:
-            spec = get_benchmark(task.benchmark)
+            if task.source is not None:
+                spec = _adhoc_spec_cached(task)
+            else:
+                spec = get_benchmark(task.benchmark)
             if task.kind == "conventional":
                 from ..aara.analyze import run_conventional
-                from ..lang import compile_program
 
-                program = _compiled_program(spec, "data-driven")
+                program = _compiled_program(spec, "data-driven", budget=budget)
                 with telemetry.span(
                     "static.verdict",
                     benchmark=task.benchmark,
@@ -362,6 +399,7 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
                         program,
                         spec.data_driven_entry,
                         max_degree=task.conventional_max_degree,
+                        budget=budget,
                     )
                 outcome["verdict"] = _verdict_to_json(verdict)
                 outcome["ok"] = True
@@ -369,8 +407,8 @@ def execute_task(task: EvalTask) -> Dict[str, Any]:
                 from ..inference import run_analysis
                 from ..inference.serialize import result_to_json
 
-                program = _compiled_program(spec, task.mode)
-                dataset = _mode_dataset(spec, task.mode, task.root_seed)
+                program = _compiled_program(spec, task.mode, budget=budget)
+                dataset = _mode_dataset(spec, task.mode, task.root_seed, budget=budget)
                 _source, entry = _mode_variant(spec, task.mode)
                 mode_config = spec.config(task.config, hybrid=(task.mode == "hybrid"))
                 rng = np.random.default_rng(task.seed)
@@ -423,6 +461,10 @@ def _config_signature(config: AnalysisConfig) -> Dict[str, Any]:
     signature.pop("cache_dir", None)
     signature.pop("task_timeout", None)
     signature.pop("keep_going", None)
+    # budgets only abort an analysis, never change what a successful one
+    # computes — and aborted (non-ok) outcomes are never cached — so a
+    # budgeted source submission can share its entry with the batch harness
+    signature.pop("budget", None)
     return signature
 
 
@@ -477,6 +519,8 @@ class ResultCache:
     def key(self, task: EvalTask) -> str:
         from ..suite import get_benchmark
 
+        if task.source is not None:
+            return self._adhoc_key(task)
         spec = get_benchmark(task.benchmark)
         payload: Dict[str, Any] = {
             "cache_version": CACHE_VERSION,
@@ -501,6 +545,42 @@ class ResultCache:
                 config=_config_signature(mode_config),
                 data_sizes=list(spec.data_sizes),
                 repetitions=spec.repetitions,
+                input_seed=input_seed(task.root_seed, task.benchmark),
+                method_seed=task.seed,
+            )
+        blob = json.dumps(payload, sort_keys=True, default=str).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _adhoc_key(self, task: EvalTask) -> str:
+        """Key for a source task: normalized source replaces registry spec.
+
+        The data-collection protocol constants live in the payload so
+        changing them invalidates exactly the ad-hoc entries.
+        """
+        from .adhoc import (
+            ADHOC_DATA_SIZES,
+            ADHOC_DEFAULT_DEGREE,
+            ADHOC_REPETITIONS,
+            normalize_source,
+        )
+
+        payload: Dict[str, Any] = {
+            "cache_version": CACHE_VERSION,
+            "kind": task.kind,
+            "benchmark": task.benchmark,
+            "source": normalize_source(task.source),
+            "entry": task.entry,
+        }
+        if task.kind == "conventional":
+            payload.update(max_degree=task.conventional_max_degree)
+        else:
+            payload.update(
+                mode=task.mode,
+                method=task.method,
+                degree=ADHOC_DEFAULT_DEGREE if task.degree is None else task.degree,
+                config=_config_signature(task.config),
+                data_sizes=list(ADHOC_DATA_SIZES),
+                repetitions=ADHOC_REPETITIONS,
                 input_seed=input_seed(task.root_seed, task.benchmark),
                 method_seed=task.seed,
             )

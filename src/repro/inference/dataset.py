@@ -134,14 +134,26 @@ def collect_dataset(
     program: A.Program,
     fname: str,
     inputs: Sequence[Sequence[Value]],
+    budget=None,
 ) -> RuntimeDataset:
     """Run ``fname`` over all input vectors and collect stat measurements.
 
     This is the data-collection judgment of Eq. (3.3): independent
     executions sweeping through the environments, collecting one
     measurement per dynamic evaluation of each statℓ subexpression.
+
+    ``budget`` (an :class:`~repro.config.ExecutionBudget`) fuels each run:
+    one hostile execution raises
+    :class:`~repro.errors.BudgetExceededError`, aborting this *cell* with
+    ``failure_stage='eval-budget'`` — the worker process survives.
     """
-    interp = Interpreter(program, collect_stats=True)
+    interp = Interpreter(
+        program,
+        collect_stats=True,
+        max_steps=getattr(budget, "eval_steps", None),
+        max_call_depth=getattr(budget, "eval_call_depth", None),
+        max_value_size=getattr(budget, "eval_value_size", None),
+    )
     dataset = RuntimeDataset()
     with telemetry.span("data.collect", fname=fname, runs=len(inputs)) as tspan:
         for args in inputs:

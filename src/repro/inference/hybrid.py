@@ -186,7 +186,9 @@ def run_opt(
     start = time.perf_counter()
     collector = SiteCollector()
     handler = make_data_handler(dataset, collector, cost_mode="const")
-    analysis = build_analysis(program, fname, config.degree, stat_handler=handler)
+    analysis = build_analysis(
+        program, fname, config.degree, stat_handler=handler, budget=config.budget
+    )
     result = solve_analysis(
         analysis,
         extra_objectives=[collector.gap_objective],
@@ -222,7 +224,9 @@ def run_bayeswc(
 
     collector = SiteCollector()
     handler = make_data_handler(dataset, collector, cost_mode="wvar")
-    analysis = build_analysis(program, fname, config.degree, stat_handler=handler)
+    analysis = build_analysis(
+        program, fname, config.degree, stat_handler=handler, budget=config.budget
+    )
     objectives = [collector.gap_objective] + analysis.root_objectives(config.objective)
 
     # survival inference per label actually used by the analysis
@@ -298,7 +302,9 @@ def run_bayespc(
     # First pass: conventional AARA + H:Opt => constraint set C0 (Fig. 3b)
     collector = SiteCollector()
     handler = make_data_handler(dataset, collector, cost_mode="const")
-    analysis = build_analysis(program, fname, config.degree, stat_handler=handler)
+    analysis = build_analysis(
+        program, fname, config.degree, stat_handler=handler, budget=config.budget
+    )
 
     # Preliminary Opt solve: feasibility check + empirical Bayes (App. B)
     opt_solution = solve_lexicographic(

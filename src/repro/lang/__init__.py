@@ -22,9 +22,18 @@ from .types import typecheck_program
 from .values import from_python, to_python
 
 
-def compile_program(source: str) -> ast.Program:
-    """Parse, share-let-normalize, and type-check a program."""
-    program = parse_program(source)
+def compile_program(source: str, budget=None) -> ast.Program:
+    """Parse, share-let-normalize, and type-check a program.
+
+    ``budget`` (an :class:`~repro.config.ExecutionBudget`) caps the
+    front end for untrusted source; ``None`` keeps the trusted path.
+    """
+    program = parse_program(
+        source,
+        max_chars=getattr(budget, "max_source_chars", None),
+        max_tokens=getattr(budget, "max_tokens", None),
+        max_depth=getattr(budget, "max_nesting_depth", None),
+    )
     program = normalize_program(program)
     return typecheck_program(program)
 

@@ -18,9 +18,14 @@ from typing import Dict, List, Optional, Tuple
 from . import ast as A
 from .builtins import BUILTINS
 from .values import UNIT_VALUE, VInl, VInr, VList, VTuple, Value
-from ..errors import EvalError
+from ..errors import BudgetExceededError, EvalError
 
 RECURSION_LIMIT = 100_000
+
+#: integer bit-length cap while a value-size budget is active: arithmetic
+#: like ``f (x * x)`` squares magnitudes, doubling the bit length every
+#: step, so a step budget alone cannot stop the memory blowup
+INT_BIT_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -71,12 +76,26 @@ def _trunc_mod(a: int, b: int) -> int:
 class Interpreter:
     """Evaluates normalized programs under the tick cost metric."""
 
-    def __init__(self, program: A.Program, collect_stats: bool = True):
+    def __init__(
+        self,
+        program: A.Program,
+        collect_stats: bool = True,
+        max_steps: Optional[int] = None,
+        max_call_depth: Optional[int] = None,
+        max_value_size: Optional[int] = None,
+    ):
         self.program = program
         self.collect_stats = collect_stats
         self.cost = 0.0
         self.records: List[StatRecord] = []
         self._stat_free_vars: Dict[int, frozenset] = {}
+        #: fuel budgets for untrusted programs (None = uncapped): step
+        #: fuel and call depth are per-:meth:`run`, value size per value
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self.max_value_size = max_value_size
+        self._fuel: Optional[int] = None
+        self._call_depth = 0
         #: lifetime work counters (not reset by :meth:`run`) — cheap enough
         #: to keep unconditionally; surfaced as telemetry by collect_dataset
         self.eval_steps = 0
@@ -95,6 +114,8 @@ class Interpreter:
             )
         self.cost = 0.0
         self.records = []
+        self._fuel = self.max_steps
+        self._call_depth = 0
         with _deep_recursion():
             frame = dict(zip(fdef.params, args))
             value = self.eval(fdef.body, frame)
@@ -104,6 +125,14 @@ class Interpreter:
 
     def eval(self, expr: A.Expr, env: Dict[str, Value]) -> Value:
         self.eval_steps += 1
+        if self._fuel is not None:
+            self._fuel -= 1
+            if self._fuel < 0:
+                raise BudgetExceededError(
+                    f"evaluation exceeded the {self.max_steps}-step budget",
+                    kind="steps",
+                    limit=self.max_steps,
+                )
         if isinstance(expr, A.Var):
             try:
                 return env[expr.name]
@@ -128,6 +157,15 @@ class Interpreter:
             tail = self.eval(expr.tail, env)
             if not isinstance(tail, VList):
                 raise EvalError("cons onto a non-list")
+            if (
+                self.max_value_size is not None
+                and len(tail.items) + 1 > self.max_value_size
+            ):
+                raise BudgetExceededError(
+                    f"constructed value exceeds the {self.max_value_size}-cell budget",
+                    kind="value-size",
+                    limit=self.max_value_size,
+                )
             return VList((head,) + tail.items)
         if isinstance(expr, A.TupleExpr):
             return VTuple(tuple(self.eval(e, env) for e in expr.items))
@@ -201,6 +239,17 @@ class Interpreter:
             return bool(self.eval(expr.right, env))
         left = self.eval(expr.left, env)
         right = self.eval(expr.right, env)
+        if op in ("+", "-", "*") and self.max_value_size is not None:
+            if (
+                isinstance(left, int)
+                and isinstance(right, int)
+                and max(left.bit_length(), right.bit_length()) > INT_BIT_LIMIT
+            ):
+                raise BudgetExceededError(
+                    f"integer operand exceeds the {INT_BIT_LIMIT}-bit budget",
+                    kind="value-size",
+                    limit=INT_BIT_LIMIT,
+                )
         if op == "+":
             return left + right
         if op == "-":
@@ -230,7 +279,21 @@ class Interpreter:
         if expr.fname in self.program:
             fdef = self.program[expr.fname]
             frame = dict(zip(fdef.params, args))
-            return self.eval(fdef.body, frame)
+            self._call_depth += 1
+            if (
+                self.max_call_depth is not None
+                and self._call_depth > self.max_call_depth
+            ):
+                self._call_depth -= 1
+                raise BudgetExceededError(
+                    f"call depth exceeds the {self.max_call_depth}-frame budget",
+                    kind="call-depth",
+                    limit=self.max_call_depth,
+                )
+            try:
+                return self.eval(fdef.body, frame)
+            finally:
+                self._call_depth -= 1
         if expr.fname in BUILTINS:
             return BUILTINS[expr.fname].impl(*args)
         raise EvalError(f"unknown function {expr.fname!r}")

@@ -74,8 +74,31 @@ class Token:
         return f"Token({self.kind},{self.text!r}@{self.line}:{self.col})"
 
 
-def tokenize(source: str) -> List[Token]:
-    """Tokenize ``source``; raises :class:`LexError` on invalid input."""
+#: default input-size caps: ``None`` = uncapped (the trusted-suite path).
+#: Untrusted callers pass explicit caps from an ``ExecutionBudget``.
+DEFAULT_MAX_CHARS: Optional[int] = None
+DEFAULT_MAX_TOKENS: Optional[int] = None
+
+
+def tokenize(
+    source: str,
+    max_chars: Optional[int] = DEFAULT_MAX_CHARS,
+    max_tokens: Optional[int] = DEFAULT_MAX_TOKENS,
+) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on invalid input.
+
+    ``max_chars``/``max_tokens`` bound untrusted input before any later
+    stage sees it: oversized source or a token bomb is rejected with an
+    ordinary :class:`LexError` (rendered as R001 by the linter), never a
+    memory blowup.
+    """
+    if max_chars is not None and len(source) > max_chars:
+        raise LexError(
+            f"source too large: {len(source)} characters exceeds the "
+            f"{max_chars}-character budget",
+            1,
+            1,
+        )
     tokens: List[Token] = []
     i = 0
     line = 1
@@ -93,6 +116,12 @@ def tokenize(source: str) -> List[Token]:
             i += 1
 
     while i < n:
+        if max_tokens is not None and len(tokens) >= max_tokens:
+            raise LexError(
+                f"token budget exceeded: more than {max_tokens} tokens",
+                line,
+                col,
+            )
         ch = source[i]
         # whitespace
         if ch in " \t\r\n":

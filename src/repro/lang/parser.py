@@ -14,13 +14,28 @@ pattern-matrix algorithm).
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
 from . import ast as A
 from .builtins import is_builtin
 from .lexer import Token, tokenize
-from ..errors import ParseError
+from ..errors import NestingDepthError, ParseError
+
+#: default expression/pattern nesting-depth cap.  Always finite: unbounded
+#: nesting used to escape as a raw Python ``RecursionError``; now it is a
+#: :class:`NestingDepthError` (R004) at a depth no real program reaches.
+#: List-literal sugar (``[a; b; …]`` desugars to nested cons) charges one
+#: level per element, so the cap also bounds the depth of the AST handed
+#: to normalize/typecheck, whose recursion would otherwise be unbounded.
+DEFAULT_MAX_DEPTH = 400
+
+#: Python stack frames consumed per counted nesting level (the full
+#: precedence chain parse_expr→…→parse_atom is ~12 frames), used to size
+#: the temporary recursion-limit raise while parsing.
+_FRAMES_PER_LEVEL = 32
 
 # ---------------------------------------------------------------------------
 # Patterns (surface only; compiled away before the AST leaves this module)
@@ -281,17 +296,61 @@ def _branch_sum(idx: int, var: str, matrix, fresh: "_FreshNames", pos, record=No
 
 
 class Parser:
-    def __init__(self, source: str):
-        self.tokens = tokenize(source)
+    def __init__(
+        self,
+        source: str,
+        max_chars: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+        max_depth: Optional[int] = None,
+    ):
+        self.tokens = tokenize(source, max_chars=max_chars, max_tokens=max_tokens)
         self.pos = 0
         self.fresh = _FreshNames()
         self.current_fun: Optional[str] = None
         self.stat_counter = 0
+        self.max_depth = DEFAULT_MAX_DEPTH if max_depth is None else max_depth
+        self.depth = 0
         #: every surface match / let-pattern, for the lint passes
         self.match_records: List[MatchRecord] = []
         #: top-level definitions in source order (duplicates preserved;
         #: ``A.Program`` keeps only the last one per name)
         self.functions: List[A.FunDef] = []
+
+    # -- nesting budget -----------------------------------------------------
+
+    @contextmanager
+    def _nest(self, levels: int = 1):
+        """Charge ``levels`` against the nesting budget for this scope."""
+        self.depth += levels
+        if self.depth > self.max_depth:
+            tok = self.peek()
+            raise NestingDepthError(
+                f"nesting depth exceeds the {self.max_depth}-level budget",
+                tok.line,
+                tok.col,
+            )
+        try:
+            yield
+        finally:
+            self.depth -= levels
+
+    @contextmanager
+    def _parse_stack(self):
+        """Raise the interpreter recursion limit to fit ``max_depth`` levels.
+
+        The cap, not the Python stack, must be what stops deep nesting —
+        otherwise the diagnostic depends on how many frames the host
+        happens to allow.
+        """
+        old = sys.getrecursionlimit()
+        # pattern-matrix compilation recurses once per pattern constructor,
+        # which is bounded by token count rather than nesting depth
+        need = self.max_depth * _FRAMES_PER_LEVEL + 8 * len(self.tokens) + 2000
+        sys.setrecursionlimit(max(old, need))
+        try:
+            yield
+        finally:
+            sys.setrecursionlimit(old)
 
     # -- token helpers ------------------------------------------------------
 
@@ -328,12 +387,13 @@ class Parser:
     # -- program ------------------------------------------------------------
 
     def parse_program(self) -> A.Program:
-        while not self.at("eof"):
-            if self.at_keyword("exception"):
-                self.next()
-                self.expect("ident")
-                continue
-            self.functions.append(self.parse_fundef())
+        with self._parse_stack():
+            while not self.at("eof"):
+                if self.at_keyword("exception"):
+                    self.next()
+                    self.expect("ident")
+                    continue
+                self.functions.append(self.parse_fundef())
         if not self.functions:
             raise ParseError("empty program")
         return A.Program(self.functions)
@@ -432,14 +492,16 @@ class Parser:
     # -- patterns -----------------------------------------------------------
 
     def parse_pattern(self):
-        pat = self.parse_pattern_cons()
+        with self._nest():
+            pat = self.parse_pattern_cons()
         return pat
 
     def parse_pattern_cons(self):
         head = self.parse_pattern_atom()
         if self.at_symbol("::"):
             self.next()
-            tail = self.parse_pattern_cons()
+            with self._nest():
+                tail = self.parse_pattern_cons()
             return PCons(head, tail)
         return head
 
@@ -451,9 +513,11 @@ class Parser:
         if self.at("ident"):
             name = self.next().text
             if name == "Left":
-                return PInl(self.parse_pattern_atom())
+                with self._nest():
+                    return PInl(self.parse_pattern_atom())
             if name == "Right":
-                return PInr(self.parse_pattern_atom())
+                with self._nest():
+                    return PInr(self.parse_pattern_atom())
             return PVar(name)
         if self.at_symbol("["):
             self.next()
@@ -464,6 +528,8 @@ class Parser:
                     self.next()
                     items.append(self.parse_pattern())
             self.expect("symbol", "]")
+            # the sugar desugars to one cons per element: charge its depth
+            self._charge_chain(len(items), tok)
             pat = PNil()
             for item in reversed(items):
                 pat = PCons(item, pat)
@@ -483,9 +549,22 @@ class Parser:
             return PTuple(tuple(items))
         raise ParseError(f"expected pattern, found {tok.text!r}", tok.line, tok.col)
 
+    def _charge_chain(self, length: int, tok: Token) -> None:
+        """Reject list sugar whose desugared cons chain would breach the cap."""
+        if self.depth + length > self.max_depth:
+            raise NestingDepthError(
+                f"nesting depth exceeds the {self.max_depth}-level budget",
+                tok.line,
+                tok.col,
+            )
+
     # -- expressions --------------------------------------------------------
 
     def parse_expr(self) -> A.Expr:
+        with self._nest():
+            return self._parse_expr()
+
+    def _parse_expr(self) -> A.Expr:
         pos = self.here()
         if self.at_keyword("let"):
             return self.parse_let()
@@ -601,7 +680,8 @@ class Parser:
         if self.at_symbol("::"):
             pos = self.here()
             self.next()
-            tail = self.parse_cons()
+            with self._nest():
+                tail = self.parse_cons()
             return A.Cons(head, tail, pos=pos)
         return head
 
@@ -627,13 +707,15 @@ class Parser:
         pos = self.here()
         if self.at_symbol("-"):
             self.next()
-            operand = self.parse_unary()
+            with self._nest():
+                operand = self.parse_unary()
             if isinstance(operand, A.IntLit):
                 return A.IntLit(-operand.value, pos=pos)
             return A.Neg("-", operand, pos=pos)
         if self.at_keyword("not"):
             self.next()
-            operand = self.parse_unary()
+            with self._nest():
+                operand = self.parse_unary()
             return A.Neg("not", operand, pos=pos)
         return self.parse_app()
 
@@ -719,6 +801,8 @@ class Parser:
                     self.next()
                     items.append(self.parse_expr())
             self.expect("symbol", "]")
+            # the sugar desugars to one cons per element: charge its depth
+            self._charge_chain(len(items), tok)
             expr: A.Expr = A.Nil(pos=pos)
             for item in reversed(items):
                 expr = A.Cons(item, expr, pos=pos)
@@ -754,14 +838,26 @@ class ParseResult:
     match_records: List[MatchRecord]
 
 
-def parse_program(source: str) -> A.Program:
+def parse_program(
+    source: str,
+    max_chars: Optional[int] = None,
+    max_tokens: Optional[int] = None,
+    max_depth: Optional[int] = None,
+) -> A.Program:
     """Parse a whole program from source text."""
-    return Parser(source).parse_program()
+    return Parser(
+        source, max_chars=max_chars, max_tokens=max_tokens, max_depth=max_depth
+    ).parse_program()
 
 
-def parse_program_ex(source: str) -> ParseResult:
+def parse_program_ex(
+    source: str,
+    max_chars: Optional[int] = None,
+    max_tokens: Optional[int] = None,
+    max_depth: Optional[int] = None,
+) -> ParseResult:
     """Parse a whole program, keeping the lint-facing side channel."""
-    parser = Parser(source)
+    parser = Parser(source, max_chars=max_chars, max_tokens=max_tokens, max_depth=max_depth)
     program = parser.parse_program()
     return ParseResult(program, parser.functions, parser.match_records)
 
@@ -770,7 +866,8 @@ def parse_expr(source: str) -> A.Expr:
     """Parse a single expression (test helper)."""
     parser = Parser(source)
     parser.current_fun = "main"
-    expr = parser.parse_expr()
+    with parser._parse_stack():
+        expr = parser.parse_expr()
     tok = parser.peek()
     if tok.kind != "eof":
         raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.col)

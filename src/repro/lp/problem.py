@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .expr import LinExpr, as_expr
-from ..errors import LPError
+from ..errors import LPError, ResourceLimitError
 
 
 @dataclass
@@ -41,11 +41,21 @@ class Constraint:
 class LPProblem:
     """A collection of non-negative variables and linear constraints."""
 
-    def __init__(self, name: str = "lp"):
+    def __init__(
+        self,
+        name: str = "lp",
+        max_variables: Optional[int] = None,
+        max_constraints: Optional[int] = None,
+    ):
         self.name = name
         self.constraints: List[Constraint] = []
         self._vars: Dict[str, int] = {}
         self._counter = itertools.count()
+        #: size budget for untrusted programs (None = uncapped): constraint
+        #: generation on adversarial recursion shapes can go quadratic or
+        #: worse, so the guard trips *while building*, before any solve
+        self.max_variables = max_variables
+        self.max_constraints = max_constraints
         #: cached to_matrices() result; the per-posterior-sample LP loops of
         #: BayesWC/BayesPC re-solve the same problem with different pinned
         #: bounds, so matrix assembly must not be repeated M times
@@ -60,6 +70,12 @@ class LPProblem:
 
     def declare(self, name: str) -> None:
         if name not in self._vars:
+            if self.max_variables is not None and len(self._vars) >= self.max_variables:
+                raise ResourceLimitError(
+                    f"LP exceeds the {self.max_variables}-variable budget",
+                    kind="variables",
+                    limit=self.max_variables,
+                )
             self._vars[name] = len(self._vars)
             self._matrix_cache = None
 
@@ -91,6 +107,15 @@ class LPProblem:
         return con
 
     def _register(self, con: Constraint) -> None:
+        if (
+            self.max_constraints is not None
+            and len(self.constraints) >= self.max_constraints
+        ):
+            raise ResourceLimitError(
+                f"LP exceeds the {self.max_constraints}-constraint budget",
+                kind="constraints",
+                limit=self.max_constraints,
+            )
         self.declare_expr(con.lhs)
         self.declare_expr(con.rhs)
         self.constraints.append(con)
@@ -103,7 +128,7 @@ class LPProblem:
         self.constraints.extend(other.constraints)
 
     def copy(self) -> "LPProblem":
-        clone = LPProblem(self.name)
+        clone = LPProblem(self.name, self.max_variables, self.max_constraints)
         clone._vars = dict(self._vars)
         clone._counter = itertools.count(next(self._counter))
         clone.constraints = list(self.constraints)

@@ -88,6 +88,135 @@ class TokenBucketTable:
             return bucket.acquire(now)
 
 
+class TenantQuotas:
+    """Per-tenant concurrency and cpu-second quotas.
+
+    Two independent limits, both disabled when ``<= 0``:
+
+    * ``max_concurrent`` — in-flight (queued or running) requests per
+      tenant.  Acquired at admission, released at every terminal state,
+      so a tenant that floods the daemon queues behind itself instead of
+      starving everyone else's workers.
+    * ``cpu_seconds`` per sliding ``window`` — worker wall-clock charged
+      *after* each request finishes (post-hoc accounting: admission is
+      optimistic, the bill lands on the next request).  A tenant over
+      its window budget is shed with a ``Retry-After`` telling it when
+      the oldest charge rolls out of the window.
+
+    The clock is injectable so chaos tests can drive the window without
+    sleeping.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 0,
+        cpu_seconds: float = 0.0,
+        window: float = 60.0,
+        clock=time.monotonic,
+    ):
+        self.max_concurrent = int(max_concurrent)
+        self.cpu_seconds = float(cpu_seconds)
+        self.window = float(window)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._in_flight: Dict[str, int] = {}
+        #: per-tenant deque of (charge-time, seconds) inside the window
+        self._charges: Dict[str, deque] = {}
+        self.shed_concurrency = 0
+        self.shed_cpu = 0
+
+    def enabled(self) -> bool:
+        return self.max_concurrent > 0 or self.cpu_seconds > 0
+
+    def _used_locked(self, tenant: str, now: float) -> float:
+        charges = self._charges.get(tenant)
+        if not charges:
+            return 0.0
+        horizon = now - self.window
+        while charges and charges[0][0] < horizon:
+            charges.popleft()
+        if not charges:
+            del self._charges[tenant]
+            return 0.0
+        return sum(seconds for _ts, seconds in charges)
+
+    def acquire(self, tenant: str) -> Tuple[bool, Optional[str], Optional[float]]:
+        """Reserve one slot; ``(allowed, reason, retry_after)``.
+
+        ``reason`` carries the quota provenance (which limit, usage vs
+        cap) so the 429 body can say *why* the tenant was shed.
+        """
+        if not self.enabled():
+            return True, None, None
+        now = self.clock()
+        with self._lock:
+            live = self._in_flight.get(tenant, 0)
+            if self.max_concurrent > 0 and live >= self.max_concurrent:
+                self.shed_concurrency += 1
+                reason = (
+                    f"tenant {tenant!r} concurrency quota: "
+                    f"{live}/{self.max_concurrent} in flight"
+                )
+                return False, reason, 1.0
+            if self.cpu_seconds > 0:
+                used = self._used_locked(tenant, now)
+                if used >= self.cpu_seconds:
+                    self.shed_cpu += 1
+                    charges = self._charges.get(tenant)
+                    retry = (
+                        max(1.0, charges[0][0] + self.window - now)
+                        if charges
+                        else self.window
+                    )
+                    reason = (
+                        f"tenant {tenant!r} cpu quota: {used:.1f}s used of "
+                        f"{self.cpu_seconds:g}s per {self.window:g}s window"
+                    )
+                    return False, reason, retry
+            self._in_flight[tenant] = live + 1
+            return True, None, None
+
+    def release(self, tenant: str) -> None:
+        """Give back one concurrency slot (terminal-state hook)."""
+        if not self.enabled():
+            return
+        with self._lock:
+            live = self._in_flight.get(tenant, 0)
+            if live <= 1:
+                self._in_flight.pop(tenant, None)
+            else:
+                self._in_flight[tenant] = live - 1
+
+    def charge(self, tenant: str, seconds: float) -> None:
+        """Bill ``seconds`` of worker time against the tenant's window."""
+        if self.cpu_seconds <= 0 or seconds <= 0:
+            return
+        now = self.clock()
+        with self._lock:
+            self._charges.setdefault(tenant, deque()).append((now, float(seconds)))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """State for ``/healthz``."""
+        now = self.clock()
+        with self._lock:
+            tenants = sorted(set(self._in_flight) | set(self._charges))
+            return {
+                "enabled": self.enabled(),
+                "max_concurrent": self.max_concurrent,
+                "cpu_seconds": self.cpu_seconds,
+                "window_seconds": self.window,
+                "shed_concurrency": self.shed_concurrency,
+                "shed_cpu": self.shed_cpu,
+                "tenants": {
+                    tenant: {
+                        "in_flight": self._in_flight.get(tenant, 0),
+                        "cpu_used_seconds": round(self._used_locked(tenant, now), 3),
+                    }
+                    for tenant in tenants
+                },
+            }
+
+
 class QueueFull(Exception):
     """Raised by :meth:`BoundedPriorityQueue.put` when shedding load."""
 

@@ -2,11 +2,15 @@
 
 Three routes over :mod:`repro.server.httpio` framing:
 
-* ``POST /analyze`` — admit a request.  Returns 200 with the full
-  record for synchronous completions (cache hits, or ``?wait=1``
-  long-polls), 202 with the request id otherwise, 400 for malformed
-  specs, 429 + ``Retry-After`` when rate-limited or shed, 503 while
-  draining.
+* ``POST /analyze`` — admit a request (a registry ``benchmark`` name,
+  or untrusted ``source`` analyzed under the daemon's execution
+  budget).  Returns 200 with the full record for synchronous
+  completions (cache hits, or ``?wait=1`` long-polls), 202 with the
+  request id otherwise, 400 for malformed specs, 401 when API keys are
+  enforced and the ``X-Api-Key`` header is missing/unknown, 422 with
+  lint diagnostics when submitted source fails the admission gate,
+  429 + ``Retry-After`` when rate-limited, over tenant quota, or shed,
+  503 while draining.
 * ``GET /status/<id>`` — the request record; ``?wait=1`` long-polls
   until terminal, ``?stream=1`` streams progress events as NDJSON.
 * ``GET /healthz`` — daemon health: queue depth, in-flight count,
@@ -41,7 +45,7 @@ from .httpio import (
     retry_after_headers,
     stream_head,
 )
-from .model import RequestRecord, SpecError
+from .model import LintRejection, RequestRecord, SpecError
 
 #: default long-poll bound for ``?wait=1`` (seconds)
 WAIT_TIMEOUT = 60.0
@@ -187,20 +191,43 @@ class ServerApp:
 
     async def _analyze(self, request: Request, writer: asyncio.StreamWriter) -> None:
         client = self._client_of(request, writer)
+        api_key = request.headers.get("x-api-key")
         try:
             body = request.json()
-            record = await asyncio.to_thread(self.core.submit, body, client)
+            record = await asyncio.to_thread(self.core.submit, body, client, api_key)
         except ProtocolError as exc:
-            writer.write(response_bytes(exc.status, error_body(exc.status, str(exc))))
+            writer.write(
+                response_bytes(
+                    exc.status, error_body(exc.status, str(exc), code="protocol")
+                )
+            )
             return
         except SpecError as exc:
-            writer.write(response_bytes(400, error_body(400, str(exc))))
+            writer.write(response_bytes(400, error_body(400, str(exc), code="bad-spec")))
+            return
+        except LintRejection as exc:
+            writer.write(
+                response_bytes(
+                    422,
+                    error_body(
+                        422,
+                        str(exc),
+                        code="rejected-lint",
+                        diagnostics=exc.diagnostics,
+                    ),
+                )
+            )
             return
         except AdmissionError as exc:
             writer.write(
                 response_bytes(
                     exc.status,
-                    error_body(exc.status, str(exc), retry_after=exc.retry_after),
+                    error_body(
+                        exc.status,
+                        str(exc),
+                        code=exc.code,
+                        retry_after=exc.retry_after,
+                    ),
                     headers=retry_after_headers(exc.retry_after),
                 )
             )

@@ -27,6 +27,7 @@ can silently vanish, even across a daemon restart.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 import time
@@ -35,19 +36,38 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from .. import telemetry
+from ..config import ExecutionBudget
 from ..evalharness.journal import RunJournal, new_run_id
 from ..evalharness.runner import ResultCache
-from .admission import BoundedPriorityQueue, CircuitBreaker, QueueFull, TokenBucketTable
-from .model import AnalyzeSpec, RequestRecord, SpecError, WorkItem
+from .admission import (
+    BoundedPriorityQueue,
+    CircuitBreaker,
+    QueueFull,
+    TenantQuotas,
+    TokenBucketTable,
+)
+from .model import AnalyzeSpec, LintRejection, RequestRecord, SpecError, WorkItem
 from .pool import PoolSupervisor
 
 
 class AdmissionError(Exception):
-    """A request the daemon refuses (rendered as an HTTP error)."""
+    """A request the daemon refuses (rendered as an HTTP error).
 
-    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+    ``code`` is the machine-readable refusal class carried in the JSON
+    error body (``auth-failed``, ``rate-limited``, ``quota-exceeded``,
+    ``queue-full``, ``draining``).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        code: str = "admission",
+    ):
         self.status = int(status)
         self.retry_after = retry_after
+        self.code = code
         super().__init__(message)
 
 
@@ -74,6 +94,14 @@ class ServerConfig:
     cache_dir: Optional[str] = None
     runs_dir: str = "runs"
     max_records: int = 4096
+    #: (api-key, tenant) pairs; empty disables auth (everyone is "public")
+    api_keys: tuple = ()
+    quota_concurrency: int = 0  # per-tenant in-flight cap (<= 0 disables)
+    quota_cpu_seconds: float = 0.0  # per-tenant cpu budget per window
+    quota_window: float = 60.0
+    #: execution budget applied to ad-hoc source submissions; None means
+    #: the untrusted defaults (ExecutionBudget.untrusted())
+    budget: Optional[ExecutionBudget] = None
 
 
 class ServerCore:
@@ -93,6 +121,13 @@ class ServerCore:
             threshold=config.breaker_threshold,
             cooldown=config.breaker_cooldown,
         )
+        self.quotas = TenantQuotas(
+            max_concurrent=config.quota_concurrency,
+            cpu_seconds=config.quota_cpu_seconds,
+            window=config.quota_window,
+        )
+        self.api_keys: Dict[str, str] = dict(config.api_keys)
+        self.budget = config.budget if config.budget is not None else ExecutionBudget.untrusted()
         self.supervisor = PoolSupervisor(
             jobs=config.jobs,
             queue=self.queue,
@@ -118,6 +153,11 @@ class ServerCore:
             "error": 0,
             "timeout": 0,
             "cancelled": 0,
+            "source_requests": 0,
+            "rejected_lint": 0,
+            "quota_shed": 0,
+            "auth_failed": 0,
+            "budget_exceeded": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -185,6 +225,7 @@ class ServerCore:
         record = self.get(item.request_id)
         if record is not None:
             record.finish("cancelled", error=f"cancelled: {reason}", reason=reason)
+        self.quotas.release(item.tenant)
         self.counters["cancelled"] += 1
 
     # -- admission ----------------------------------------------------------
@@ -209,17 +250,44 @@ class ServerCore:
         with self._lock:
             return self._records.get(request_id)
 
-    def submit(self, body: Dict[str, Any], client: str) -> RequestRecord:
-        """Admit one request; raises :class:`SpecError` (400) or
-        :class:`AdmissionError` (429/503)."""
+    def _tenant_of(self, api_key: Optional[str]) -> str:
+        """Resolve the tenant; 401 when auth is on and the key is bad."""
+        if not self.api_keys:
+            return "public"
+        if not api_key or api_key not in self.api_keys:
+            self.counters["auth_failed"] += 1
+            telemetry.counter("server.auth_failed", 1)
+            raise AdmissionError(
+                401,
+                "missing or unknown API key (send X-Api-Key)",
+                code="auth-failed",
+            )
+        return self.api_keys[api_key]
+
+    def submit(
+        self, body: Dict[str, Any], client: str, api_key: Optional[str] = None
+    ) -> RequestRecord:
+        """Admit one request; raises :class:`SpecError` (400),
+        :class:`~repro.server.model.LintRejection` (422), or
+        :class:`AdmissionError` (401/429/503)."""
         if self._draining:
-            raise AdmissionError(503, "daemon is draining", retry_after=None)
-        spec = AnalyzeSpec.from_json(
-            body,
-            client=client,
-            default_deadline=self.config.default_deadline,
-            max_samples=self.config.max_samples,
-        )
+            raise AdmissionError(503, "daemon is draining", retry_after=None, code="draining")
+        tenant = self._tenant_of(api_key)
+        try:
+            spec = AnalyzeSpec.from_json(
+                body,
+                client=client,
+                default_deadline=self.config.default_deadline,
+                max_samples=self.config.max_samples,
+                tenant=tenant,
+                budget=self.budget,
+            )
+        except LintRejection:
+            self.counters["rejected_lint"] += 1
+            telemetry.counter("server.rejected_lint", 1)
+            raise
+        if spec.source is not None:
+            self.counters["source_requests"] += 1
         record = self._new_record(spec)
 
         # 1. cache: a hit is served unconditionally — no token, no queue
@@ -240,9 +308,23 @@ class ServerCore:
             self.counters["rate_limited"] += 1
             telemetry.counter("server.rate_limited", 1, client=spec.client)
             record.finish("error", error="rate-limited", reason="rate-limited")
-            raise AdmissionError(429, "rate limit exceeded", retry_after=retry_after)
+            raise AdmissionError(
+                429, "rate limit exceeded", retry_after=retry_after, code="rate-limited"
+            )
 
-        # 3. degradation ladder (breaker state at admission time)
+        # 3. per-tenant quotas (concurrency + cpu-second window); released
+        #    at every terminal state, charged post-hoc in _on_done/_on_fail
+        allowed, quota_reason, retry_after = self.quotas.acquire(spec.tenant)
+        if not allowed:
+            self.counters["quota_shed"] += 1
+            telemetry.counter("server.quota_shed", 1, tenant=spec.tenant)
+            record.finish("error", error=quota_reason, reason="quota-shed")
+            raise AdmissionError(
+                429, f"quota exceeded: {quota_reason}", retry_after=retry_after,
+                code="quota-exceeded",
+            )
+
+        # 4. degradation ladder (breaker state at admission time)
         effective, reason = self.breaker.degrade(spec.method)
         if reason is not None:
             record.mark_degraded(effective, reason)
@@ -252,19 +334,22 @@ class ServerCore:
                 # a hit for the *fallback* method still beats recomputing
                 cached = self.cache.load(spec.task(effective))
                 if cached is not None:
+                    self.quotas.release(spec.tenant)
                     record.cache_hit = True
                     self.counters["cache_hits"] += 1
                     self._journal_admit(record, cached=True)
                     self._finish_from_outcome(record, cached, cache_hit=True)
                     return record
 
-        # 4. bounded queue: full ⇒ shed with an honest Retry-After
+        # 5. bounded queue: full ⇒ shed with an honest Retry-After
         budget = min(spec.deadline_seconds, self.config.default_deadline * 10)
         item = WorkItem(
             request_id=record.id,
             task=spec.task(effective),
             deadline=time.monotonic() + budget,
             priority=spec.priority,
+            tenant=spec.tenant,
+            budget_seconds=budget,
         )
         # write-ahead: the admit record must be durable before the item can
         # possibly reach a worker — a crash after this line leaves a
@@ -273,11 +358,14 @@ class ServerCore:
         try:
             depth = self.queue.put(item, priority=spec.priority)
         except QueueFull as exc:
+            self.quotas.release(spec.tenant)
             self.counters["shed"] += 1
             telemetry.counter("server.shed", 1)
             self._journal_finish(record.id, "shed", error="queue full")
             record.finish("error", error="queue full", reason="shed")
-            raise AdmissionError(429, "queue full", retry_after=exc.retry_after)
+            raise AdmissionError(
+                429, "queue full", retry_after=exc.retry_after, code="queue-full"
+            )
         self.counters["admitted"] += 1
         telemetry.counter("server.admitted", 1)
         record.add_event("queued", depth=depth, served_method=effective)
@@ -286,16 +374,19 @@ class ServerCore:
     def _journal_admit(self, record: RequestRecord, cached: bool) -> None:
         if self.journal is None:
             return
-        self.journal.record(
-            {
-                "ev": "request-admitted",
-                "id": record.id,
-                "ts": time.time(),
-                "request": record.spec.to_json(),
-                "served_method": record.served_method,
-                "cached": cached,
-            }
-        )
+        event = {
+            "ev": "request-admitted",
+            "id": record.id,
+            "ts": time.time(),
+            "request": record.spec.to_json(),
+            "served_method": record.served_method,
+            "cached": cached,
+        }
+        if record.spec.source is not None:
+            # the budgets this request ran under are part of its record:
+            # a replayed journal must know why a run was aborted
+            event["budget"] = dataclasses.asdict(self.budget)
+        self.journal.record(event)
 
     def _journal_finish(self, request_id: str, state: str, **detail: Any) -> None:
         if self.journal is None:
@@ -358,6 +449,15 @@ class ServerCore:
 
     def _on_done(self, item: WorkItem, outcome: Dict[str, Any]) -> None:
         outcome.setdefault("metrics", {})["attempts"] = item.attempts
+        # post-hoc quota accounting: bill the worker wall-clock actually
+        # burned, then free the tenant's concurrency slot
+        wall = float((outcome.get("metrics") or {}).get("wall_seconds") or 0.0)
+        self.quotas.charge(item.tenant, wall)
+        self.quotas.release(item.tenant)
+        failure = outcome.get("failure") or {}
+        if failure.get("stage") in ("eval-budget", "resource-limit"):
+            self.counters["budget_exceeded"] += 1
+            telemetry.counter("server.budget_exceeded", 1, stage=failure.get("stage"))
         self._feed_breaker(item, outcome)
         if self.cache is not None and outcome.get("ok"):
             # same store path (and fault-injection points) as the batch
@@ -377,6 +477,11 @@ class ServerCore:
             self._finish_from_outcome(record, outcome)
 
     def _on_fail(self, item: WorkItem, kind: str, message: str) -> None:
+        # a timeout burned its whole deadline budget in a worker; bill it
+        self.quotas.charge(
+            item.tenant, item.budget_seconds if kind == "timeout" else 0.0
+        )
+        self.quotas.release(item.tenant)
         if kind == "timeout":
             # a hung sampler breaching its deadline is breaker evidence too
             if item.task.method in ("bayeswc", "bayespc"):
@@ -416,6 +521,9 @@ class ServerCore:
             "in_flight": self.supervisor.busy(),
             "live_requests": live,
             "breaker": self.breaker.snapshot(),
+            "quotas": self.quotas.snapshot(),
+            "budget": dataclasses.asdict(self.budget),
+            "auth": {"enabled": bool(self.api_keys), "tenants": sorted(set(self.api_keys.values()))},
             "pool": {
                 "replacements": self.supervisor.pool_replacements,
                 "probe_failures": self.supervisor.probe_failures,

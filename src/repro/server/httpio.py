@@ -22,13 +22,29 @@ STATUS_TEXT = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+}
+
+#: default machine-readable code per status (overridable per error)
+_DEFAULT_CODES = {
+    400: "bad-request",
+    401: "auth-failed",
+    404: "not-found",
+    405: "method-not-allowed",
+    408: "timeout",
+    413: "too-large",
+    422: "rejected-lint",
+    429: "shed",
+    500: "internal",
+    503: "draining",
 }
 
 
@@ -138,8 +154,29 @@ def stream_head(status: int = 200) -> bytes:
     ).encode()
 
 
-def error_body(status: int, message: str, **extra: Any) -> Dict[str, Any]:
-    return {"error": {"status": status, "message": message, **extra}}
+def error_body(
+    status: int,
+    message: str,
+    code: Optional[str] = None,
+    diagnostics: Optional[list] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The structured error body every 4xx/5xx response carries:
+    ``{"error": {status, code, message, diagnostics, ...}}``.
+
+    ``code`` is a stable machine-readable class (clients switch on it,
+    not on message text); ``diagnostics`` is the lint-engine JSON list
+    (empty for errors with no source location).
+    """
+    return {
+        "error": {
+            "status": status,
+            "code": code or _DEFAULT_CODES.get(status, "error"),
+            "message": message,
+            "diagnostics": diagnostics or [],
+            **extra,
+        }
+    }
 
 
 def retry_after_headers(retry_after: Optional[float]) -> Dict[str, str]:

@@ -10,7 +10,8 @@ classified into an error taxonomy::
 
     done | done_degraded | cached | error | timeout | cancelled
          | rate_limited | shed | rejected | draining | incomplete
-         | transport_error
+         | transport_error | rejected-lint | budget-exceeded
+         | resource-limit | quota-shed
 
 Latency percentiles (p50/p95/p99, nearest-rank) plus the taxonomy and a
 final ``/healthz`` snapshot are written atomically to
@@ -49,6 +50,12 @@ TERMINAL_CLASSES = frozenset(
         "shed",
         "rejected",
         "draining",
+        # hostile/source-mode taxonomy: admission gate, execution budgets,
+        # guarded analysis, and tenant quotas are all terminal answers
+        "rejected-lint",
+        "budget-exceeded",
+        "resource-limit",
+        "quota-shed",
     }
 )
 
@@ -70,6 +77,10 @@ class LoadgenConfig:
     client: str = "loadgen"
     out: Optional[str] = "BENCH_server.json"
     check: bool = False
+    #: directory of hostile/ad-hoc programs mixed in as source submissions
+    hostile_dir: Optional[str] = None
+    hostile_fraction: float = 0.25
+    api_key: Optional[str] = None
 
 
 @dataclass
@@ -88,17 +99,38 @@ def _classify(status: int, doc: Dict[str, Any]) -> str:
     if status in (200, 202):
         state = doc.get("state")
         if state == "done":
+            # the guarded analyzer reports an LP over budget as a verdict
+            # (ok=True, status "resource-limit"), not a failure
+            verdict = ((doc.get("result") or {}).get("verdict") or {})
+            if verdict.get("status") == "resource-limit":
+                return "resource-limit"
             if doc.get("cache_hit"):
                 return "cached"
             if doc.get("degraded"):
                 return "done_degraded"
             return "done"
-        if state in ("error", "timeout", "cancelled"):
+        if state == "error":
+            # worker-side budget classification: an aborted hostile run is
+            # its own bucket, not an undifferentiated "error"
+            stage = ((doc.get("result") or {}).get("failure") or {}).get("stage")
+            if stage == "eval-budget":
+                return "budget-exceeded"
+            if stage == "resource-limit":
+                return "resource-limit"
+            return "error"
+        if state in ("timeout", "cancelled"):
             return str(state)
         return "incomplete"
     if status == 429:
+        code = str(doc.get("error", {}).get("code", ""))
+        if code == "quota-exceeded":
+            return "quota-shed"
+        if code == "rate-limited":
+            return "rate_limited"
         message = str(doc.get("error", {}).get("message", ""))
         return "rate_limited" if "rate" in message else "shed"
+    if status == 422:
+        return "rejected-lint"
     if status == 400:
         return "rejected"
     if status == 503:
@@ -106,7 +138,13 @@ def _classify(status: int, doc: Dict[str, Any]) -> str:
     return f"http_{status}"
 
 
-def _fire(base: str, sample: Sample, wait_timeout: float, client: str) -> None:
+def _fire(
+    base: str,
+    sample: Sample,
+    wait_timeout: float,
+    client: str,
+    api_key: Optional[str] = None,
+) -> None:
     split = urlsplit(base)
     started = time.monotonic()
     try:
@@ -114,11 +152,14 @@ def _fire(base: str, sample: Sample, wait_timeout: float, client: str) -> None:
             split.hostname, split.port or 80, timeout=wait_timeout + 30.0
         )
         try:
+            headers = {"Content-Type": "application/json", "X-Client": client}
+            if api_key:
+                headers["X-Api-Key"] = api_key
             conn.request(
                 "POST",
                 f"/analyze?wait=1&timeout={wait_timeout:g}",
                 body=json.dumps(sample.body),
-                headers={"Content-Type": "application/json", "X-Client": client},
+                headers=headers,
             )
             response = conn.getresponse()
             raw = response.read()
@@ -140,22 +181,54 @@ def _fire(base: str, sample: Sample, wait_timeout: float, client: str) -> None:
         sample.detail = f"{type(exc).__name__}: {exc}"
 
 
+def load_hostile_corpus(directory: str) -> List[Tuple[str, str]]:
+    """``(name, source)`` for every program file in a hostile corpus dir."""
+    corpus: List[Tuple[str, str]] = []
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path) or not name.endswith((".raml", ".ml")):
+            continue
+        with open(path, "r") as handle:
+            corpus.append((name, handle.read()))
+    if not corpus:
+        raise ReproError(f"no .raml/.ml programs found in {directory}")
+    return corpus
+
+
 def build_plan(config: LoadgenConfig) -> List[Sample]:
-    """The deterministic arrival schedule: (offset, request body) pairs."""
+    """The deterministic arrival schedule: (offset, request body) pairs.
+
+    With ``hostile_dir`` set, roughly ``hostile_fraction`` of arrivals
+    submit a corpus program as raw ``source`` instead of a registry
+    benchmark name — the same admission gate, budgets, and quota path a
+    hostile tenant would exercise.
+    """
     rng = random.Random(config.seed)
+    corpus = load_hostile_corpus(config.hostile_dir) if config.hostile_dir else []
     plan: List[Sample] = []
     offset = 0.0
     for index in range(config.requests):
         if config.rate > 0:
             offset += rng.expovariate(config.rate)
-        body = {
-            "benchmark": rng.choice(list(config.benchmarks)),
-            "method": rng.choice(list(config.methods)),
-            "mode": "data-driven",
-            "samples": config.samples,
-            "seed": rng.randrange(max(1, config.seeds)),
-            "client": config.client,
-        }
+        if corpus and rng.random() < config.hostile_fraction:
+            name, source = rng.choice(corpus)
+            body = {
+                "source": source,
+                "method": rng.choice(list(config.methods)),
+                "mode": "data-driven",
+                "samples": config.samples,
+                "seed": rng.randrange(max(1, config.seeds)),
+                "client": config.client,
+            }
+        else:
+            body = {
+                "benchmark": rng.choice(list(config.benchmarks)),
+                "method": rng.choice(list(config.methods)),
+                "mode": "data-driven",
+                "samples": config.samples,
+                "seed": rng.randrange(max(1, config.seeds)),
+                "client": config.client,
+            }
         plan.append(Sample(index=index, offset=offset, body=body))
     return plan
 
@@ -193,7 +266,7 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
         delay = sample.offset - (time.monotonic() - start)
         if delay > 0:
             time.sleep(delay)
-        _fire(config.url, sample, config.wait_timeout, config.client)
+        _fire(config.url, sample, config.wait_timeout, config.client, config.api_key)
 
     for sample in plan:
         thread = threading.Thread(target=_scheduled, args=(sample,), daemon=True)
@@ -218,6 +291,8 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
             "methods": list(config.methods),
             "samples": config.samples,
             "seeds": config.seeds,
+            "hostile_dir": config.hostile_dir,
+            "hostile_fraction": config.hostile_fraction if config.hostile_dir else 0.0,
         },
         "wall_seconds": round(wall, 3),
         "achieved_rps": round(config.requests / wall, 3) if wall > 0 else None,

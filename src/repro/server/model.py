@@ -24,7 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from ..config import AnalysisConfig
+from ..config import AnalysisConfig, ExecutionBudget
+from ..evalharness.adhoc import adhoc_name, match_registry_source, normalize_source
 from ..evalharness.runner import EvalTask, METHODS, MODES
 
 #: request states with no further transitions
@@ -35,10 +36,24 @@ REQUEST_METHODS = tuple(METHODS) + ("conventional",)
 
 _MAX_SAMPLES = 500
 _MAX_PRIORITY = 9
+_MAX_DEGREE = 4
 
 
 class SpecError(ValueError):
     """A malformed /analyze body (rendered as HTTP 400)."""
+
+
+class LintRejection(Exception):
+    """Submitted source failed the admission lint gate (HTTP 422).
+
+    Carries the full diagnostics document (the same JSON shape
+    ``hybrid-aara lint --format json`` emits) so the response body tells
+    the submitter exactly what to fix, caret positions included.
+    """
+
+    def __init__(self, message: str, diagnostics: List[Dict[str, Any]]):
+        self.diagnostics = diagnostics
+        super().__init__(message)
 
 
 def _field(body: Dict[str, Any], key: str, kind, default):
@@ -63,6 +78,12 @@ class AnalyzeSpec:
     priority: int
     deadline_seconds: float
     client: str
+    #: ad-hoc source submission (normalized); None on the benchmark path
+    source: Optional[str] = None
+    entry: Optional[str] = None
+    degree: Optional[int] = None
+    tenant: str = "public"
+    budget: Optional[ExecutionBudget] = None
 
     @classmethod
     def from_json(
@@ -71,18 +92,11 @@ class AnalyzeSpec:
         client: str,
         default_deadline: float,
         max_samples: int = _MAX_SAMPLES,
+        tenant: str = "public",
+        budget: Optional[ExecutionBudget] = None,
     ) -> "AnalyzeSpec":
         if not isinstance(body, dict):
             raise SpecError("request body must be a JSON object")
-        benchmark = body.get("benchmark")
-        if not benchmark or not isinstance(benchmark, str):
-            raise SpecError("field 'benchmark' (registry name) is required")
-        from ..suite import get_benchmark
-
-        try:
-            spec = get_benchmark(benchmark)
-        except Exception:
-            raise SpecError(f"unknown benchmark {benchmark!r}")
         method = str(body.get("method", "bayespc")).lower()
         if method not in REQUEST_METHODS:
             raise SpecError(
@@ -91,8 +105,27 @@ class AnalyzeSpec:
         mode = str(body.get("mode", "data-driven")).lower()
         if mode not in MODES:
             raise SpecError(f"unknown mode {mode!r} (one of {', '.join(MODES)})")
-        if mode == "hybrid" and spec.hybrid_source is None:
-            raise SpecError(f"benchmark {benchmark!r} has no hybrid variant")
+        benchmark = body.get("benchmark")
+        raw_source = body.get("source")
+        source = entry = None
+        degree = None
+        if raw_source is not None:
+            if benchmark:
+                raise SpecError("provide 'benchmark' or 'source', not both")
+            source, entry, degree, benchmark = cls._validate_source(
+                raw_source, body, mode, budget
+            )
+        else:
+            if not benchmark or not isinstance(benchmark, str):
+                raise SpecError("field 'benchmark' (registry name) or 'source' is required")
+            from ..suite import get_benchmark
+
+            try:
+                spec = get_benchmark(benchmark)
+            except Exception:
+                raise SpecError(f"unknown benchmark {benchmark!r}")
+            if mode == "hybrid" and spec.hybrid_source is None:
+                raise SpecError(f"benchmark {benchmark!r} has no hybrid variant")
         samples = _field(body, "samples", int, 25)
         if not 1 <= samples <= max_samples:
             raise SpecError(f"field 'samples' must be in [1, {max_samples}]")
@@ -113,12 +146,73 @@ class AnalyzeSpec:
             priority=priority,
             deadline_seconds=deadline,
             client=client,
+            source=source,
+            entry=entry,
+            degree=degree,
+            tenant=tenant,
+            budget=budget,
         )
+
+    @staticmethod
+    def _validate_source(
+        raw_source: Any,
+        body: Dict[str, Any],
+        mode: str,
+        budget: Optional[ExecutionBudget],
+    ):
+        """Admit ad-hoc source: lint gate, then registry re-routing.
+
+        Returns ``(source, entry, degree, benchmark)``; ``source`` is
+        ``None`` when the normalized submission is byte-identical to a
+        registry benchmark's variant — the request is re-routed onto the
+        benchmark-name path so it shares that cell's task id, cache
+        entry, and byte-identical bounds.
+        """
+        from ..analysis.diagnostics import to_json as diagnostics_json
+        from ..analysis.engine import lint_source
+
+        if not isinstance(raw_source, str) or not raw_source.strip():
+            raise SpecError("field 'source' must be a non-empty program string")
+        entry = body.get("entry")
+        if entry is not None and (not isinstance(entry, str) or not entry):
+            raise SpecError("field 'entry' must be a function name")
+        degree = _field(body, "degree", int, None)
+        if degree is not None and not 1 <= degree <= _MAX_DEGREE:
+            raise SpecError(f"field 'degree' must be in [1, {_MAX_DEGREE}]")
+        result = lint_source(raw_source, path="<request>", entry=entry, budget=budget)
+        # boundability predictions (R042/R043) are the analyzer's verdict
+        # to make, exactly as in the batch harness's lint guard — the
+        # data-driven methods can still measure such programs
+        errors = [d for d in result.errors() if d.code not in ("R042", "R043")]
+        if errors:
+            doc = diagnostics_json(errors)
+            raise LintRejection(
+                f"source rejected by lint: {len(errors)} error(s), "
+                f"first: [{errors[0].code}] {errors[0].message}",
+                diagnostics=doc["diagnostics"],
+            )
+        matched = match_registry_source(raw_source, mode)
+        if matched is not None:
+            benchmark, registry_entry = matched
+            if entry is None or entry == registry_entry:
+                return None, None, degree, benchmark
+        if mode == "hybrid":
+            raise SpecError(
+                "mode 'hybrid' requires a registry benchmark "
+                "(ad-hoc source is analyzed data-driven)"
+            )
+        return normalize_source(raw_source), entry, degree, adhoc_name(raw_source)
 
     def config(self) -> AnalysisConfig:
         # the same base config `bench --samples N --seed S` builds, so the
-        # cache key and derived seeds match the batch harness exactly
-        return AnalysisConfig(num_posterior_samples=self.samples, seed=self.seed)
+        # cache key and derived seeds match the batch harness exactly.
+        # Budgets apply only to ad-hoc source (registry programs are
+        # trusted) and never enter the cache signature.
+        return AnalysisConfig(
+            num_posterior_samples=self.samples,
+            seed=self.seed,
+            budget=self.budget if self.source is not None else None,
+        )
 
     def task(self, method: Optional[str] = None) -> EvalTask:
         """The batch-harness task for this request (``method`` overrides
@@ -130,6 +224,8 @@ class AnalyzeSpec:
                 benchmark=self.benchmark,
                 root_seed=self.seed,
                 config=self.config(),
+                source=self.source,
+                entry=self.entry,
             )
         return EvalTask(
             kind="analysis",
@@ -138,10 +234,13 @@ class AnalyzeSpec:
             config=self.config(),
             mode=self.mode,
             method=method,
+            source=self.source,
+            entry=self.entry,
+            degree=self.degree,
         )
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "benchmark": self.benchmark,
             "method": self.method,
             "mode": self.mode,
@@ -150,7 +249,15 @@ class AnalyzeSpec:
             "priority": self.priority,
             "deadline_seconds": self.deadline_seconds,
             "client": self.client,
+            "tenant": self.tenant,
         }
+        if self.source is not None:
+            # the digest, not the source: journals stay compact and the
+            # benchmark name (user:<sha12>) is already content-addressed
+            doc["entry"] = self.entry
+            doc["degree"] = self.degree
+            doc["source_chars"] = len(self.source)
+        return doc
 
 
 @dataclass
@@ -162,6 +269,8 @@ class WorkItem:
     deadline: float  # absolute monotonic deadline (admission time + budget)
     priority: int
     attempts: int = 0
+    tenant: str = "public"
+    budget_seconds: float = 0.0  # the deadline budget (billed on timeout)
 
 
 class RequestRecord:

@@ -1,0 +1,94 @@
+"""Materialize the full hostile corpus into a directory.
+
+Two corpus members are generated rather than checked in, because their
+whole point is bulk:
+
+* ``token_bomb.raml`` — a single expression of ~120k tokens, tripping
+  the lexer's token budget (R001) at the admission lint gate.
+* ``match_nest.raml`` — match expressions nested far beyond the parser's
+  depth budget, tripping the R004 nesting diagnostic (and, before that
+  budget existed, a Python ``RecursionError``).
+
+Usage::
+
+    python tests/hostile/build_corpus.py /tmp/hostile
+
+The static members (``spin.raml``, ``deep_call.raml``,
+``value_bomb.raml``, ``lp_blowup.raml``) are copied alongside, so the
+output directory is a complete corpus for ``hybrid-aara loadgen
+--hostile`` and the CI hostile-mix soak.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+STATIC_PROGRAMS = (
+    "spin.raml",
+    "deep_call.raml",
+    "value_bomb.raml",
+    "lp_blowup.raml",
+)
+
+
+def token_bomb(terms: int = 60_000) -> str:
+    """One expression of ``2 * terms`` tokens (far over the 100k default
+    token budget at the default 60k)."""
+    return "let main n = Raml.stat (n" + " + 1" * terms + ")\n"
+
+
+def match_nest(depth: int = 300) -> str:
+    """Match expressions nested ``depth`` deep (default: 3x the untrusted
+    nesting budget)."""
+    head = "let rec grind xs =\n"
+    body = []
+    indent = "  "
+    for level in range(depth):
+        body.append(
+            f"{indent}match xs with | [] -> {level} | hd :: tl ->\n"
+        )
+        indent += " "
+    body.append(f"{indent}0\n")
+    return head + "".join(body) + "let main xs = Raml.stat (grind xs)\n"
+
+
+def corpus_programs(token_terms: int = 60_000, nest_depth: int = 300):
+    """``{name: source}`` for the complete corpus (static + generated)."""
+    programs = {}
+    for name in STATIC_PROGRAMS:
+        with open(os.path.join(HERE, name), "r") as handle:
+            programs[name] = handle.read()
+    programs["token_bomb.raml"] = token_bomb(token_terms)
+    programs["match_nest.raml"] = match_nest(nest_depth)
+    return programs
+
+
+def materialize(directory: str, token_terms: int = 60_000, nest_depth: int = 300) -> list:
+    """Write the full corpus into ``directory``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name in STATIC_PROGRAMS:
+        dst = os.path.join(directory, name)
+        shutil.copyfile(os.path.join(HERE, name), dst)
+        paths.append(dst)
+    for name, source in (
+        ("token_bomb.raml", token_bomb(token_terms)),
+        ("match_nest.raml", match_nest(nest_depth)),
+    ):
+        dst = os.path.join(directory, name)
+        with open(dst, "w") as handle:
+            handle.write(source)
+        paths.append(dst)
+    return paths
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: build_corpus.py <output-dir>", file=sys.stderr)
+        raise SystemExit(2)
+    written = materialize(sys.argv[1])
+    print(f"wrote {len(written)} hostile program(s) to {sys.argv[1]}")
