@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""CI smoke driver for the incremental edit-loop front ends.
+
+Two phases, both against real subprocesses (stdlib only):
+
+1. **LSP** — start ``hybrid-aara lsp`` on stdio and run a scripted
+   session: ``initialize``; ``didOpen`` of a clean file must publish
+   zero diagnostics; a ``didChange`` introducing an unboundable
+   recursion must publish ``R042`` at its exact span; reverting the
+   change must publish a clean report again; an ``inlayHint`` request
+   must return the inferred bound.  The server must exit 0 after an
+   orderly ``shutdown``/``exit``.
+2. **watch** — run ``hybrid-aara lint --watch`` for two cycles against
+   a shared artifact directory and touch the file (content unchanged)
+   to trigger the second cycle: it must report every artifact reused
+   and none recomputed.
+
+Exit code 0 only if every assertion holds.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+CLEAN = """let rec length xs =
+  match xs with
+  | [] -> 0
+  | _hd :: tl -> let _ = Raml.tick 1.0 in 1 + length tl
+"""
+
+SPIN = CLEAN + "\nlet rec spin xs = let _ = Raml.tick 1.0 in spin xs\n"
+
+#: where the linter reports SPIN's R042 (1-based line/col, length 1)
+R042_LINE, R042_COL = 6, 44
+
+URI = "file:///smoke.ml"
+
+
+def send(proc, message):
+    body = json.dumps(message).encode()
+    proc.stdin.write(b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n")
+    proc.stdin.write(body)
+    proc.stdin.flush()
+
+
+def recv(proc):
+    length = None
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            return None
+        line = line.strip()
+        if not line:
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    return json.loads(proc.stdout.read(length).decode())
+
+
+def wait_for_diagnostics(proc):
+    while True:
+        message = recv(proc)
+        assert message is not None, "server closed the stream mid-session"
+        if message.get("method") == "textDocument/publishDiagnostics":
+            return message["params"]["diagnostics"]
+
+
+def lsp_phase(cache_dir: str) -> None:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "lsp", "--cache-dir", cache_dir],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        send(proc, {"jsonrpc": "2.0", "id": 1, "method": "initialize", "params": {}})
+        reply = recv(proc)
+        assert reply["result"]["capabilities"]["inlayHintProvider"] is True, reply
+        send(proc, {"jsonrpc": "2.0", "method": "initialized", "params": {}})
+
+        send(
+            proc,
+            {
+                "jsonrpc": "2.0",
+                "method": "textDocument/didOpen",
+                "params": {
+                    "textDocument": {
+                        "uri": URI,
+                        "languageId": "resource-ml",
+                        "version": 1,
+                        "text": CLEAN,
+                    }
+                },
+            },
+        )
+        diags = wait_for_diagnostics(proc)
+        assert diags == [], f"clean file produced diagnostics: {diags}"
+        print("lsp: didOpen(clean) -> 0 diagnostics")
+
+        send(
+            proc,
+            {
+                "jsonrpc": "2.0",
+                "method": "textDocument/didChange",
+                "params": {
+                    "textDocument": {"uri": URI, "version": 2},
+                    "contentChanges": [{"text": SPIN}],
+                },
+            },
+        )
+        diags = wait_for_diagnostics(proc)
+        r042 = [d for d in diags if d["code"] == "R042"]
+        assert len(r042) == 1, f"expected one R042, got: {diags}"
+        want = {
+            "start": {"line": R042_LINE - 1, "character": R042_COL - 1},
+            "end": {"line": R042_LINE - 1, "character": R042_COL},
+        }
+        assert r042[0]["range"] == want, (r042[0]["range"], want)
+        assert r042[0]["severity"] == 1, r042[0]
+        print(f"lsp: didChange(spin) -> R042 at exact span {want['start']}")
+
+        send(
+            proc,
+            {
+                "jsonrpc": "2.0",
+                "id": 2,
+                "method": "textDocument/inlayHint",
+                "params": {
+                    "textDocument": {"uri": URI},
+                    "range": {
+                        "start": {"line": 0, "character": 0},
+                        "end": {"line": 99, "character": 0},
+                    },
+                },
+            },
+        )
+        while True:
+            message = recv(proc)
+            assert message is not None
+            if message.get("id") == 2:
+                hints = message["result"]
+                break
+        labels = {h["label"] for h in hints}
+        assert ": 1*n1" in labels, f"expected length's bound among hints: {labels}"
+        print(f"lsp: inlayHint -> {sorted(labels)}")
+
+        send(
+            proc,
+            {
+                "jsonrpc": "2.0",
+                "method": "textDocument/didChange",
+                "params": {
+                    "textDocument": {"uri": URI, "version": 3},
+                    "contentChanges": [{"text": CLEAN}],
+                },
+            },
+        )
+        diags = wait_for_diagnostics(proc)
+        assert diags == [], f"revert left diagnostics behind: {diags}"
+        print("lsp: didChange(revert) -> diagnostics cleared")
+
+        send(proc, {"jsonrpc": "2.0", "id": 3, "method": "shutdown", "params": {}})
+        assert recv(proc)["id"] == 3
+        send(proc, {"jsonrpc": "2.0", "method": "exit"})
+        assert proc.wait(timeout=30) == 0, "server exit code after shutdown"
+        print("lsp: orderly shutdown, exit 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def watch_phase(cache_dir: str) -> None:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="lsp-smoke-watch-"))
+    prog = workdir / "prog.ml"
+    prog.write_text(CLEAN)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "lint",
+            "--watch",
+            str(prog),
+            "--watch-cycles",
+            "2",
+            "--interval",
+            "0.1",
+            "--cache-dir",
+            cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines = []
+
+    def pump():
+        for line in proc.stdout:
+            lines.append(line.rstrip("\n"))
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    deadline = time.time() + 120
+    # wait for the first cycle's stats line, then touch (content unchanged)
+    while time.time() < deadline:
+        if any("recomputed" in line for line in lines):
+            break
+        time.sleep(0.1)
+    else:
+        proc.kill()
+        raise AssertionError(f"first watch cycle never completed: {lines}")
+    time.sleep(0.3)
+    os.utime(prog)  # no-op touch: mtime moves, content does not
+    assert proc.wait(timeout=120) == 0, f"watch loop failed: {lines}"
+    thread.join(timeout=10)
+    stats = [line for line in lines if "recomputed" in line]
+    assert len(stats) == 2, f"expected two cycles, got: {lines}"
+    # the second cycle must reuse every artifact: "N reused / 0 recomputed"
+    second = stats[1]
+    reused = int(second.split(" reused")[0].split()[-1])
+    assert "/ 0 recomputed" in second, f"no-op touch recomputed something: {second}"
+    assert reused > 0, f"no artifacts were reused: {second}"
+    print(f"watch: no-op touch -> {second.strip()}")
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="lsp-smoke-cache-")
+    lsp_phase(cache_dir)
+    # the watch loop shares the artifact directory the LSP session warmed
+    watch_phase(cache_dir)
+    print("lsp smoke: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

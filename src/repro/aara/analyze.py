@@ -157,6 +157,35 @@ def analyze_program(
     return solve_analysis(analysis, extra_objectives)
 
 
+def run_conventional_function(
+    functions: Sequence[A.FunDef],
+    fname: str,
+    max_degree: int = 3,
+    budget=None,
+) -> "ConventionalVerdict":
+    """Conventional verdict for one function of a parsed (surface) program.
+
+    The per-function entry point of the incremental pipeline: the program
+    is restricted to ``fname``'s call-graph cone *before* normalization
+    and type checking, so the verdict — constraint system, staged LP
+    solve, everything — is a pure function of the cone's source text.
+    That is exactly what the incremental artifact cache keys on (see
+    :mod:`repro.analysis.fingerprint`), making cached verdicts
+    byte-identical to a cold analysis of the same cone.
+    """
+    from ..analysis.callgraph import call_graph, reachable
+    from ..lang.normalize import normalize_program
+    from ..lang.types import typecheck_program
+
+    functions = list(functions)
+    live = reachable(call_graph(functions), [fname])
+    cone = A.Program([f for f in functions if f.name in live])
+    if fname not in cone:
+        raise StaticAnalysisError(f"unknown function {fname!r}")
+    program = typecheck_program(normalize_program(cone))
+    return run_conventional(program, fname, max_degree=max_degree, budget=budget)
+
+
 # ---------------------------------------------------------------------------
 # Conventional AARA verdicts (Table 1, "Conventional AARA" column)
 # ---------------------------------------------------------------------------

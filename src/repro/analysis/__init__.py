@@ -27,6 +27,19 @@ from .engine import (
     lint_embedded,
     lint_source,
 )
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    Fingerprints,
+    fingerprint_functions,
+    program_fingerprint,
+)
+from .incremental import (
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    IncrementalEngine,
+    IncrementalResult,
+    peek_conventional_verdict,
+)
 from .recursion import recursion_diagnostics
 from .verify_ir import check_expr, verification_enabled, verify_expr
 
@@ -40,6 +53,15 @@ __all__ = [
     "lint_source",
     "lint_embedded",
     "extract_embedded_sources",
+    "FINGERPRINT_VERSION",
+    "Fingerprints",
+    "fingerprint_functions",
+    "program_fingerprint",
+    "ARTIFACT_VERSION",
+    "ArtifactStore",
+    "IncrementalEngine",
+    "IncrementalResult",
+    "peek_conventional_verdict",
     "recursion_diagnostics",
     "promote_warnings",
     "render_text",

@@ -194,6 +194,10 @@ def to_sarif(diags: Sequence[Diagnostic]) -> Dict:
         {
             "id": code,
             "shortDescription": {"text": CODES.get(code, code)},
+            "fullDescription": {
+                "text": f"{code}: {CODES.get(code, code)} "
+                "(see the diagnostics table in the repository README)"
+            },
         }
         for code in used
     ]
@@ -212,6 +216,9 @@ def to_sarif(diags: Sequence[Diagnostic]) -> Dict:
                         "region": {
                             "startLine": d.span.line,
                             "startColumn": d.span.col,
+                            # spans never cross lines, so the region ends
+                            # on the line it starts on
+                            "endLine": d.span.line,
                             "endColumn": d.span.col + max(d.span.length, 1),
                         },
                     }
@@ -226,7 +233,7 @@ def to_sarif(diags: Sequence[Diagnostic]) -> Dict:
                 "tool": {
                     "driver": {
                         "name": "repro-lint",
-                        "informationUri": "https://example.invalid/hybrid-aara",
+                        "informationUri": "README.md#static-analysis--linting",
                         "rules": rules,
                     }
                 },

@@ -1,0 +1,244 @@
+"""A minimal Language Server Protocol server over the incremental engine.
+
+Stdlib-only JSON-RPC 2.0 with ``Content-Length`` framing on arbitrary
+binary streams (stdin/stdout under ``hybrid-aara lsp``, in-memory pipes
+in tests).  Scope is deliberately small: full-text document sync, push
+diagnostics after every open/change/save, and inlay hints carrying each
+function's inferred resource bound — enough for an edit loop in any
+LSP-capable editor.
+
+Every analysis goes through
+:class:`~repro.analysis.incremental.IncrementalEngine`, so the cost of a
+keystroke is proportional to the call-graph cone the edit touched, and a
+server pointed at a persistent artifact directory starts warm.
+Untrusted-source execution budgets apply by default: a hostile document
+degrades to ``R001``/``R002``/``R004`` diagnostics instead of stalling
+the editor.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO, Callable, Dict, Optional
+
+from .. import telemetry
+from .incremental import IncrementalEngine, IncrementalResult
+
+#: LSP DiagnosticSeverity: Error=1, Warning=2, Information=3, Hint=4
+_SEVERITY = {"error": 1, "warning": 2, "note": 3}
+
+_PARSE_ERROR = -32700
+_METHOD_NOT_FOUND = -32601
+_INVALID_REQUEST = -32600
+
+
+def read_message(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one Content-Length-framed JSON-RPC message; None on EOF."""
+    length: Optional[int] = None
+    while True:
+        line = stream.readline()
+        if not line:
+            return None
+        line = line.strip()
+        if not line:
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    if length is None:
+        raise ValueError("missing Content-Length header")
+    body = stream.read(length)
+    if len(body) < length:
+        return None
+    return json.loads(body.decode("utf-8"))
+
+
+def write_message(stream: BinaryIO, message: Dict[str, Any]) -> None:
+    body = json.dumps(message).encode("utf-8")
+    stream.write(b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n")
+    stream.write(body)
+    stream.flush()
+
+
+def _diag_to_lsp(d) -> Dict[str, Any]:
+    if d.span is None:
+        start = {"line": 0, "character": 0}
+        end = {"line": 0, "character": 0}
+    else:
+        start = {"line": d.span.line - 1, "character": d.span.col - 1}
+        end = {
+            "line": d.span.line - 1,
+            "character": d.span.col - 1 + max(d.span.length, 1),
+        }
+    out = {
+        "range": {"start": start, "end": end},
+        "severity": _SEVERITY.get(d.severity, 3),
+        "code": d.code,
+        "source": "hybrid-aara",
+        "message": d.message,
+    }
+    if d.notes:
+        out["message"] = d.message + "\n" + "\n".join(f"note: {n}" for n in d.notes)
+    return out
+
+
+class LspServer:
+    """One server instance bound to a reader/writer stream pair."""
+
+    def __init__(
+        self,
+        reader: BinaryIO,
+        writer: BinaryIO,
+        engine: Optional[IncrementalEngine] = None,
+        entry: Optional[str] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.engine = engine or IncrementalEngine()
+        self.entry = entry
+        self.log = log or (lambda text: None)
+        self.documents: Dict[str, str] = {}
+        #: uri -> last analysis (diagnostics published, hints served from it)
+        self.results: Dict[str, IncrementalResult] = {}
+        self._shutdown = False
+        self._running = False
+
+    # -- transport ----------------------------------------------------------
+
+    def _reply(self, msg_id: Any, result: Any) -> None:
+        write_message(self.writer, {"jsonrpc": "2.0", "id": msg_id, "result": result})
+
+    def _reply_error(self, msg_id: Any, code: int, message: str) -> None:
+        write_message(
+            self.writer,
+            {"jsonrpc": "2.0", "id": msg_id, "error": {"code": code, "message": message}},
+        )
+
+    def _notify(self, method: str, params: Dict[str, Any]) -> None:
+        write_message(
+            self.writer, {"jsonrpc": "2.0", "method": method, "params": params}
+        )
+
+    # -- analysis -----------------------------------------------------------
+
+    def _analyze(self, uri: str) -> None:
+        source = self.documents.get(uri)
+        if source is None:
+            return
+        with telemetry.span("lsp.analyze", uri=uri):
+            result = self.engine.analyze(source, path=uri, entry=self.entry)
+        self.results[uri] = result
+        self._notify(
+            "textDocument/publishDiagnostics",
+            {
+                "uri": uri,
+                "diagnostics": [_diag_to_lsp(d) for d in result.diagnostics],
+            },
+        )
+        self.log(
+            f"analyzed {uri}: {len(result.diagnostics)} diagnostic(s), "
+            f"{result.reused} reused / {result.recomputed} recomputed"
+        )
+
+    def _inlay_hints(self, params: Dict[str, Any]) -> list:
+        uri = params.get("textDocument", {}).get("uri")
+        result = self.results.get(uri)
+        if result is None:
+            return []
+        rng = params.get("range") or {}
+        lo = rng.get("start", {}).get("line", 0)
+        hi = rng.get("end", {}).get("line", 1 << 30)
+        hints = []
+        for name, doc in result.bounds.items():
+            pos = result.positions.get(name)
+            if pos is None:
+                continue
+            line = pos[0] - 1
+            if not (lo <= line <= hi):
+                continue
+            label = doc.get("describe") or doc.get("status") or "?"
+            hints.append(
+                {
+                    "position": {
+                        "line": line,
+                        "character": pos[1] - 1 + len(name),
+                    },
+                    "label": f": {label}",
+                    "kind": 1,  # Type
+                    "paddingLeft": True,
+                }
+            )
+        return hints
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _handle(self, message: Dict[str, Any]) -> bool:
+        """Process one message; returns False when the loop should stop."""
+        method = message.get("method")
+        msg_id = message.get("id")
+        params = message.get("params") or {}
+        if method == "initialize":
+            self._reply(
+                msg_id,
+                {
+                    "capabilities": {
+                        "textDocumentSync": 1,  # full-document sync
+                        "inlayHintProvider": True,
+                    },
+                    "serverInfo": {"name": "hybrid-aara-lsp", "version": "1"},
+                },
+            )
+        elif method == "initialized":
+            pass
+        elif method == "shutdown":
+            self._shutdown = True
+            self._reply(msg_id, None)
+        elif method == "exit":
+            return False
+        elif method == "textDocument/didOpen":
+            doc = params["textDocument"]
+            self.documents[doc["uri"]] = doc.get("text", "")
+            self._analyze(doc["uri"])
+        elif method == "textDocument/didChange":
+            uri = params["textDocument"]["uri"]
+            changes = params.get("contentChanges") or []
+            if changes:
+                # full sync: the last change carries the whole document
+                self.documents[uri] = changes[-1].get("text", "")
+            self._analyze(uri)
+        elif method == "textDocument/didSave":
+            uri = params["textDocument"]["uri"]
+            if "text" in params:
+                self.documents[uri] = params["text"]
+            self._analyze(uri)
+        elif method == "textDocument/didClose":
+            uri = params["textDocument"]["uri"]
+            self.documents.pop(uri, None)
+            self.results.pop(uri, None)
+            self._notify(
+                "textDocument/publishDiagnostics", {"uri": uri, "diagnostics": []}
+            )
+        elif method == "textDocument/inlayHint":
+            self._reply(msg_id, self._inlay_hints(params))
+        elif method == "$/cancelRequest":
+            pass
+        elif msg_id is not None:
+            self._reply_error(msg_id, _METHOD_NOT_FOUND, f"unsupported method {method!r}")
+        return True
+
+    def serve_forever(self) -> int:
+        """Pump messages until ``exit`` or EOF; LSP exit-code semantics
+        (0 after an orderly ``shutdown``, 1 otherwise)."""
+        self._running = True
+        self.log("hybrid-aara LSP server listening")
+        while True:
+            try:
+                message = read_message(self.reader)
+            except (ValueError, json.JSONDecodeError) as exc:
+                self.log(f"protocol error: {exc}")
+                return 1
+            if message is None:
+                return 0 if self._shutdown else 1
+            if not self._handle(message):
+                return 0 if self._shutdown else 1

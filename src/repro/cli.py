@@ -194,6 +194,78 @@ def _lint_units(args):
                 yield f"suite:{spec.name}/hybrid", spec.hybrid_source, spec.hybrid_entry
 
 
+#: default on-disk home for incremental artifacts (watch / lsp modes)
+DEFAULT_INCR_CACHE = ".hybrid-aara-cache"
+
+
+def _incremental_engine(args):
+    """Build the incremental engine the watch/LSP front ends share."""
+    from .analysis import ArtifactStore, IncrementalEngine
+    from .config import ExecutionBudget
+
+    budget = None if getattr(args, "trusted", False) else ExecutionBudget.untrusted()
+    store = None
+    if not getattr(args, "no_cache", False):
+        store = ArtifactStore(getattr(args, "cache_dir", None) or DEFAULT_INCR_CACHE)
+    return IncrementalEngine(store, max_degree=args.degree, budget=budget)
+
+
+def _render_watch_cycle(con, result, source, elapsed) -> None:
+    from .analysis import render_all_text
+
+    if result.diagnostics:
+        con.result(render_all_text(result.diagnostics, {result.path: source}))
+    else:
+        con.result(f"{result.path}: clean")
+    for name, doc in result.bounds.items():
+        label = doc.get("describe") or doc.get("status") or "?"
+        con.result(f"  {name} : {label}")
+    con.result(
+        f"{result.reused} reused / {result.recomputed} recomputed "
+        f"in {elapsed * 1000.0:.0f} ms",
+        reused=result.reused,
+        recomputed=result.recomputed,
+        ms=round(elapsed * 1000.0, 1),
+    )
+
+
+def _lint_watch(args) -> int:
+    """Poll-mtime edit loop: re-analyze on change, artifacts make it fast."""
+    import os
+    import time
+
+    if len(args.programs) != 1 or args.suite:
+        raise ReproError("--watch wants exactly one program file (and no --suite)")
+    path = args.programs[0]
+    con = get_console()
+    engine = _incremental_engine(args)
+    cycles = 0
+    last_sig = None
+    last_errors = 0
+    while True:
+        try:
+            st = os.stat(path)
+            sig = (st.st_mtime_ns, st.st_size)
+        except OSError as exc:
+            con.warn(f"cannot stat {path}: {exc}")
+            time.sleep(args.interval)
+            continue
+        if sig == last_sig:
+            time.sleep(args.interval)
+            continue
+        last_sig = sig
+        with open(path) as handle:
+            source = handle.read()
+        start = time.perf_counter()
+        result = engine.analyze(source, path=path, entry=args.entry)
+        elapsed = time.perf_counter() - start
+        _render_watch_cycle(con, result, source, elapsed)
+        last_errors = sum(1 for d in result.diagnostics if d.severity == "error")
+        cycles += 1
+        if args.watch_cycles and cycles >= args.watch_cycles:
+            return 1 if last_errors else 0
+
+
 def cmd_lint(args) -> int:
     from .analysis import (
         dumps_sarif,
@@ -203,6 +275,8 @@ def cmd_lint(args) -> int:
         to_json,
     )
 
+    if args.watch:
+        return _lint_watch(args)
     con = get_console()
     units = list(_lint_units(args))
     if not units:
@@ -237,6 +311,24 @@ def cmd_lint(args) -> int:
         con.result(rendered)
     errors = sum(1 for d in diagnostics if d.severity == "error")
     return 1 if errors else 0
+
+
+def cmd_lsp(args) -> int:
+    """Speak LSP on stdio.  stdout belongs to JSON-RPC — every status
+    line goes to stderr, bypassing the console (which owns stdout)."""
+    from .analysis.lsp import LspServer
+
+    def log(text: str) -> None:
+        print(f"hybrid-aara lsp: {text}", file=sys.stderr, flush=True)
+
+    server = LspServer(
+        sys.stdin.buffer,
+        sys.stdout.buffer,
+        engine=_incremental_engine(args),
+        entry=args.entry,
+        log=log,
+    )
+    return server.serve_forever()
 
 
 #: env var naming the default parent directory for run journals
@@ -784,7 +876,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat warnings as errors (notes are unaffected)",
     )
+    watch = lint.add_argument_group(
+        "watch mode",
+        "incremental edit loop: re-analyze one file whenever it changes, "
+        "reusing per-function artifacts so unrelated functions cost nothing",
+    )
+    watch.add_argument(
+        "--watch",
+        action="store_true",
+        help="watch one program file and re-analyze on change",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.2,
+        help="mtime poll interval in seconds",
+    )
+    watch.add_argument(
+        "--watch-cycles",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit after N analysis cycles (0 = run until interrupted)",
+    )
+    watch.add_argument(
+        "--degree", type=int, default=3, help="max AARA degree per function"
+    )
+    watch.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"incremental artifact directory (default {DEFAULT_INCR_CACHE})",
+    )
+    watch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable artifact persistence (every cycle recomputes)",
+    )
+    watch.add_argument(
+        "--trusted",
+        action="store_true",
+        help="lift the untrusted-source execution budget (suite-style files)",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    lsp = sub.add_parser(
+        "lsp",
+        help="LSP server on stdio: push diagnostics + resource-bound inlay "
+        "hints, incrementally re-analyzing on every edit",
+    )
+    lsp.add_argument(
+        "--entry",
+        default=None,
+        help="entry function for reachability lints (default: last definition)",
+    )
+    lsp.add_argument(
+        "--degree", type=int, default=3, help="max AARA degree per function"
+    )
+    lsp.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"incremental artifact directory (default {DEFAULT_INCR_CACHE})",
+    )
+    lsp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable artifact persistence (every edit recomputes its cone)",
+    )
+    lsp.add_argument(
+        "--trusted",
+        action="store_true",
+        help="lift the untrusted-source execution budget",
+    )
+    lsp.set_defaults(func=cmd_lsp)
 
     static = sub.add_parser("static", help="conventional AARA only")
     static.add_argument("program")

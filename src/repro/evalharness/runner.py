@@ -215,12 +215,7 @@ def _lint_guard(spec, mode: str, budget=None) -> None:
         if key not in _LINT_CACHE:
             source, entry = _mode_variant(spec, mode)
             path = f"{spec.name}/{mode}"
-            if budget is None:
-                # three-arg call when unbudgeted: tests stub lint_source
-                # with a (source, path, entry) callable
-                result = lint_source(source, path=path, entry=entry)
-            else:
-                result = lint_source(source, path=path, entry=entry, budget=budget)
+            result = lint_source(source, path=path, entry=entry, budget=budget)
             _LINT_CACHE[key] = result
     result = _LINT_CACHE[key]
     fatal = [d for d in result.errors() if d.code not in ("R042", "R043")]
@@ -268,12 +263,7 @@ def _compiled_program(spec, mode: str, budget=None):
         "lang.compile", benchmark=spec.name, mode=mode, cached=key in _PROGRAM_CACHE
     ):
         if key not in _PROGRAM_CACHE:
-            # positional two-arg call when unbudgeted: tests stub the
-            # guard with a (spec, mode) callable
-            if budget is None:
-                _lint_guard(spec, mode)
-            else:
-                _lint_guard(spec, mode, budget=budget)
+            _lint_guard(spec, mode, budget=budget)
             source, _entry = _mode_variant(spec, mode)
             _PROGRAM_CACHE[key] = compile_program(source, budget=budget)
     return _PROGRAM_CACHE[key]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import sys
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from . import ast as A
 from .builtins import is_builtin
@@ -872,3 +872,36 @@ def parse_expr(source: str) -> A.Expr:
     if tok.kind != "eof":
         raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.col)
     return expr
+
+
+def function_line_spans(
+    functions: Sequence[A.FunDef], source: str
+) -> Optional[Dict[str, Tuple[int, int]]]:
+    """``name -> (start_line, end_line)`` slicing the source per function.
+
+    A function's slice runs from its ``let`` keyword's line through the
+    line before the next definition (the last one runs to EOF), so every
+    source line after the first ``let`` belongs to exactly one function.
+    Returns ``None`` when the program cannot be sliced unambiguously:
+    duplicate top-level names, or a definition without position info.
+    Consumers (the incremental analysis pipeline) must fall back to
+    whole-program granularity in that case.
+    """
+    spans: Dict[str, Tuple[int, int]] = {}
+    ordered = list(functions)
+    total_lines = source.count("\n") + 1
+    for i, fdef in enumerate(ordered):
+        pos = fdef.pos or fdef.name_pos
+        if pos is None or pos.line <= 0 or fdef.name in spans:
+            return None
+        if i + 1 < len(ordered):
+            nxt = ordered[i + 1].pos or ordered[i + 1].name_pos
+            if nxt is None or nxt.line <= 0:
+                return None
+            end = nxt.line - 1
+        else:
+            end = total_lines
+        if end < pos.line:
+            return None
+        spans[fdef.name] = (pos.line, end)
+    return spans

@@ -154,6 +154,7 @@ class ServerCore:
             "timeout": 0,
             "cancelled": 0,
             "source_requests": 0,
+            "incremental_hits": 0,
             "rejected_lint": 0,
             "quota_shed": 0,
             "auth_failed": 0,
@@ -302,6 +303,47 @@ class ServerCore:
                 self._finish_from_outcome(record, cached, cache_hit=True)
                 return record
 
+        # 1b. incremental fast path: ad-hoc conventional requests consult
+        #     the per-function artifact store (populated by `lint --watch`
+        #     and `lsp` sessions sharing this cache directory) before
+        #     paying for a token or a queue slot.  Lookup only — never an
+        #     LP solve — and the synthesized outcome is NOT written back
+        #     to the task cache, so the batch path stays canonical.
+        if (
+            self.cache is not None
+            and spec.source is not None
+            and spec.method == "conventional"
+        ):
+            verdict = self._peek_incremental(spec)
+            if verdict is not None:
+                task = spec.task()
+                outcome = {
+                    "task": task.task_id,
+                    "kind": task.kind,
+                    "benchmark": task.benchmark,
+                    "mode": task.mode,
+                    "method": task.method,
+                    "seed": task.seed,
+                    "ok": True,
+                    "outcome": "ok",
+                    "error": None,
+                    "failure": None,
+                    "result": None,
+                    "verdict": verdict,
+                    "metrics": {
+                        "wall_seconds": 0.0,
+                        "max_rss_kb": 0,
+                        "pid": os.getpid(),
+                        "incremental": True,
+                    },
+                }
+                record.cache_hit = True
+                self.counters["incremental_hits"] += 1
+                telemetry.counter("server.incremental_hits", 1)
+                self._journal_admit(record, cached=True)
+                self._finish_from_outcome(record, outcome, cache_hit=True)
+                return record
+
         # 2. per-client rate limit
         allowed, retry_after = self.buckets.acquire(spec.client)
         if not allowed:
@@ -370,6 +412,23 @@ class ServerCore:
         telemetry.counter("server.admitted", 1)
         record.add_event("queued", depth=depth, served_method=effective)
         return record
+
+    def _peek_incremental(self, spec) -> Optional[Dict[str, Any]]:
+        """A warm per-function verdict for this source, or ``None``.
+
+        Any failure (unparseable source, unsliceable program, artifact
+        directory trouble) falls through to the normal queue path —
+        the fast path may only ever make a request cheaper, never break
+        it."""
+        from ..analysis.incremental import ArtifactStore, peek_conventional_verdict
+
+        try:
+            store = ArtifactStore(self.config.cache_dir)
+            return peek_conventional_verdict(
+                store, spec.source, spec.entry, budget=self.budget
+            )
+        except Exception:
+            return None
 
     def _journal_admit(self, record: RequestRecord, cached: bool) -> None:
         if self.journal is None:

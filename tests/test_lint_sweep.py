@@ -206,7 +206,7 @@ def test_lint_guard_does_not_change_results(monkeypatch):
 
     runner_mod._PROGRAM_CACHE.clear()
     runner_mod._LINT_CACHE.clear()
-    monkeypatch.setattr(runner_mod, "_lint_guard", lambda spec, mode: None)
+    monkeypatch.setattr(runner_mod, "_lint_guard", lambda spec, mode, budget=None: None)
     unguarded = [_strip_timing(execute_task(t)) for t in tasks]
 
     assert guarded == unguarded
@@ -222,9 +222,9 @@ def test_lint_guard_is_memoized_per_program(monkeypatch):
 
     real = analysis_mod.lint_source
 
-    def counting(source, path="<input>", entry=None):
+    def counting(source, path="<input>", entry=None, budget=None):
         calls.append(path)
-        return real(source, path=path, entry=entry)
+        return real(source, path=path, entry=entry, budget=budget)
 
     monkeypatch.setattr(analysis_mod, "lint_source", counting)
     runner_mod._PROGRAM_CACHE.clear()

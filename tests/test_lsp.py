@@ -1,0 +1,255 @@
+"""LSP server: framing, scripted edit sessions, inlay hints."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.incremental import ArtifactStore, IncrementalEngine
+from repro.analysis.lsp import LspServer, read_message, write_message
+
+CLEAN = """let rec length xs =
+  match xs with
+  | [] -> 0
+  | _hd :: tl -> let _ = Raml.tick 1.0 in 1 + length tl
+"""
+
+SPIN = CLEAN + "\nlet rec spin xs = let _ = Raml.tick 1.0 in spin xs\n"
+
+URI = "file:///prog.ml"
+
+
+def _session(messages, engine=None, entry=None):
+    """Run a scripted message list through a server; return its output."""
+    inbuf = io.BytesIO()
+    for msg in messages:
+        write_message(inbuf, msg)
+    inbuf.seek(0)
+    outbuf = io.BytesIO()
+    server = LspServer(inbuf, outbuf, engine=engine, entry=entry)
+    rc = server.serve_forever()
+    outbuf.seek(0)
+    out = []
+    while True:
+        msg = read_message(outbuf)
+        if msg is None:
+            break
+        out.append(msg)
+    return rc, out
+
+
+def _req(method, params=None, id=None):
+    msg = {"jsonrpc": "2.0", "method": method}
+    if id is not None:
+        msg["id"] = id
+    if params is not None:
+        msg["params"] = params
+    return msg
+
+
+def _open(text, version=1):
+    return _req(
+        "textDocument/didOpen",
+        {
+            "textDocument": {
+                "uri": URI,
+                "languageId": "resource-ml",
+                "version": version,
+                "text": text,
+            }
+        },
+    )
+
+
+def _change(text, version):
+    return _req(
+        "textDocument/didChange",
+        {
+            "textDocument": {"uri": URI, "version": version},
+            "contentChanges": [{"text": text}],
+        },
+    )
+
+
+def _diags(out):
+    return [
+        m["params"]["diagnostics"]
+        for m in out
+        if m.get("method") == "textDocument/publishDiagnostics"
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def test_framing_roundtrip():
+    buf = io.BytesIO()
+    write_message(buf, {"jsonrpc": "2.0", "id": 1, "method": "x"})
+    write_message(buf, {"jsonrpc": "2.0", "id": 2, "method": "y"})
+    buf.seek(0)
+    assert read_message(buf)["id"] == 1
+    assert read_message(buf)["id"] == 2
+    assert read_message(buf) is None  # EOF
+
+
+def test_framing_extra_headers_ignored():
+    body = json.dumps({"jsonrpc": "2.0", "id": 7, "method": "z"}).encode()
+    raw = (
+        b"Content-Type: application/vscode-jsonrpc; charset=utf-8\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+    )
+    assert read_message(io.BytesIO(raw))["id"] == 7
+
+
+def test_framing_missing_length_is_protocol_error():
+    with pytest.raises(ValueError):
+        read_message(io.BytesIO(b"Content-Type: x\r\n\r\n{}"))
+
+
+# ---------------------------------------------------------------------------
+# Scripted sessions
+# ---------------------------------------------------------------------------
+
+
+def test_initialize_advertises_capabilities():
+    rc, out = _session([_req("initialize", {}, id=1), _req("exit")])
+    reply = out[0]
+    caps = reply["result"]["capabilities"]
+    assert caps["textDocumentSync"] == 1
+    assert caps["inlayHintProvider"] is True
+    assert reply["result"]["serverInfo"]["name"] == "hybrid-aara-lsp"
+
+
+def test_open_change_revert_diagnostic_lifecycle():
+    rc, out = _session(
+        [
+            _req("initialize", {}, id=1),
+            _req("initialized", {}),
+            _open(CLEAN),
+            _change(SPIN, 2),
+            _change(CLEAN, 3),
+            _req("shutdown", {}, id=2),
+            _req("exit"),
+        ]
+    )
+    assert rc == 0
+    published = _diags(out)
+    assert len(published) == 3
+    assert published[0] == []  # clean open
+    # the didChange introduced exactly the R042 the linter reports, with
+    # the linter's exact (0-based, end-exclusive) span
+    expected = [d for d in lint_source(SPIN, path=URI).diagnostics if d.code == "R042"]
+    assert len(expected) == 1
+    span = expected[0].span
+    r042 = [d for d in published[1] if d["code"] == "R042"]
+    assert len(r042) == 1
+    assert r042[0]["range"] == {
+        "start": {"line": span.line - 1, "character": span.col - 1},
+        "end": {"line": span.line - 1, "character": span.col - 1 + span.length},
+    }
+    assert r042[0]["severity"] == 1  # LSP Error
+    assert r042[0]["source"] == "hybrid-aara"
+    assert published[2] == []  # revert cleared it
+
+
+def test_inlay_hints_carry_bounds(tmp_path):
+    engine = IncrementalEngine(ArtifactStore(tmp_path / "store"))
+    rc, out = _session(
+        [
+            _req("initialize", {}, id=1),
+            _open(CLEAN),
+            _req(
+                "textDocument/inlayHint",
+                {
+                    "textDocument": {"uri": URI},
+                    "range": {
+                        "start": {"line": 0, "character": 0},
+                        "end": {"line": 99, "character": 0},
+                    },
+                },
+                id=2,
+            ),
+            _req("exit"),
+        ],
+        engine=engine,
+    )
+    hints = [m for m in out if m.get("id") == 2][0]["result"]
+    assert len(hints) == 1
+    assert hints[0]["label"] == ": 1*n1"
+    # anchored just after the function name on its definition line
+    assert hints[0]["position"]["line"] == 0
+    assert hints[0]["position"]["character"] == 8 + len("length")
+
+
+def test_inlay_hints_respect_range():
+    rc, out = _session(
+        [
+            _open(CLEAN),
+            _req(
+                "textDocument/inlayHint",
+                {
+                    "textDocument": {"uri": URI},
+                    "range": {
+                        "start": {"line": 50, "character": 0},
+                        "end": {"line": 99, "character": 0},
+                    },
+                },
+                id=2,
+            ),
+            _req("exit"),
+        ]
+    )
+    assert [m for m in out if m.get("id") == 2][0]["result"] == []
+
+
+def test_did_close_clears_diagnostics():
+    rc, out = _session(
+        [
+            _open(SPIN),
+            _req("textDocument/didClose", {"textDocument": {"uri": URI}}),
+            _req("exit"),
+        ]
+    )
+    published = _diags(out)
+    assert len(published) == 2
+    assert published[0] != []
+    assert published[1] == []
+
+
+def test_unknown_request_gets_method_not_found():
+    rc, out = _session([_req("workspace/symbol", {}, id=5), _req("exit")])
+    reply = [m for m in out if m.get("id") == 5][0]
+    assert reply["error"]["code"] == -32601
+
+
+def test_exit_without_shutdown_is_nonzero():
+    rc, _ = _session([_req("initialize", {}, id=1), _req("exit")])
+    assert rc == 1
+    rc, _ = _session([_req("initialize", {}, id=1)])  # EOF, no exit
+    assert rc == 1
+
+
+def test_parse_error_document_publishes_single_diagnostic():
+    rc, out = _session([_open("let f x = ("), _req("exit")])
+    published = _diags(out)
+    assert len(published[0]) == 1
+    assert published[0][0]["code"] in ("R001", "R002")
+
+
+def test_session_artifacts_warm_across_server_instances(tmp_path):
+    store_dir = tmp_path / "store"
+    engine = IncrementalEngine(ArtifactStore(store_dir))
+    _session([_open(CLEAN), _req("exit")], engine=engine)
+    engine2 = IncrementalEngine(ArtifactStore(store_dir))
+    server_in = io.BytesIO()
+    write_message(server_in, _open(CLEAN))
+    write_message(server_in, _req("exit"))
+    server_in.seek(0)
+    server = LspServer(server_in, io.BytesIO(), engine=engine2)
+    server.serve_forever()
+    result = server.results[URI]
+    assert result.recomputed == 0
+    assert result.reused > 0
